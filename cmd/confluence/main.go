@@ -1,0 +1,225 @@
+// Command confluence is the engine's command-line front end:
+//
+//	confluence taxonomy
+//	    print Table 1 (the director taxonomy).
+//	confluence demo [-scheduler QBS|RR|RB|FIFO|EDF|PNCWF] [-n 1000]
+//	    run a demonstration pipeline under the chosen director and print
+//	    throughput/statistics.
+//	confluence run <spec.json> [-scheduler QBS]
+//	    build and execute a JSON workflow specification.
+//	confluence types
+//	    list the actor types available to specifications.
+//	confluence serve [-addr 127.0.0.1:7070]
+//	    start multi-workflow mode: a global scheduler plus the
+//	    ConnectionController listening for LIST/STATUS/PAUSE/RESUME/STOP/
+//	    ADD/REMOVE commands (Figure 9 of the paper).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	confluence "repro"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "taxonomy":
+		err = taxonomy()
+	case "demo":
+		err = demo(os.Args[2:])
+	case "run":
+		err = runSpec(os.Args[2:])
+	case "types":
+		err = listTypes()
+	case "serve":
+		err = serve(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "confluence: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: confluence <taxonomy|demo|run|types|serve> [flags]")
+}
+
+// taxonomy prints Table 1.
+func taxonomy() error {
+	fmt.Println("Table 1: Taxonomy of Directors found in Kepler (first group) and PtolemyII")
+	fmt.Println("(second group) as well as our PNCWF Director")
+	fmt.Printf("%-8s %-12s %-38s %-24s %-30s %-22s %s\n",
+		"Director", "Group", "Actor Interaction", "Computation Driver", "Scheduling", "Time based", "QoS")
+	for _, row := range model.Taxonomy() {
+		fmt.Printf("%-8s %-12s %-38s %-24s %-30s %-22s %s\n",
+			row.Name, row.Group, row.ActorInteraction, row.ComputationDriver,
+			row.Scheduling, row.TimeBased, row.QoS)
+	}
+	return nil
+}
+
+// runSpec executes a JSON workflow specification.
+func runSpec(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	override := fs.String("scheduler", "", "override the spec's scheduling policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: confluence run [-scheduler P] <spec.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := spec.Parse(f)
+	if err != nil {
+		return err
+	}
+	wf, _, err := s.Build()
+	if err != nil {
+		return err
+	}
+	policy := s.Scheduler.Policy
+	if *override != "" {
+		policy = *override
+	}
+	st := stats.NewRegistry()
+	start := time.Now()
+	err = confluence.Run(context.Background(), wf, confluence.RunOptions{
+		Scheduler:      policy,
+		Quantum:        time.Duration(s.Scheduler.QuantumUs) * time.Microsecond,
+		Priorities:     s.Scheduler.Priorities,
+		SourceInterval: s.Scheduler.SourceInterval,
+		Stats:          st,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s completed in %v\n", s.Name, time.Since(start).Round(time.Millisecond))
+	for _, name := range st.Names() {
+		a := st.Get(name)
+		fmt.Printf("  %-14s invocations=%-6d avgCost=%-10v in=%-6d out=%d\n",
+			name, a.Invocations, a.AvgCost().Round(time.Microsecond), a.InputEvents, a.OutputEvents)
+	}
+	return nil
+}
+
+// listTypes prints the registered specification actor types.
+func listTypes() error {
+	for _, n := range spec.TypeNames() {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+// demo runs a windowed pipeline under the chosen director.
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	scheduler := fs.String("scheduler", "QBS", "QBS, RR, RB, FIFO, EDF or PNCWF")
+	n := fs.Int("n", 1000, "events to generate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wf := confluence.NewWorkflow("demo")
+	epoch := time.Now().Add(-time.Duration(*n) * time.Millisecond)
+	src := confluence.NewGenerator("readings", epoch, time.Millisecond, *n, func(i int) confluence.Value {
+		return confluence.NewRecord(
+			"sensor", confluence.Int(i%4),
+			"reading", confluence.Float(float64(i%100)),
+		)
+	})
+	avg := confluence.NewAggregate("avg4", confluence.WindowSpec{
+		Unit: confluence.Tuples, Size: 4, Step: 4, GroupBy: []string{"sensor"},
+	}, func(w *confluence.Window) confluence.Value {
+		sum := 0.0
+		for _, r := range w.Records() {
+			sum += r.Float("reading")
+		}
+		return confluence.Float(sum / float64(w.Len()))
+	})
+	sink := confluence.NewCollect("sink")
+	wf.MustAdd(src, avg, sink)
+	wf.MustConnect(src.Out(), avg.In())
+	wf.MustConnect(avg.Out(), sink.In())
+
+	st := stats.NewRegistry()
+	start := time.Now()
+	err := confluence.Run(context.Background(), wf, confluence.RunOptions{
+		Scheduler: *scheduler,
+		Stats:     st,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo: %d readings -> %d window averages under %s in %v\n",
+		*n, len(sink.Tokens), *scheduler, time.Since(start).Round(time.Millisecond))
+	for _, name := range st.Names() {
+		a := st.Get(name)
+		fmt.Printf("  %-10s invocations=%-6d avgCost=%-10v selectivity=%.2f\n",
+			name, a.Invocations, a.AvgCost().Round(time.Microsecond), a.Selectivity())
+	}
+	return nil
+}
+
+// serve starts multi-workflow mode with the ConnectionController.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "controller listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	global := confluence.NewGlobal()
+	ctrl, err := confluence.NewConnectionController(global, *addr)
+	if err != nil {
+		return err
+	}
+	defer ctrl.Close()
+	// Register a demo pipeline factory so ADD has something to build:
+	//   ADD pipeline mywf 2
+	ctrl.RegisterFactory("pipeline", func() (*confluence.Workflow, confluence.Director, error) {
+		wf := confluence.NewWorkflow("pipeline")
+		src := confluence.NewGenerator("src", time.Now(), 10*time.Millisecond, 1_000_000,
+			func(i int) confluence.Value { return confluence.Int(i) })
+		sink := confluence.NewCollect("sink")
+		wf.MustAdd(src, sink)
+		wf.MustConnect(src.Out(), sink.In())
+		dir, err := confluence.NewDirector(confluence.RunOptions{Scheduler: "RR"})
+		return wf, dir, err
+	})
+
+	fmt.Printf("confluence: multi-workflow mode, controller on %s\n", ctrl.Addr())
+	fmt.Println("confluence: commands: LIST | STATUS <wf> | PAUSE <wf> | RESUME <wf> | STOP <wf> | ADD pipeline <wf> [share] | REMOVE <wf> | QUIT")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Run the global scheduler; with no instances it waits for ADDs.
+	for ctx.Err() == nil {
+		if err := global.Run(ctx); err != nil && ctx.Err() == nil {
+			return err
+		}
+		if ctx.Err() == nil {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}

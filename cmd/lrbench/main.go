@@ -1,0 +1,175 @@
+// Command lrbench regenerates the paper's evaluation: the Linear Road
+// workload curve (Figure 5), the RR and QBS sensitivity sweeps (Figures 6
+// and 7), the scheduler comparison (Figure 8) and the experimental setup
+// (Table 3). Runs execute in deterministic virtual time with the calibrated
+// cost model; see DESIGN.md for the substitution rationale.
+//
+// Usage:
+//
+//	lrbench -print-setup
+//	lrbench -fig 5
+//	lrbench -fig 8 [-seed 42] [-duration 600s] [-rb-prioritize-sources]
+//	lrbench -all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/lr"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to regenerate (5, 6, 7 or 8)")
+		extensions = flag.Bool("extensions", false,
+			"compare the extension policies (FIFO, LQF, EDF) against QBS on Linear Road")
+		all        = flag.Bool("all", false, "regenerate every figure and table")
+		printSetup = flag.Bool("print-setup", false, "print Table 3")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		duration   = flag.Duration("duration", 600*time.Second, "experiment duration")
+		rbSources  = flag.Bool("rb-prioritize-sources", false,
+			"ablation: schedule RB sources in regular intervals (DESIGN.md D2)")
+	)
+	flag.Parse()
+
+	setup := lr.DefaultSetup()
+	setup.Duration = *duration
+
+	if *printSetup || *all {
+		fmt.Println(setup.String())
+	}
+	runFig := func(n int) {
+		if err := runFigure(setup, n, *seed, *rbSources); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *extensions:
+		if err := runExtensions(setup, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: extensions: %v\n", err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, n := range []int{5, 6, 7, 8} {
+			runFig(n)
+		}
+	case *fig != 0:
+		runFig(*fig)
+	case !*printSetup:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runExtensions compares the framework's extension policies on the same
+// Linear Road ramp — results beyond the paper, demonstrating STAFiLOS
+// pluggability on the full benchmark.
+func runExtensions(setup lr.Setup, seed int64) error {
+	fmt.Println("Extensions: FIFO, LQF and EDF on Linear Road (vs QBS-q500)")
+	specs := []lr.SchedulerSpec{
+		lr.QBSSpec(500 * time.Microsecond),
+		{Label: "FIFO", Make: func() stafilos.Scheduler { return sched.NewFIFO() }},
+		{Label: "LQF", Make: func() stafilos.Scheduler { return sched.NewLQF() }},
+		{Label: "EDF", Make: func() stafilos.Scheduler {
+			return sched.NewEDF(nil, 5*time.Second)
+		}},
+	}
+	var results []*lr.Result
+	for _, spec := range specs {
+		r, err := setup.Run(context.Background(), spec, seed)
+		if err != nil {
+			return err
+		}
+		report(r)
+		results = append(results, r)
+	}
+	fmt.Println(lr.FormatSeries(results, setup.SeriesBucket))
+	return nil
+}
+
+func runFigure(setup lr.Setup, fig int, seed int64, rbSources bool) error {
+	ctx := context.Background()
+	switch fig {
+	case 5:
+		w := lr.Generate(setup.GenFor(seed))
+		fmt.Printf("Figure 5: Workload of %.1f highways (%d position reports)\n", setup.LRating, len(w.Reports))
+		fmt.Println("time(s)\treports/s")
+		for _, p := range w.RateSeries(10 * time.Second) {
+			fmt.Printf("%.0f\t%.1f\n", p.T, p.Rate)
+		}
+		return nil
+
+	case 6:
+		fmt.Println("Figure 6: Response Time at TollNotification for the RR scheduler")
+		var results []*lr.Result
+		for _, q := range setup.RRBasicQuanta {
+			r, err := setup.Run(ctx, lr.RRSpec(q), seed)
+			if err != nil {
+				return err
+			}
+			report(r)
+			results = append(results, r)
+		}
+		fmt.Println(lr.FormatSeries(results, setup.SeriesBucket))
+		return nil
+
+	case 7:
+		fmt.Println("Figure 7: Response Time at TollNotification for the QBS scheduler")
+		var results []*lr.Result
+		for _, b := range setup.QBSBasicQuanta {
+			r, err := setup.Run(ctx, lr.QBSSpec(b), seed)
+			if err != nil {
+				return err
+			}
+			report(r)
+			results = append(results, r)
+		}
+		fmt.Println(lr.FormatSeries(results, setup.SeriesBucket))
+		return nil
+
+	case 8:
+		fmt.Println("Figure 8: Response Times of all the main schedulers")
+		specs := []lr.SchedulerSpec{
+			lr.RRSpec(40 * time.Millisecond),
+			lr.QBSSpec(500 * time.Microsecond),
+			lr.RBSpec(),
+			lr.PNCWFSpec(),
+		}
+		if rbSources {
+			specs[2] = lr.SchedulerSpec{
+				Label: "RB+src",
+				Make:  func() stafilos.Scheduler { return sched.NewRBPrioritizedSources() },
+			}
+		}
+		var results []*lr.Result
+		for _, spec := range specs {
+			r, err := setup.Run(ctx, spec, seed)
+			if err != nil {
+				return err
+			}
+			report(r)
+			results = append(results, r)
+		}
+		fmt.Println(lr.FormatSeries(results, setup.SeriesBucket))
+		return nil
+	}
+	return fmt.Errorf("unknown figure %d (want 5-8)", fig)
+}
+
+func report(r *lr.Result) {
+	thrash := "never"
+	if r.ThrashAt >= 0 {
+		thrash = fmt.Sprintf("%.0fs", r.ThrashAt)
+	}
+	fmt.Printf("# %-12s reports=%d tolls=%d alerts=%d meanRT=%v p95=%v within5s=%.1f%% thrash=%s wall=%v\n",
+		r.Label, r.Reports, r.TollCount, r.AlertCount,
+		r.Toll.Mean.Round(time.Millisecond), r.Toll.P95.Round(time.Millisecond),
+		100*r.Toll.WithinDeadline, thrash, r.WallTime.Round(time.Millisecond))
+}

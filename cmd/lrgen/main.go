@@ -1,0 +1,98 @@
+// Command lrgen generates the Linear Road position-report workload the
+// experiments consume — the stand-in for the generator on the Linear Road
+// website (see DESIGN.md, substitution 4).
+//
+//	lrgen -duration 600s -seed 42 > reports.csv
+//	lrgen -format jsonl | head
+//	lrgen -serve 127.0.0.1:9090 -speedup 60
+//
+// With -serve, lrgen streams JSONL reports over TCP paced by their
+// timestamps (divided by -speedup), so a workflow using a TCP push source
+// can consume a live feed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/lr"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 600*time.Second, "workload duration")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		format   = flag.String("format", "csv", "output format: csv or jsonl")
+		serve    = flag.String("serve", "", "stream over TCP on this address instead of stdout")
+		speedup  = flag.Float64("speedup", 1, "time compression factor for -serve")
+	)
+	flag.Parse()
+
+	w := lr.Generate(lr.GenConfig{Seed: *seed, Duration: *duration})
+	if *serve != "" {
+		if err := serveTCP(w, *serve, *speedup); err != nil {
+			fmt.Fprintf(os.Stderr, "lrgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if *format == "csv" {
+		fmt.Fprintln(out, "type,time,carID,speed,xway,lane,dir,seg,pos")
+	}
+	for _, r := range w.Reports {
+		writeReport(out, r, *format)
+	}
+}
+
+func writeReport(out *bufio.Writer, r lr.Report, format string) {
+	switch format {
+	case "jsonl":
+		fmt.Fprintf(out,
+			`{"type":0,"ts":%d,"time":%d,"carID":%d,"speed":%g,"xway":%d,"lane":%d,"dir":%d,"seg":%d,"pos":%d}`+"\n",
+			int64(r.Time/time.Second), int64(r.Time/time.Second), r.Car, r.Speed, r.XWay, r.Lane, r.Dir, r.Seg, r.Pos)
+	default:
+		fmt.Fprintf(out, "0,%d,%d,%g,%d,%d,%d,%d,%d\n",
+			int64(r.Time/time.Second), r.Car, r.Speed, r.XWay, r.Lane, r.Dir, r.Seg, r.Pos)
+	}
+}
+
+// serveTCP streams the workload to each client, paced by report time.
+func serveTCP(w *lr.Workload, addr string, speedup float64) error {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "lrgen: streaming %d reports on %s (speedup %gx)\n",
+		len(w.Reports), ln.Addr(), speedup)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			out := bufio.NewWriter(conn)
+			start := time.Now()
+			for _, r := range w.Reports {
+				due := start.Add(time.Duration(float64(r.Time) / speedup))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				writeReport(out, r, "jsonl")
+				if err := out.Flush(); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}

@@ -1,0 +1,101 @@
+package confluence_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	confluence "repro"
+)
+
+// ExampleRun builds a minimal continuous workflow — source, windowed
+// aggregate, sink — and executes it under the QBS scheduler.
+func ExampleRun() {
+	wf := confluence.NewWorkflow("example")
+	src := confluence.NewGenerator("src", time.Unix(0, 0).UTC(), time.Second, 8,
+		func(i int) confluence.Value { return confluence.Int(i) })
+	sum := confluence.NewAggregate("sum4", confluence.WindowSpec{
+		Unit: confluence.Tuples, Size: 4, Step: 4,
+	}, func(w *confluence.Window) confluence.Value {
+		total := 0
+		for _, tok := range w.Tokens() {
+			total += int(tok.(confluence.IntValue))
+		}
+		return confluence.Int(total)
+	})
+	sink := confluence.NewCollect("sink")
+	wf.MustAdd(src, sum, sink)
+	wf.MustConnect(src.Out(), sum.In())
+	wf.MustConnect(sum.Out(), sink.In())
+
+	err := confluence.Run(context.Background(), wf, confluence.RunOptions{
+		Scheduler: "QBS",
+		Virtual:   true,
+		Cost:      confluence.UniformCost(10*time.Microsecond, time.Microsecond),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, tok := range sink.Tokens {
+		fmt.Println(tok)
+	}
+	// Output:
+	// 6
+	// 22
+}
+
+// ExampleNewScheduler shows the pluggable policies by name.
+func ExampleNewScheduler() {
+	for _, policy := range []string{"QBS", "RR", "RB", "FIFO", "LQF", "EDF"} {
+		s, err := confluence.NewScheduler(policy, 0)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// QBS
+	// RR
+	// RB
+	// FIFO
+	// LQF
+	// EDF
+}
+
+// ExampleNewJoin enriches an event stream against a slowly changing
+// reference stream.
+func ExampleNewJoin() {
+	wf := confluence.NewWorkflow("join")
+	names := confluence.NewSource("names", confluence.NewSliceFeed([]confluence.FeedItem{
+		{Tok: confluence.NewRecord("id", confluence.Int(7), "name", confluence.Str("pump-7")),
+			Time: time.Unix(0, 0).UTC()},
+	}), 0)
+	readings := confluence.NewSource("readings", confluence.NewSliceFeed([]confluence.FeedItem{
+		{Tok: confluence.NewRecord("id", confluence.Int(7), "value", confluence.Float(3.5)),
+			Time: time.Unix(1, 0).UTC()},
+	}), 0)
+	join := confluence.NewJoin("enrich", []string{"id"}, 1, 1,
+		func(reading, name confluence.Record) confluence.Value {
+			return confluence.NewRecord("name", name.Field("name"), "value", reading.Field("value"))
+		})
+	sink := confluence.NewCollect("sink")
+	wf.MustAdd(names, readings, join, sink)
+	wf.MustConnect(readings.Out(), join.Left())
+	wf.MustConnect(names.Out(), join.Right())
+	wf.MustConnect(join.Out(), sink.In())
+
+	err := confluence.Run(context.Background(), wf, confluence.RunOptions{
+		Scheduler: "FIFO",
+		Virtual:   true,
+		Cost:      confluence.UniformCost(time.Microsecond, 0),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sink.Tokens[0])
+	// Output:
+	// {name: "pump-7", value: 3.5}
+}

@@ -1,0 +1,482 @@
+package actors
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+func ts(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+func TestSliceFeed(t *testing.T) {
+	f := NewSliceFeed([]Item{
+		{Tok: value.Int(1), Time: ts(1)},
+		{Tok: value.Int(2), Time: ts(2)},
+	})
+	if f.Closed() {
+		t.Fatal("fresh feed closed")
+	}
+	if f.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", f.Remaining())
+	}
+	it, ok := f.Peek()
+	if !ok || !it.Tok.Equal(value.Int(1)) {
+		t.Fatalf("Peek = %v, %v", it, ok)
+	}
+	// Peek does not consume.
+	if it2, _ := f.Peek(); !it2.Tok.Equal(value.Int(1)) {
+		t.Fatal("Peek consumed")
+	}
+	f.Next()
+	f.Next()
+	if _, ok := f.Next(); ok {
+		t.Error("Next past end returned ok")
+	}
+	if !f.Closed() {
+		t.Error("drained feed not closed")
+	}
+}
+
+func TestGenFeed(t *testing.T) {
+	i := 0
+	f := NewGenFeed(func() (Item, bool) {
+		if i >= 3 {
+			return Item{}, false
+		}
+		it := Item{Tok: value.Int(int64(i)), Time: ts(float64(i))}
+		i++
+		return it, true
+	})
+	var got []int64
+	for {
+		it, ok := f.Next()
+		if !ok {
+			break
+		}
+		got = append(got, int64(it.Tok.(value.Int)))
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("got %v", got)
+	}
+	if !f.Closed() {
+		t.Error("generator not closed after exhaustion")
+	}
+	// Generator called lazily: only 3 times plus the terminating call.
+	if i != 3 {
+		t.Errorf("generator called %d times", i)
+	}
+}
+
+func TestChanFeed(t *testing.T) {
+	f := NewChanFeed(4)
+	if _, ok := f.Peek(); ok {
+		t.Fatal("empty chan feed peeked ok")
+	}
+	if f.Closed() {
+		t.Fatal("open chan feed reports closed")
+	}
+	f.Send(Item{Tok: value.Int(7), Time: ts(1)})
+	it, ok := f.Peek()
+	if !ok || !it.Tok.Equal(value.Int(7)) {
+		t.Fatalf("Peek = %v, %v", it, ok)
+	}
+	f.Close()
+	// Buffered item still readable after close.
+	if it, ok := f.Next(); !ok || !it.Tok.Equal(value.Int(7)) {
+		t.Fatalf("Next after close = %v, %v", it, ok)
+	}
+	if _, ok := f.Next(); ok {
+		t.Error("drained closed feed returned item")
+	}
+	if !f.Closed() {
+		t.Error("drained closed feed not Closed")
+	}
+}
+
+// fireSource invokes a source actor once at engine time now and returns its
+// emissions.
+func fireSource(t *testing.T, s model.Actor, clk *clock.Virtual) []model.Emission {
+	t.Helper()
+	ctx := model.NewFireContext(clk, event.NewTimekeeper())
+	ctx.BeginFiring(nil)
+	if err := s.Fire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return ctx.EndFiring()
+}
+
+func TestSourcePacing(t *testing.T) {
+	feed := NewSliceFeed([]Item{
+		{Tok: value.Int(1), Time: ts(1)},
+		{Tok: value.Int(2), Time: ts(2)},
+		{Tok: value.Int(3), Time: ts(10)},
+	})
+	s := NewSource("src", feed, 0)
+	clk := clock.NewVirtual()
+
+	if s.Available(clk.Now()) {
+		t.Error("source available before first event time")
+	}
+	if nxt, ok := s.NextEventTime(); !ok || !nxt.Equal(ts(1)) {
+		t.Errorf("NextEventTime = %v, %v", nxt, ok)
+	}
+	clk.AdvanceTo(ts(2.5))
+	if !s.Available(clk.Now()) {
+		t.Error("source not available at t=2.5")
+	}
+	ems := fireSource(t, s, clk)
+	if len(ems) != 2 {
+		t.Fatalf("fired %d emissions, want 2 (events at t=1,2)", len(ems))
+	}
+	for i, em := range ems {
+		if !em.Ev.Time.Equal(ts(float64(i + 1))) {
+			t.Errorf("emission %d time = %v", i, em.Ev.Time)
+		}
+		if em.Ev.Wave.Depth() != 0 {
+			t.Errorf("source emission %d should start a wave", i)
+		}
+	}
+	if s.Exhausted() {
+		t.Error("source exhausted with pending future event")
+	}
+	if s.Sent() != 2 {
+		t.Errorf("Sent = %d", s.Sent())
+	}
+	clk.AdvanceTo(ts(11))
+	fireSource(t, s, clk)
+	if !s.Exhausted() {
+		t.Error("source not exhausted after draining")
+	}
+}
+
+func TestSourceBatchLimit(t *testing.T) {
+	var items []Item
+	for i := 0; i < 10; i++ {
+		items = append(items, Item{Tok: value.Int(int64(i)), Time: ts(0)})
+	}
+	s := NewSource("src", NewSliceFeed(items), 3)
+	clk := clock.NewVirtual()
+	clk.AdvanceTo(ts(1))
+	if got := len(fireSource(t, s, clk)); got != 3 {
+		t.Errorf("batched firing emitted %d, want 3", got)
+	}
+}
+
+func TestSourceFireOne(t *testing.T) {
+	var items []Item
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{Tok: value.Int(int64(i)), Time: ts(0)})
+	}
+	s := NewSource("src", NewSliceFeed(items), 0)
+	clk := clock.NewVirtual()
+	clk.AdvanceTo(ts(1))
+	ctx := model.NewFireContext(clk, event.NewTimekeeper())
+	ctx.BeginFiring(nil)
+	if err := s.FireOne(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ctx.EndFiring()); got != 1 {
+		t.Errorf("FireOne emitted %d, want 1 (per-token pumping)", got)
+	}
+}
+
+func TestGenerator(t *testing.T) {
+	g := NewGenerator("g", ts(0), time.Second, 5, func(i int) value.Value {
+		return value.Int(int64(i * i))
+	})
+	clk := clock.NewVirtual()
+	clk.AdvanceTo(ts(10))
+	ems := fireSource(t, g, clk)
+	if len(ems) != 5 {
+		t.Fatalf("generator emitted %d, want 5", len(ems))
+	}
+	if !ems[3].Ev.Token.Equal(value.Int(9)) {
+		t.Errorf("token 3 = %v, want 9", ems[3].Ev.Token)
+	}
+	if !ems[3].Ev.Time.Equal(ts(3)) {
+		t.Errorf("token 3 time = %v, want t=3", ems[3].Ev.Time)
+	}
+}
+
+func TestMapFilterAggregateCollect(t *testing.T) {
+	// Drive the transforms directly through contexts.
+	clk := clock.NewVirtual()
+	tk := event.NewTimekeeper()
+
+	mkWindow := func(vals ...int64) *window.Window {
+		w := &window.Window{}
+		for _, v := range vals {
+			w.Events = append(w.Events, tk.External(value.Int(v), ts(float64(v))))
+		}
+		w.Time = w.Events[len(w.Events)-1].Time
+		return w
+	}
+
+	m := NewMap("m", func(v value.Value) value.Value { return value.Int(int64(v.(value.Int)) + 1) })
+	ctx := model.NewFireContext(clk, tk)
+	ctx.BeginFiring(nil)
+	ctx.Stage(m.In(), mkWindow(1))
+	if err := m.Fire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ems := ctx.EndFiring()
+	if len(ems) != 1 || !ems[0].Ev.Token.Equal(value.Int(2)) {
+		t.Fatalf("map emitted %v", ems)
+	}
+
+	f := NewFilter("f", func(v value.Value) bool { return int64(v.(value.Int))%2 == 0 })
+	ctx.BeginFiring(nil)
+	ctx.Stage(f.In(), mkWindow(3))
+	f.Fire(ctx)
+	if got := len(ctx.EndFiring()); got != 0 {
+		t.Errorf("filter passed odd value")
+	}
+	ctx.BeginFiring(nil)
+	ctx.Stage(f.In(), mkWindow(4))
+	f.Fire(ctx)
+	if got := len(ctx.EndFiring()); got != 1 {
+		t.Errorf("filter blocked even value")
+	}
+
+	agg := NewAggregate("a", window.Spec{Unit: window.Tuples, Size: 3, Step: 3}, func(w *window.Window) value.Value {
+		sum := int64(0)
+		for _, tok := range w.Tokens() {
+			sum += int64(tok.(value.Int))
+		}
+		return value.Int(sum)
+	})
+	ctx.BeginFiring(nil)
+	ctx.Stage(agg.In(), mkWindow(1, 2, 3))
+	agg.Fire(ctx)
+	ems = ctx.EndFiring()
+	if len(ems) != 1 || !ems[0].Ev.Token.Equal(value.Int(6)) {
+		t.Fatalf("aggregate emitted %v", ems)
+	}
+
+	c := NewCollect("c")
+	ctx.BeginFiring(nil)
+	ctx.Stage(c.In(), mkWindow(9))
+	c.Fire(ctx)
+	ctx.EndFiring()
+	if len(c.Tokens) != 1 || !c.Tokens[0].Equal(value.Int(9)) {
+		t.Fatalf("collect = %v", c.Tokens)
+	}
+}
+
+func TestParseJSONLine(t *testing.T) {
+	tok, at, err := ParseJSONLine(`{"carID": 7, "speed": 53.5, "lane": "exit", "ok": true, "ts": 42}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tok.(value.Record)
+	if r.Int("carID") != 7 || r.Float("speed") != 53.5 || r.Text("lane") != "exit" || !r.Bool("ok") {
+		t.Errorf("record = %v", r)
+	}
+	if !at.Equal(ts(42)) {
+		t.Errorf("ts = %v, want t=42", at)
+	}
+	if _, _, err := ParseJSONLine("not json"); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Nested structures.
+	tok, _, err = ParseJSONLine(`{"a": [1, 2.5, "x"], "b": {"c": null}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = tok.(value.Record)
+	l, _ := r.Get("a")
+	if len(l.(value.List)) != 3 {
+		t.Errorf("list = %v", l)
+	}
+	nested, _ := r.Get("b")
+	if v := nested.(value.Record).Field("c"); !v.Equal(value.Nil{}) {
+		t.Errorf("nested nil = %v", v)
+	}
+}
+
+func TestTCPSourceStreamsRecords(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(conn, `{"n": %d, "ts": %d}`+"\n", i, i)
+		}
+	}()
+
+	src := NewTCPSource("tcp", ln.Addr().String(), nil)
+	clk := clock.NewVirtual()
+	ictx := model.NewFireContext(clk, event.NewTimekeeper())
+	if err := src.Initialize(ictx); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Wrapup()
+
+	// Wait for the reader goroutine to deliver everything.
+	deadline := time.After(5 * time.Second)
+	clk.AdvanceTo(ts(100))
+	var got []int64
+	for len(got) < 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out with %d records", len(got))
+		default:
+		}
+		for _, em := range fireSource(t, src, clk) {
+			got = append(got, em.Ev.Token.(value.Record).Int("n"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Errorf("record %d = %d", i, v)
+		}
+	}
+	if src.ParseErrors() != 0 {
+		t.Errorf("parse errors = %d", src.ParseErrors())
+	}
+}
+
+func TestHTTPSourceStreamsRecords(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"n": %d, "ts": %d}`+"\n", i, i)
+		}
+	}))
+	defer srv.Close()
+
+	src := NewHTTPSource("http", srv.URL, nil)
+	clk := clock.NewVirtual()
+	if err := src.Initialize(model.NewFireContext(clk, event.NewTimekeeper())); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Wrapup()
+
+	clk.AdvanceTo(ts(100))
+	deadline := time.After(5 * time.Second)
+	var got []int64
+	for len(got) < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out with %d records", len(got))
+		default:
+		}
+		for _, em := range fireSource(t, src, clk) {
+			got = append(got, em.Ev.Token.(value.Record).Int("n"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !src.Exhausted() {
+		t.Error("HTTP source not exhausted after stream end")
+	}
+}
+
+func TestHTTPSourceRejectsNon200(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	src := NewHTTPSource("http", srv.URL, nil)
+	if err := src.Initialize(model.NewFireContext(clock.NewVirtual(), event.NewTimekeeper())); err == nil {
+		t.Error("non-200 response accepted")
+	}
+}
+
+func TestTCPSourceParseErrorsCounted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fmt.Fprintln(conn, "garbage")
+		fmt.Fprintln(conn, `{"n": 1, "ts": 1}`)
+	}()
+	src := NewTCPSource("tcp", ln.Addr().String(), nil)
+	clk := clock.NewVirtual()
+	if err := src.Initialize(model.NewFireContext(clk, event.NewTimekeeper())); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Wrapup()
+	clk.AdvanceTo(ts(100))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n := 0
+	for n == 0 && ctx.Err() == nil {
+		n += len(fireSource(t, src, clk))
+		time.Sleep(time.Millisecond)
+	}
+	if src.ParseErrors() != 1 {
+		t.Errorf("parse errors = %d, want 1", src.ParseErrors())
+	}
+}
+
+// Property: a Source paced through arbitrary clock advances delivers every
+// feed item exactly once, in order, with preserved timestamps.
+func TestSourceDeliveryProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		if len(gaps) > 50 {
+			gaps = gaps[:50]
+		}
+		var items []Item
+		cur := 0.0
+		for i, g := range gaps {
+			cur += float64(g%10) * 0.1
+			items = append(items, Item{Tok: value.Int(int64(i)), Time: ts(cur)})
+		}
+		s := NewSource("s", NewSliceFeed(items), 0)
+		clk := clock.NewVirtual()
+		tk := event.NewTimekeeper()
+		var got []int64
+		for !s.Exhausted() {
+			if next, ok := s.NextEventTime(); ok {
+				clk.AdvanceTo(next)
+			}
+			ctx := model.NewFireContext(clk, tk)
+			ctx.BeginFiring(nil)
+			if err := s.Fire(ctx); err != nil {
+				return false
+			}
+			for _, em := range ctx.EndFiring() {
+				got = append(got, int64(em.Ev.Token.(value.Int)))
+			}
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i, v := range got {
+			if v != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

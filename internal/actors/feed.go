@@ -1,0 +1,166 @@
+// Package actors provides CONFLuEnCE's standard actor library: push
+// sources that connect to external data streams (TCP and HTTP, as in the
+// paper's Section 2.2), replay and generator sources for experiments, and
+// the transform/aggregate/sink building blocks workflows are composed of.
+package actors
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Item is one external feed element: a token and the source timestamp that
+// will start its wave.
+type Item struct {
+	Tok  value.Value
+	Time time.Time
+}
+
+// Feed is a timestamped external event sequence. Feeds are consumed by a
+// single source actor; implementations need only be safe for one consumer.
+type Feed interface {
+	// Peek returns the next item without consuming it.
+	Peek() (Item, bool)
+	// Next consumes and returns the next item.
+	Next() (Item, bool)
+	// Closed reports that no further items will ever appear.
+	Closed() bool
+}
+
+// SliceFeed replays a fixed item sequence; items must be in timestamp
+// order.
+type SliceFeed struct {
+	items []Item
+	pos   int
+}
+
+// NewSliceFeed builds a feed over items.
+func NewSliceFeed(items []Item) *SliceFeed { return &SliceFeed{items: items} }
+
+// Peek implements Feed.
+func (f *SliceFeed) Peek() (Item, bool) {
+	if f.pos >= len(f.items) {
+		return Item{}, false
+	}
+	return f.items[f.pos], true
+}
+
+// Next implements Feed.
+func (f *SliceFeed) Next() (Item, bool) {
+	it, ok := f.Peek()
+	if ok {
+		f.pos++
+	}
+	return it, ok
+}
+
+// Closed implements Feed.
+func (f *SliceFeed) Closed() bool { return f.pos >= len(f.items) }
+
+// Remaining returns how many items are left.
+func (f *SliceFeed) Remaining() int { return len(f.items) - f.pos }
+
+// GenFeed produces items lazily from a generator function, letting
+// experiments stream arbitrarily long workloads without materializing them.
+type GenFeed struct {
+	gen  func() (Item, bool)
+	head *Item
+	done bool
+}
+
+// NewGenFeed builds a feed that calls gen until it reports false.
+func NewGenFeed(gen func() (Item, bool)) *GenFeed { return &GenFeed{gen: gen} }
+
+// Peek implements Feed.
+func (f *GenFeed) Peek() (Item, bool) {
+	if f.head != nil {
+		return *f.head, true
+	}
+	if f.done {
+		return Item{}, false
+	}
+	it, ok := f.gen()
+	if !ok {
+		f.done = true
+		return Item{}, false
+	}
+	f.head = &it
+	return it, true
+}
+
+// Next implements Feed.
+func (f *GenFeed) Next() (Item, bool) {
+	it, ok := f.Peek()
+	if ok {
+		f.head = nil
+	}
+	return it, ok
+}
+
+// Closed implements Feed.
+func (f *GenFeed) Closed() bool { return f.done && f.head == nil }
+
+// ChanFeed adapts a channel written by a background reader (a TCP or HTTP
+// connection goroutine) into a Feed. Unlike replay feeds its arrival times
+// are real, so Peek may transiently report empty while the stream is live.
+type ChanFeed struct {
+	mu     sync.Mutex
+	ch     chan Item
+	head   *Item
+	closed bool
+}
+
+// NewChanFeed returns a channel-backed feed with the given buffer size.
+func NewChanFeed(buffer int) *ChanFeed {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	return &ChanFeed{ch: make(chan Item, buffer)}
+}
+
+// Send delivers an item from the producing goroutine; it blocks if the
+// buffer is full.
+func (f *ChanFeed) Send(it Item) { f.ch <- it }
+
+// Close marks the stream finished; pending buffered items remain readable.
+func (f *ChanFeed) Close() { close(f.ch) }
+
+// Peek implements Feed.
+func (f *ChanFeed) Peek() (Item, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.head != nil {
+		return *f.head, true
+	}
+	select {
+	case it, ok := <-f.ch:
+		if !ok {
+			f.closed = true
+			return Item{}, false
+		}
+		f.head = &it
+		return it, true
+	default:
+		return Item{}, false
+	}
+}
+
+// Next implements Feed.
+func (f *ChanFeed) Next() (Item, bool) {
+	it, ok := f.Peek()
+	if ok {
+		f.mu.Lock()
+		f.head = nil
+		f.mu.Unlock()
+	}
+	return it, ok
+}
+
+// Closed implements Feed.
+func (f *ChanFeed) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed && f.head == nil
+}

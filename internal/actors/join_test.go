@@ -1,0 +1,150 @@
+package actors_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+func ts(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+// TestJoinTwoStreams joins an order stream with a customer stream on
+// customer id under the SCWF director.
+func TestJoinTwoStreams(t *testing.T) {
+	wf := model.NewWorkflow("join")
+
+	// Customers arrive first (timestamps earlier), then orders reference
+	// them.
+	customers := actors.NewSource("customers", actors.NewSliceFeed([]actors.Item{
+		{Tok: value.NewRecord("cust", value.Int(1), "name", value.Str("ada")), Time: ts(0)},
+		{Tok: value.NewRecord("cust", value.Int(2), "name", value.Str("bob")), Time: ts(0.1)},
+	}), 0)
+	var orderItems []actors.Item
+	for i := 0; i < 6; i++ {
+		orderItems = append(orderItems, actors.Item{
+			Tok: value.NewRecord(
+				"cust", value.Int(int64(i%2+1)),
+				"orderID", value.Int(int64(100+i)),
+			),
+			Time: ts(1 + float64(i)),
+		})
+	}
+	orders := actors.NewSource("orders", actors.NewSliceFeed(orderItems), 0)
+
+	// Orders probe one at a time; customers retain the last 10 per key.
+	join := actors.NewJoin("enrich", []string{"cust"}, 1, 10,
+		func(order, customer value.Record) value.Value {
+			return value.NewRecord(
+				"orderID", order.Field("orderID"),
+				"name", customer.Field("name"),
+			)
+		})
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(customers, orders, join, sink)
+	wf.MustConnect(orders.Out(), join.Left())
+	wf.MustConnect(customers.Out(), join.Right())
+	wf.MustConnect(join.Out(), sink.In())
+
+	d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: 10 * time.Microsecond},
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every order matches exactly one customer (customers arrived first).
+	if len(sink.Tokens) != 6 {
+		t.Fatalf("join emitted %d, want 6", len(sink.Tokens))
+	}
+	for _, tok := range sink.Tokens {
+		r := tok.(value.Record)
+		id := r.Int("orderID")
+		wantName := "ada"
+		if (id-100)%2 == 1 {
+			wantName = "bob"
+		}
+		if got := r.Text("name"); got != wantName {
+			t.Errorf("order %d joined to %q, want %q", id, got, wantName)
+		}
+	}
+}
+
+// TestJoinRetentionFollowsWindow checks that a side's state honors its
+// retention bound: once a newer record evicts an older one, the old record
+// no longer joins.
+func TestJoinRetentionFollowsWindow(t *testing.T) {
+	wf := model.NewWorkflow("retention")
+	// Right side keeps only the single latest record per key.
+	var rightItems, leftItems []actors.Item
+	rightItems = append(rightItems,
+		actors.Item{Tok: value.NewRecord("k", value.Int(1), "ver", value.Int(1)), Time: ts(0)},
+		actors.Item{Tok: value.NewRecord("k", value.Int(1), "ver", value.Int(2)), Time: ts(1)},
+	)
+	leftItems = append(leftItems,
+		actors.Item{Tok: value.NewRecord("k", value.Int(1), "probe", value.Int(9)), Time: ts(2)},
+	)
+	right := actors.NewSource("right", actors.NewSliceFeed(rightItems), 0)
+	left := actors.NewSource("left", actors.NewSliceFeed(leftItems), 0)
+	join := actors.NewJoin("j", []string{"k"}, 1, 1,
+		func(l, r value.Record) value.Value {
+			return value.NewRecord("ver", r.Field("ver"))
+		})
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(left, right, join, sink)
+	wf.MustConnect(left.Out(), join.Left())
+	wf.MustConnect(right.Out(), join.Right())
+	wf.MustConnect(join.Out(), sink.In())
+
+	d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: 10 * time.Microsecond},
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The probe joins only against ver=2 (ver=1 evicted by the size-1
+	// window).
+	if len(sink.Tokens) != 1 {
+		t.Fatalf("join emitted %d, want 1", len(sink.Tokens))
+	}
+	if got := sink.Tokens[0].(value.Record).Int("ver"); got != 2 {
+		t.Errorf("joined against ver %d, want 2 (stale record must be evicted)", got)
+	}
+}
+
+func TestConsumptionModeHelpers(t *testing.T) {
+	u := window.Unrestricted(4)
+	if u.Size != 4 || u.Step != 1 || u.DeleteUsed {
+		t.Errorf("Unrestricted = %+v", u)
+	}
+	r := window.Recent(3)
+	if r.Size != 3 || r.Step != 1 || r.DeleteUsed {
+		t.Errorf("Recent = %+v", r)
+	}
+	c := window.Continuous(5)
+	if c.Size != 5 || c.Step != 5 || !c.DeleteUsed {
+		t.Errorf("Continuous = %+v", c)
+	}
+	for _, s := range []window.Spec{u, r, c} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("helper spec invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package actors
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/window"
+)
+
+// Shedder is a load-shedding pass-through: tokens whose event time lags the
+// engine clock by more than MaxLag are dropped instead of forwarded. The
+// paper points at load shedding (its DILoS and self-managing-shedding
+// citations) as the overload escape hatch for integrated DSMS sources;
+// placing a Shedder after a source bounds downstream response time at the
+// cost of completeness, trading the thrash blow-up of Figure 8 for a
+// bounded-staleness stream.
+type Shedder struct {
+	model.Base
+	in, out *model.Port
+	maxLag  time.Duration
+	dropped atomic.Int64
+	passed  atomic.Int64
+}
+
+// NewShedder builds a shedder with the given maximum event-time lag.
+func NewShedder(name string, maxLag time.Duration) *Shedder {
+	s := &Shedder{Base: model.NewBase(name), maxLag: maxLag}
+	s.Bind(s)
+	s.in = s.WindowedInput("in", window.Passthrough())
+	s.out = s.Output("out")
+	return s
+}
+
+// In returns the input port.
+func (s *Shedder) In() *model.Port { return s.in }
+
+// Out returns the output port.
+func (s *Shedder) Out() *model.Port { return s.out }
+
+// Dropped returns how many tokens were shed.
+func (s *Shedder) Dropped() int64 { return s.dropped.Load() }
+
+// Passed returns how many tokens were forwarded.
+func (s *Shedder) Passed() int64 { return s.passed.Load() }
+
+// Fire implements model.Actor.
+func (s *Shedder) Fire(ctx *model.FireContext) error {
+	w := ctx.Window(s.in)
+	if w == nil {
+		return nil
+	}
+	now := ctx.Now()
+	for _, ev := range w.Events {
+		if now.Sub(ev.Time) > s.maxLag {
+			s.dropped.Add(1)
+			continue
+		}
+		s.passed.Add(1)
+		ctx.Put(s.out, ev.Token)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package actors
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// Source pumps a Feed into the workflow. It implements the engine's
+// PushSource pacing contract: each firing ingests every feed item whose
+// timestamp has been reached (optionally capped by a batch limit), at the
+// rate dictated by the director's execution model.
+type Source struct {
+	model.Base
+	out   *model.Port
+	feed  Feed
+	batch int
+	sent  int64
+}
+
+// NewSource builds a source actor over feed. batch caps how many items one
+// firing may ingest; 0 means all available.
+func NewSource(name string, feed Feed, batch int) *Source {
+	s := &Source{Base: model.NewBase(name), feed: feed, batch: batch}
+	s.Bind(s)
+	s.out = s.Output("out")
+	return s
+}
+
+// Out returns the source's output port.
+func (s *Source) Out() *model.Port { return s.out }
+
+// Sent returns the number of items ingested so far.
+func (s *Source) Sent() int64 { return s.sent }
+
+// Fire implements model.Actor: ingest everything due at the current engine
+// time, preserving the external timestamps on the emitted events.
+func (s *Source) Fire(ctx *model.FireContext) error { return s.fire(ctx, s.batch) }
+
+// FireOne ingests at most one due item — the per-token pumping of the
+// thread-based engine, where each pushed record wakes the source thread
+// once.
+func (s *Source) FireOne(ctx *model.FireContext) error { return s.fire(ctx, 1) }
+
+func (s *Source) fire(ctx *model.FireContext, batch int) error {
+	now := ctx.Now()
+	n := 0
+	for {
+		it, ok := s.feed.Peek()
+		if !ok || it.Time.After(now) {
+			break
+		}
+		s.feed.Next()
+		ctx.PutAt(s.out, it.Tok, it.Time)
+		s.sent++
+		n++
+		if batch > 0 && n >= batch {
+			break
+		}
+	}
+	return nil
+}
+
+// Exhausted implements model.SourceActor.
+func (s *Source) Exhausted() bool { return s.feed.Closed() }
+
+// Available implements stafilos.PushSource.
+func (s *Source) Available(now time.Time) bool {
+	it, ok := s.feed.Peek()
+	return ok && !it.Time.After(now)
+}
+
+// NextEventTime implements stafilos.PushSource.
+func (s *Source) NextEventTime() (time.Time, bool) {
+	it, ok := s.feed.Peek()
+	if !ok {
+		return time.Time{}, false
+	}
+	return it.Time, true
+}
+
+// Generator emits count tokens spaced interval apart in event time,
+// starting at start — a self-contained source for examples and tests.
+type Generator struct {
+	*Source
+}
+
+// NewGenerator builds a generator source. produce maps the 0-based sequence
+// number to a token.
+func NewGenerator(name string, start time.Time, interval time.Duration, count int, produce func(i int) value.Value) *Generator {
+	i := 0
+	feed := NewGenFeed(func() (Item, bool) {
+		if i >= count {
+			return Item{}, false
+		}
+		it := Item{Tok: produce(i), Time: start.Add(time.Duration(i) * interval)}
+		i++
+		return it, true
+	})
+	return &Generator{Source: NewSource(name, feed, 0)}
+}

@@ -1,0 +1,72 @@
+// Package core names the paper's primary contribution in one place: the
+// STAFiLOS scheduling framework — the Scheduled CWF director, the abstract
+// scheduler with its pluggable policies, the TM Windowed Receiver, and the
+// runtime statistics module. The implementation lives in internal/stafilos,
+// internal/sched and internal/stats; this package re-exports the core
+// surface so the repository layout mirrors DESIGN.md's inventory.
+package core
+
+import (
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/stats"
+)
+
+// The Scheduled CWF director and framework plumbing.
+type (
+	// Director is the schedule-independent SCWF director.
+	Director = stafilos.Director
+	// Options configures a Director.
+	Options = stafilos.Options
+	// Scheduler is the pluggable STAFiLOS policy interface.
+	Scheduler = stafilos.Scheduler
+	// AbstractScheduler is the reusable base the policies extend.
+	AbstractScheduler = stafilos.Base
+	// Entry is the scheduler's per-actor bookkeeping.
+	Entry = stafilos.Entry
+	// State is the ACTIVE/WAITING/INACTIVE actor state.
+	State = stafilos.State
+	// TMReceiver is the TM Windowed Receiver.
+	TMReceiver = stafilos.TMReceiver
+	// CostModel supplies virtual-time firing costs.
+	CostModel = stafilos.CostModel
+	// Statistics is the runtime statistics module.
+	Statistics = stats.Registry
+)
+
+// Actor states.
+const (
+	Active   = stafilos.Active
+	Waiting  = stafilos.Waiting
+	Inactive = stafilos.Inactive
+)
+
+// NewDirector builds an SCWF director around a policy.
+func NewDirector(s Scheduler, opts Options) *Director { return stafilos.NewDirector(s, opts) }
+
+// The paper's three case-study schedulers.
+var (
+	// NewQBS is the Quantum Priority Based scheduler (Equation 1).
+	NewQBS = sched.NewQBS
+	// NewRR is the fair Round-Robin scheduler.
+	NewRR = sched.NewRR
+	// NewRB is the Rate Based (Highest Rate) scheduler.
+	NewRB = sched.NewRB
+)
+
+// Extension policies demonstrating framework pluggability.
+var (
+	NewFIFO = sched.NewFIFO
+	NewLQF  = sched.NewLQF
+	NewEDF  = sched.NewEDF
+)
+
+// DefaultBasicQuantum is the paper's best-performing QBS basic quantum.
+const DefaultBasicQuantum = sched.DefaultBasicQuantum
+
+// QBSQuantum evaluates Equation 1.
+func QBSQuantum(priority int, basic time.Duration) time.Duration {
+	return sched.QBSQuantum(priority, basic)
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+)
+
+// TestCoreSurface runs a pipeline purely through the core re-exports,
+// pinning that the facade names the real framework.
+func TestCoreSurface(t *testing.T) {
+	wf := model.NewWorkflow("core")
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, 30,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, sink)
+	wf.MustConnect(src.Out(), sink.In())
+
+	d := core.NewDirector(core.NewQBS(core.DefaultBasicQuantum), core.Options{
+		Clock:          clock.NewVirtual(),
+		Cost:           stafilos.UniformCostModel{Cost: 10 * time.Microsecond},
+		SourceInterval: 5,
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Tokens) != 30 {
+		t.Fatalf("tokens = %d, want 30", len(sink.Tokens))
+	}
+}
+
+func TestCoreConstants(t *testing.T) {
+	if core.Active != stafilos.Active || core.Waiting != stafilos.Waiting || core.Inactive != stafilos.Inactive {
+		t.Error("state constants diverge from stafilos")
+	}
+	if core.QBSQuantum(5, time.Millisecond) != 140*time.Millisecond {
+		t.Errorf("QBSQuantum(5, 1ms) = %v", core.QBSQuantum(5, time.Millisecond))
+	}
+	if core.DefaultBasicQuantum != 500*time.Microsecond {
+		t.Errorf("DefaultBasicQuantum = %v", core.DefaultBasicQuantum)
+	}
+}

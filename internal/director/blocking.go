@@ -1,0 +1,126 @@
+// Package director provides the models of computation beyond the SCWF
+// director: the thread-based PNCWF director that CONFLuEnCE originally ran
+// on (the paper's baseline, with resource management delegated to the OS),
+// a deterministic virtual-time simulation of that thread-based execution
+// for the experiment grid, and the SDF/DDF inside-directors that govern the
+// Linear Road sub-workflows.
+package director
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// BlockingReceiver is the Windowed Receiver of the thread-based engine:
+// put() inserts the event into the appropriate group-by queue and evaluates
+// the window semantics; get() blocks the calling actor thread until a
+// window is available. The timeout of timed windows is handled by the
+// waiting thread itself — it waits only until the window-formation deadline
+// and then forces the receiver to produce the window.
+type BlockingReceiver struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	op     *window.Operator
+	ready  []*window.Window
+	closed bool
+	clk    clock.Clock
+	// pendingWindows counts produced-but-unconsumed windows for
+	// quiescence detection.
+	arrivals int64
+}
+
+// NewBlockingReceiver builds a receiver for the given window spec.
+func NewBlockingReceiver(spec window.Spec, clk clock.Clock) *BlockingReceiver {
+	r := &BlockingReceiver{op: window.New(spec), clk: clk}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Put implements model.Receiver.
+func (r *BlockingReceiver) Put(ev *event.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.arrivals++
+	ws := r.op.Put(ev, r.clk.Now())
+	r.op.DrainExpired()
+	if len(ws) > 0 {
+		r.ready = append(r.ready, ws...)
+		r.cond.Broadcast()
+	}
+}
+
+// Close wakes all blocked readers permanently; Get returns false once the
+// ready queue drains.
+func (r *BlockingReceiver) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}
+
+// Pending reports whether a produced window awaits consumption.
+func (r *BlockingReceiver) Pending() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ready) > 0
+}
+
+// HasDeadline reports whether a timed window could still be forced out.
+func (r *BlockingReceiver) HasDeadline() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.op.NextDeadline()
+	return ok
+}
+
+// Get blocks until a window is available (or the receiver closes). The
+// blocked thread wakes at window-formation deadlines to force timed
+// windows, exactly as the paper's PNCWF threads do.
+func (r *BlockingReceiver) Get() (*window.Window, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if len(r.ready) > 0 {
+			w := r.ready[0]
+			r.ready = r.ready[1:]
+			return w, true
+		}
+		now := r.clk.Now()
+		if dl, ok := r.op.NextDeadline(); ok && !dl.After(now) {
+			if ws := r.op.OnTime(now); len(ws) > 0 {
+				r.ready = append(r.ready, ws...)
+				r.op.DrainExpired()
+				continue
+			}
+		}
+		if r.closed {
+			return nil, false
+		}
+		r.waitLocked()
+	}
+}
+
+// waitLocked blocks until signalled or until the next window deadline.
+func (r *BlockingReceiver) waitLocked() {
+	if dl, ok := r.op.NextDeadline(); ok {
+		// Wake ourselves at the deadline: a real-time timer nudges the
+		// condition variable so the waiting thread can raise the timeout.
+		d := time.Until(dl)
+		if d < 0 {
+			d = 0
+		}
+		t := time.AfterFunc(d, func() {
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+		r.cond.Wait()
+		t.Stop()
+		return
+	}
+	r.cond.Wait()
+}

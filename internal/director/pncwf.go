@@ -1,0 +1,323 @@
+package director
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// PNCWF is CONFLuEnCE's original thread-based Continuous Workflow director:
+// every actor is wrapped in its own thread (goroutine) so actors run in
+// parallel and block whenever there is no more data to consume. Resource
+// management and allocation among the threads is handled directly by the
+// runtime/OS — which is precisely why it offers no margin for QoS-based
+// optimization and serves as the paper's baseline.
+type PNCWF struct {
+	clk   clock.Clock
+	stats *stats.Registry
+
+	wf        *model.Workflow
+	receivers map[*model.Port]*BlockingReceiver
+	setup     bool
+
+	mu      sync.Mutex
+	firing  int // actors currently inside fire()
+	stopped bool
+}
+
+// PNCWFOptions configures the thread-based director.
+type PNCWFOptions struct {
+	// Stats receives measured runtime statistics (optional).
+	Stats *stats.Registry
+}
+
+// NewPNCWF builds a thread-based director. It always runs in real time:
+// thread interleaving is decided by the Go runtime and the OS, the exact
+// property the paper contrasts STAFiLOS against. For deterministic
+// experiments use NewThreadSim.
+func NewPNCWF(opts PNCWFOptions) *PNCWF {
+	if opts.Stats == nil {
+		opts.Stats = stats.NewRegistry()
+	}
+	return &PNCWF{clk: clock.NewReal(), stats: opts.Stats}
+}
+
+// Name implements model.Director.
+func (d *PNCWF) Name() string { return "PNCWF" }
+
+// Stats returns the measured runtime statistics.
+func (d *PNCWF) Stats() *stats.Registry { return d.stats }
+
+// Setup implements model.Director.
+func (d *PNCWF) Setup(wf *model.Workflow) error {
+	if d.setup {
+		return fmt.Errorf("director: PNCWF already set up")
+	}
+	if err := wf.Validate(); err != nil {
+		return err
+	}
+	d.wf = wf
+	d.receivers = make(map[*model.Port]*BlockingReceiver)
+	for _, p := range wf.InputPorts() {
+		r := NewBlockingReceiver(p.Spec(), d.clk)
+		p.SetReceiver(r)
+		d.receivers[p] = r
+	}
+	for _, a := range wf.Actors() {
+		ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+		if err := a.Initialize(ctx); err != nil {
+			return fmt.Errorf("director: initialize %s: %w", a.Name(), err)
+		}
+	}
+	d.setup = true
+	return nil
+}
+
+// Run implements model.Director: spawn one controller goroutine per actor,
+// wait for quiescence (all sources exhausted, no pending windows, no firing
+// in progress) or cancellation.
+func (d *PNCWF) Run(ctx context.Context) error {
+	if !d.setup {
+		return model.ErrNotSetup
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sources := map[string]bool{}
+	for _, s := range d.wf.Sources() {
+		sources[s.Name()] = true
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(d.wf.Actors()))
+	for _, a := range d.wf.Actors() {
+		wg.Add(1)
+		if sources[a.Name()] {
+			go func(a model.Actor) {
+				defer wg.Done()
+				if err := d.runSource(runCtx, a); err != nil {
+					errCh <- err
+					cancel()
+				}
+			}(a)
+		} else {
+			go func(a model.Actor) {
+				defer wg.Done()
+				if err := d.runActor(runCtx, a); err != nil {
+					errCh <- err
+					cancel()
+				}
+			}(a)
+		}
+	}
+
+	// Quiescence monitor: when the workflow can make no further progress,
+	// close the receivers so blocked actor threads drain and exit.
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				d.closeAll()
+				return
+			case <-ticker.C:
+				if d.quiescent() {
+					d.closeAll()
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	cancel()
+	<-monitorDone
+	for _, a := range d.wf.Actors() {
+		a.Wrapup()
+	}
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+func (d *PNCWF) closeAll() {
+	for _, r := range d.receivers {
+		r.Close()
+	}
+}
+
+// quiescent reports whether no further progress is possible.
+func (d *PNCWF) quiescent() bool {
+	d.mu.Lock()
+	firing := d.firing
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		return true
+	}
+	if firing > 0 {
+		return false
+	}
+	for _, a := range d.wf.Sources() {
+		if sa, ok := a.(model.SourceActor); ok && !sa.Exhausted() {
+			return false
+		}
+	}
+	for _, r := range d.receivers {
+		if r.Pending() || r.HasDeadline() {
+			return false
+		}
+	}
+	return true
+}
+
+// runSource is the thread controller for a source actor: it fires whenever
+// external data is available, sleeping until the next event otherwise.
+func (d *PNCWF) runSource(ctx context.Context, a model.Actor) error {
+	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	sa, _ := a.(model.SourceActor)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		fctx.BeginFiring(nil)
+		start := time.Now()
+		if err := d.invoke(a, fctx); err != nil {
+			return err
+		}
+		emissions := fctx.EndFiring()
+		d.broadcastAndRecord(a, emissions, start, 0)
+		if fctx.Stopped() {
+			d.stop()
+			return nil
+		}
+		if sa != nil && sa.Exhausted() {
+			return nil
+		}
+		if len(emissions) == 0 {
+			// Nothing was due: nap until more data can exist.
+			d.napUntilNextEvent(ctx, a)
+		}
+	}
+}
+
+func (d *PNCWF) napUntilNextEvent(ctx context.Context, a model.Actor) {
+	nap := time.Millisecond
+	type timed interface{ NextEventTime() (time.Time, bool) }
+	if ts, ok := a.(timed); ok {
+		if t, ok := ts.NextEventTime(); ok {
+			if dt := time.Until(t); dt > 0 && dt < 50*time.Millisecond {
+				nap = dt
+			} else if dt >= 50*time.Millisecond {
+				nap = 50 * time.Millisecond
+			}
+		}
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(nap):
+	}
+}
+
+// runActor is the thread controller for an internal actor: it blocks
+// reading from its input ports until a window or event is produced, then
+// transitions the actor through the iteration phases.
+func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
+	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	inputs := a.Inputs()
+	if len(inputs) == 0 {
+		return nil // nothing to consume; pure sources handled elsewhere
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		// Block on the first input port; multi-input actors pull their
+		// other ports on demand through the context's puller.
+		recv := d.receivers[inputs[0]]
+		w, ok := recv.Get()
+		if !ok {
+			return nil
+		}
+		var trigger *event.Event
+		if w.Len() > 0 {
+			trigger = w.Events[w.Len()-1]
+		}
+		fctx.BeginFiring(trigger)
+		fctx.Stage(inputs[0], w)
+		fctx.SetPuller(func(p *model.Port) (*window.Window, bool) {
+			if r, ok := d.receivers[p]; ok {
+				return r.Get()
+			}
+			return nil, false
+		})
+		d.enterFiring()
+		start := time.Now()
+		err := d.invoke(a, fctx)
+		emissions := fctx.EndFiring()
+		d.broadcastAndRecord(a, emissions, start, w.Len())
+		d.exitFiring()
+		if err != nil {
+			return err
+		}
+		if fctx.Stopped() {
+			d.stop()
+			return nil
+		}
+	}
+}
+
+func (d *PNCWF) enterFiring() {
+	d.mu.Lock()
+	d.firing++
+	d.mu.Unlock()
+}
+
+func (d *PNCWF) exitFiring() {
+	d.mu.Lock()
+	d.firing--
+	d.mu.Unlock()
+}
+
+func (d *PNCWF) stop() {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+}
+
+func (d *PNCWF) invoke(a model.Actor, fctx *model.FireContext) error {
+	ready, err := a.Prefire(fctx)
+	if err != nil {
+		return fmt.Errorf("director: prefire %s: %w", a.Name(), err)
+	}
+	if !ready {
+		return nil
+	}
+	if err := a.Fire(fctx); err != nil {
+		return fmt.Errorf("director: fire %s: %w", a.Name(), err)
+	}
+	if _, err := a.Postfire(fctx); err != nil {
+		return fmt.Errorf("director: postfire %s: %w", a.Name(), err)
+	}
+	return nil
+}
+
+func (d *PNCWF) broadcastAndRecord(a model.Actor, emissions []model.Emission, start time.Time, consumed int) {
+	for _, em := range emissions {
+		em.Port.Broadcast(em.Ev)
+	}
+	d.stats.RecordFiring(a.Name(), time.Since(start), consumed, len(emissions), d.clk.Now())
+}

@@ -1,0 +1,266 @@
+// Package dist implements the paper's first scalability direction
+// (Section 5): distributing the processing of a workflow among multiple
+// computing nodes by placing specific actors on specific nodes. Each node
+// runs its own sub-workflow under its own (locally scheduled) director;
+// channels that cross node boundaries become bridges — a Sender sink on the
+// upstream node streaming events over TCP to a Receiver source on the
+// downstream node. Event timestamps and wave identity survive the hop, so
+// response-time measurement and wave synchronization keep working across
+// nodes.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// wireEvent is the serialized form of one event crossing a bridge.
+type wireEvent struct {
+	Tok  json.RawMessage `json:"tok"`
+	TS   int64           `json:"ts"` // UnixNano event time
+	Wave wireWave        `json:"wave"`
+}
+
+type wireWave struct {
+	Root    int64  `json:"root"`
+	RootSeq uint64 `json:"rootSeq"`
+	Path    []int  `json:"path,omitempty"`
+	Last    bool   `json:"last,omitempty"`
+}
+
+func encodeEvent(ev *event.Event) ([]byte, error) {
+	tok, err := value.Encode(ev.Token)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wireEvent{
+		Tok: tok,
+		TS:  ev.Time.UnixNano(),
+		Wave: wireWave{
+			Root:    ev.Wave.Root,
+			RootSeq: ev.Wave.RootSeq,
+			Path:    ev.Wave.Path,
+			Last:    ev.Wave.Last,
+		},
+	})
+}
+
+func decodeEvent(line []byte) (*event.Event, error) {
+	var we wireEvent
+	if err := json.Unmarshal(line, &we); err != nil {
+		return nil, fmt.Errorf("dist: decode event: %w", err)
+	}
+	tok, err := value.Decode(we.Tok)
+	if err != nil {
+		return nil, err
+	}
+	return &event.Event{
+		Token: tok,
+		Time:  time.Unix(0, we.TS).UTC(),
+		Wave: event.WaveTag{
+			Root:    we.Wave.Root,
+			RootSeq: we.Wave.RootSeq,
+			Path:    we.Wave.Path,
+			Last:    we.Wave.Last,
+		},
+	}, nil
+}
+
+// Sender is the upstream half of a bridge: a sink actor that streams every
+// consumed event to the remote node. It dials at Initialize and closes the
+// connection at Wrapup, which signals end-of-stream to the receiver.
+type Sender struct {
+	model.Base
+	in   *model.Port
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+	sent int64
+}
+
+// NewSender builds the sending half, targeting the receiver's address.
+func NewSender(name, addr string) *Sender {
+	s := &Sender{Base: model.NewBase(name), addr: addr}
+	s.Bind(s)
+	s.in = s.WindowedInput("in", window.Passthrough())
+	return s
+}
+
+// In returns the bridge input port.
+func (s *Sender) In() *model.Port { return s.in }
+
+// Sent returns how many events have crossed the bridge.
+func (s *Sender) Sent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Initialize implements model.Actor: connect to the remote node.
+func (s *Sender) Initialize(*model.FireContext) error {
+	conn, err := net.DialTimeout("tcp", s.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dist: sender %s: dial %s: %w", s.Name(), s.addr, err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.w = bufio.NewWriter(conn)
+	s.mu.Unlock()
+	return nil
+}
+
+// Fire implements model.Actor.
+func (s *Sender) Fire(ctx *model.FireContext) error {
+	w := ctx.Window(s.in)
+	if w == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("dist: sender %s not connected", s.Name())
+	}
+	for _, ev := range w.Events {
+		line, err := encodeEvent(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := s.w.Write(line); err != nil {
+			return fmt.Errorf("dist: sender %s: write: %w", s.Name(), err)
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return err
+		}
+		s.sent++
+	}
+	return s.w.Flush()
+}
+
+// Wrapup implements model.Actor: close the stream (end-of-stream for the
+// receiver).
+func (s *Sender) Wrapup() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Receiver is the downstream half: a push source that listens for the
+// sender's connection and re-emits each event with its original timestamp
+// and wave tag.
+type Receiver struct {
+	model.Base
+	out *model.Port
+	ln  net.Listener
+
+	mu       sync.Mutex
+	pending  []*event.Event
+	closed   bool
+	decodeEr int64
+}
+
+// Listen starts the receiving half on addr ("127.0.0.1:0" for an ephemeral
+// port); its Addr is handed to NewSender on the upstream node.
+func Listen(name, addr string) (*Receiver, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: receiver %s: listen %s: %w", name, addr, err)
+	}
+	r := &Receiver{Base: model.NewBase(name), ln: ln}
+	r.Bind(r)
+	r.out = r.Output("out")
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the address senders should dial.
+func (r *Receiver) Addr() string { return r.ln.Addr().String() }
+
+// Out returns the bridge output port.
+func (r *Receiver) Out() *model.Port { return r.out }
+
+// DecodeErrors counts malformed events dropped off the wire.
+func (r *Receiver) DecodeErrors() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decodeEr
+}
+
+func (r *Receiver) acceptLoop() {
+	conn, err := r.ln.Accept()
+	if err != nil {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		return
+	}
+	defer func() {
+		conn.Close()
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		ev, err := decodeEvent(sc.Bytes())
+		if err != nil {
+			r.mu.Lock()
+			r.decodeEr++
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		r.pending = append(r.pending, ev)
+		r.mu.Unlock()
+	}
+}
+
+// Fire implements model.Actor: re-emit everything received so far,
+// preserving timestamps and wave identity.
+func (r *Receiver) Fire(ctx *model.FireContext) error {
+	r.mu.Lock()
+	batch := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	for _, ev := range batch {
+		ctx.PutEvent(r.out, ev)
+	}
+	return nil
+}
+
+// Exhausted implements model.SourceActor.
+func (r *Receiver) Exhausted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed && len(r.pending) == 0
+}
+
+// Available implements the PushSource pacing contract.
+func (r *Receiver) Available(time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending) > 0
+}
+
+// NextEventTime implements the PushSource pacing contract. Remote arrival
+// times are not known ahead of time, so no horizon is reported.
+func (r *Receiver) NextEventTime() (time.Time, bool) { return time.Time{}, false }
+
+// Wrapup implements model.Actor: stop listening.
+func (r *Receiver) Wrapup() error { return r.ln.Close() }

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Cluster runs a set of node workflows — each with its own director and
+// local scheduler — to completion. Nodes are ordinary workflows; bridges
+// (Sender/Receiver pairs) carry events between them, so a Cluster is the
+// distributed version of the SCWF director sketched in the paper's
+// Section 5, realized as one process per call for tests and as a template
+// for true multi-process deployment (the bridges already speak TCP).
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []*node
+}
+
+type node struct {
+	name string
+	wf   *model.Workflow
+	dir  model.Director
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster { return &Cluster{} }
+
+// AddNode registers a node workflow with its director.
+func (c *Cluster) AddNode(name string, wf *model.Workflow, dir model.Director) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.name == name {
+			return fmt.Errorf("dist: duplicate node %q", name)
+		}
+	}
+	c.nodes = append(c.nodes, &node{name: name, wf: wf, dir: dir})
+	return nil
+}
+
+// Nodes returns the node names in registration order.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Run sets up and executes every node concurrently, returning the first
+// node error (with the node named) or nil when all nodes complete.
+func (c *Cluster) Run(ctx context.Context) error {
+	c.mu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	if len(nodes) == 0 {
+		return fmt.Errorf("dist: cluster has no nodes")
+	}
+	for _, n := range nodes {
+		if err := n.dir.Setup(n.wf); err != nil {
+			return fmt.Errorf("dist: node %s: %w", n.name, err)
+		}
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(nodes))
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if err := n.dir.Run(runCtx); err != nil && runCtx.Err() == nil {
+				errCh <- fmt.Errorf("dist: node %s: %w", n.name, err)
+				cancel()
+			}
+		}(n)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,41 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func BenchmarkExternalStamp(b *testing.B) {
+	tk := NewTimekeeper()
+	ts := time.Unix(0, 0).UTC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.External(value.Int(int64(i)), ts)
+	}
+}
+
+func BenchmarkFiringCycle(b *testing.B) {
+	tk := NewTimekeeper()
+	root := tk.External(value.Int(0), time.Unix(0, 0).UTC())
+	fallback := time.Unix(1, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.BeginFiring(root)
+		tk.Stamp(value.Int(int64(i)), fallback)
+		tk.Stamp(value.Int(int64(i)), fallback)
+		tk.EndFiring()
+	}
+}
+
+func BenchmarkWaveTagCompare(b *testing.B) {
+	a := WaveTag{Root: 42, Path: []int{1, 2, 3}}
+	c := WaveTag{Root: 42, Path: []int{1, 2, 4}}
+	for i := 0; i < b.N; i++ {
+		if a.Compare(c) >= 0 {
+			b.Fatal("order broken")
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package event
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/value"
+)
+
+func ts(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+func TestExternalEventStartsWave(t *testing.T) {
+	tk := NewTimekeeper()
+	ev := tk.External(value.Int(1), ts(42))
+	if !ev.Time.Equal(ts(42)) {
+		t.Errorf("Time = %v, want t=42", ev.Time)
+	}
+	if ev.Wave.Root != ts(42).UnixNano() {
+		t.Errorf("Wave.Root = %d, want %d", ev.Wave.Root, ts(42).UnixNano())
+	}
+	if ev.Wave.Depth() != 0 {
+		t.Errorf("Depth = %d, want 0", ev.Wave.Depth())
+	}
+	if ev.Wave.Last {
+		t.Error("external event should not carry last marker")
+	}
+}
+
+func TestExternalEventsWithEqualTimestampsAreDistinctWaves(t *testing.T) {
+	tk := NewTimekeeper()
+	a := tk.External(value.Int(1), ts(1))
+	b := tk.External(value.Int(2), ts(1))
+	if a.Wave.SameWave(b.Wave) {
+		t.Error("two external events must start distinct waves even at equal timestamps")
+	}
+}
+
+func TestFiringProducesChildWaveTags(t *testing.T) {
+	tk := NewTimekeeper()
+	root := tk.External(value.Int(0), ts(7))
+
+	tk.BeginFiring(root)
+	for i := 0; i < 3; i++ {
+		tk.Stamp(value.Int(int64(i)), ts(999))
+	}
+	out := tk.EndFiring()
+
+	if len(out) != 3 {
+		t.Fatalf("produced %d events, want 3", len(out))
+	}
+	for i, ev := range out {
+		if !ev.Time.Equal(ts(7)) {
+			t.Errorf("event %d inherited Time %v, want t=7", i, ev.Time)
+		}
+		if !root.Wave.SameWave(ev.Wave) {
+			t.Errorf("event %d not in root wave", i)
+		}
+		if got := ev.Wave.Path; len(got) != 1 || got[0] != i+1 {
+			t.Errorf("event %d path = %v, want [%d]", i, got, i+1)
+		}
+		if ev.Wave.Last != (i == 2) {
+			t.Errorf("event %d Last = %v", i, ev.Wave.Last)
+		}
+		if !root.Wave.AncestorOf(ev.Wave) {
+			t.Errorf("root tag should be ancestor of event %d", i)
+		}
+	}
+}
+
+func TestSubWaveHierarchy(t *testing.T) {
+	tk := NewTimekeeper()
+	root := tk.External(value.Int(0), ts(1))
+
+	tk.BeginFiring(root)
+	tk.Stamp(value.Int(1), ts(0))
+	tk.Stamp(value.Int(2), ts(0))
+	tk.Stamp(value.Int(3), ts(0))
+	level1 := tk.EndFiring()
+
+	// Process t.3 into two events: t.3.1, t.3.2 (paper's example shape).
+	tk.BeginFiring(level1[2])
+	tk.Stamp(value.Int(31), ts(0))
+	tk.Stamp(value.Int(32), ts(0))
+	level2 := tk.EndFiring()
+
+	if got, want := level2[0].Wave.String(), level1[2].Wave.String()[:len(level1[2].Wave.String())-1]+".1"; got != want {
+		t.Errorf("sub-wave tag = %q, want %q", got, want)
+	}
+	if !level1[2].Wave.AncestorOf(level2[0].Wave) {
+		t.Error("t.3 should be ancestor of t.3.1")
+	}
+	if level1[0].Wave.AncestorOf(level2[0].Wave) {
+		t.Error("t.1 must not be ancestor of t.3.1")
+	}
+	if !level2[1].Wave.Last || level2[0].Wave.Last {
+		t.Error("last-of-subwave marker misplaced")
+	}
+	if d := level2[0].Wave.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+}
+
+func TestWaveTagString(t *testing.T) {
+	w := WaveTag{Root: 42, Path: []int{3, 1}, Last: true}
+	if got, want := w.String(), "t42.3.1*"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	w2 := WaveTag{Root: 7}
+	if got, want := w2.String(), "t7"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestChildPanicsOutOfRange(t *testing.T) {
+	w := WaveTag{Root: 1}
+	for _, args := range [][2]int{{0, 3}, {4, 3}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Child(%d,%d): expected panic", args[0], args[1])
+				}
+			}()
+			w.Child(args[0], args[1])
+		}()
+	}
+}
+
+func TestFiringWithNilCurrentStartsFreshWaves(t *testing.T) {
+	tk := NewTimekeeper()
+	tk.BeginFiring(nil)
+	tk.Stamp(value.Int(1), ts(5))
+	tk.Stamp(value.Int(2), ts(5))
+	out := tk.EndFiring()
+	if len(out) != 2 {
+		t.Fatalf("produced %d events", len(out))
+	}
+	if out[0].Wave.SameWave(out[1].Wave) {
+		t.Error("events produced without a triggering event must start distinct waves")
+	}
+	for _, ev := range out {
+		if !ev.Time.Equal(ts(5)) {
+			t.Errorf("fallback time not applied: %v", ev.Time)
+		}
+	}
+}
+
+func TestStampOutsideFiringActsExternal(t *testing.T) {
+	tk := NewTimekeeper()
+	ev := tk.Stamp(value.Int(9), ts(3))
+	if ev.Wave.Depth() != 0 || !ev.Time.Equal(ts(3)) {
+		t.Errorf("Stamp outside firing = %v", ev)
+	}
+}
+
+func TestEndFiringWithoutBeginReturnsNil(t *testing.T) {
+	tk := NewTimekeeper()
+	if out := tk.EndFiring(); out != nil {
+		t.Errorf("EndFiring without BeginFiring = %v, want nil", out)
+	}
+}
+
+func TestEventCompareOrdering(t *testing.T) {
+	tk := NewTimekeeper()
+	e1 := tk.External(value.Int(1), ts(1))
+	e2 := tk.External(value.Int(2), ts(2))
+	e3 := tk.External(value.Int(3), ts(2)) // same time, later seq
+
+	if e1.Compare(e2) >= 0 {
+		t.Error("earlier time should compare less")
+	}
+	if e2.Compare(e3) >= 0 {
+		t.Error("equal-time events should order by wave/seq")
+	}
+	if e1.Compare(e1) != 0 {
+		t.Error("event should compare equal to itself")
+	}
+	if e2.Compare(e1) <= 0 {
+		t.Error("Compare not antisymmetric")
+	}
+}
+
+func TestEventCompareChildrenFollowParentOrder(t *testing.T) {
+	tk := NewTimekeeper()
+	root := tk.External(value.Int(0), ts(1))
+	tk.BeginFiring(root)
+	tk.Stamp(value.Int(1), ts(0))
+	tk.Stamp(value.Int(2), ts(0))
+	kids := tk.EndFiring()
+	// Same wave, path [1] < path [2].
+	if kids[0].Compare(kids[1]) >= 0 {
+		t.Error("t.1 should compare before t.2")
+	}
+	// Parent (empty path) compares before children.
+	if root.Compare(kids[0]) >= 0 {
+		t.Error("parent should compare before its children")
+	}
+}
+
+// Property: WaveTag.Compare is a total order consistent with String
+// uniqueness for generated hierarchies.
+func TestWaveTagCompareProperty(t *testing.T) {
+	f := func(rootA, rootB int32, pathA, pathB []uint8) bool {
+		mk := func(root int32, raw []uint8) WaveTag {
+			p := make([]int, 0, len(raw)%4)
+			for i := 0; i < len(raw) && i < 3; i++ {
+				p = append(p, int(raw[i])+1)
+			}
+			return WaveTag{Root: int64(root), Path: p}
+		}
+		a, b := mk(rootA, pathA), mk(rootB, pathB)
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			return false
+		}
+		// Reflexive zero.
+		if a.Compare(a) != 0 || b.Compare(b) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting events by Compare yields non-decreasing times.
+func TestEventSortProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		tk := NewTimekeeper()
+		evs := make([]*Event, len(times))
+		for i, s := range times {
+			evs[i] = tk.External(value.Int(int64(i)), ts(int64(s)))
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Compare(evs[j]) < 0 })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time.Before(evs[i-1].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAncestorOfEdgeCases(t *testing.T) {
+	a := WaveTag{Root: 1, Path: []int{1}}
+	if a.AncestorOf(a) {
+		t.Error("tag must not be its own ancestor")
+	}
+	other := WaveTag{Root: 2, Path: []int{1, 1}}
+	if a.AncestorOf(other) {
+		t.Error("different waves cannot be ancestors")
+	}
+	sib := WaveTag{Root: 1, Path: []int{2, 1}}
+	if a.AncestorOf(sib) {
+		t.Error("t.1 must not be ancestor of t.2.1")
+	}
+	child := WaveTag{Root: 1, Path: []int{1, 5}}
+	if !a.AncestorOf(child) {
+		t.Error("t.1 should be ancestor of t.1.5")
+	}
+}

@@ -1,0 +1,66 @@
+package lr
+
+import (
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// Cost-model calibration. The paper ran 600 wall-clock seconds on a 2007
+// dual Xeon E5345 under a JVM; we substitute a virtual-time execution whose
+// per-actor costs are calibrated to land the same capacity relationships
+// (DESIGN.md, substitution 2):
+//
+//   - the STAFiLOS schedulers saturate when the input rate reaches
+//     ~160 reports/s (thrash at ~440 s on the Figure 5 ramp);
+//   - the thread-based PNCWF baseline saturates at ~120 reports/s
+//     (thrash at ~320 s), because each event delivery pays a thread wakeup
+//     and most of each firing serializes on shared receiver locks.
+//
+// Shapes, not absolute numbers, are the reproduction target.
+const (
+	// DispatchOverhead is the SCWF framework's per-dispatch cost.
+	DispatchOverhead = 180 * time.Microsecond
+	// ThreadCtxSwitch is the per-wakeup overhead of the thread-based
+	// engine (thread wakeup + JVM monitor handoff).
+	ThreadCtxSwitch = 700 * time.Microsecond
+	// ThreadLockFraction is the fraction of each thread-based firing
+	// serialized globally.
+	ThreadLockFraction = 0.95
+	// ThreadCores is the paper testbed's core count.
+	ThreadCores = 8
+)
+
+// CostModel returns the calibrated per-actor firing costs of the Linear
+// Road workflow. Actors that query the relational store cost the most;
+// pure-compute composites sit in the middle; store writers and the
+// notification probes are cheap.
+func CostModel() stafilos.CostModel {
+	return &stafilos.TableCostModel{
+		PerFire: map[string]time.Duration{
+			"PositionReports":         200 * time.Microsecond,
+			"StoppedCars":             1900 * time.Microsecond,
+			"AccidentDetection":       600 * time.Microsecond,
+			"InsertAccident":          400 * time.Microsecond,
+			"AccidentNotification":    1600 * time.Microsecond,
+			"AccidentNotificationOut": 300 * time.Microsecond,
+			"Avgsv":                   800 * time.Microsecond,
+			"Avgs":                    700 * time.Microsecond,
+			"UpdateSegmentSpeed":      400 * time.Microsecond,
+			"cars":                    900 * time.Microsecond,
+			"UpdateCarCount":          400 * time.Microsecond,
+			"TollCalculation":         2200 * time.Microsecond,
+			"TollNotification":        300 * time.Microsecond,
+		},
+		PerEvent: map[string]time.Duration{
+			// Batched source ingestion: per-report marginal cost.
+			"PositionReports": 50 * time.Microsecond,
+			// Window-consuming aggregates scale mildly with window size.
+			"Avgsv": 20 * time.Microsecond,
+			"Avgs":  20 * time.Microsecond,
+			"cars":  15 * time.Microsecond,
+		},
+		DefaultPerFire: 300 * time.Microsecond,
+		Dispatch:       DispatchOverhead,
+	}
+}

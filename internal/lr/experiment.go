@@ -1,0 +1,240 @@
+package lr
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/director"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+)
+
+// Setup is the experimental configuration of Table 3.
+type Setup struct {
+	WorkloadRate      float64         // peak input rate (reports/s)
+	LRating           float64         // expressways
+	Duration          time.Duration   // experiment duration
+	QBSSourceInterval int             // internal firings per source firing
+	QBSBasicQuanta    []time.Duration // Figure 7 sweep
+	RRBasicQuanta     []time.Duration // Figure 6 sweep
+	Priorities        []int           // distinct priorities used
+	ThrashThreshold   time.Duration   // response time marking thrash
+	SeriesBucket      time.Duration   // figure time-axis bucket
+}
+
+// DefaultSetup returns Table 3's values.
+func DefaultSetup() Setup {
+	return Setup{
+		WorkloadRate:      200,
+		LRating:           0.5,
+		Duration:          600 * time.Second,
+		QBSSourceInterval: 5,
+		QBSBasicQuanta: []time.Duration{
+			500 * time.Microsecond, 1000 * time.Microsecond, 5000 * time.Microsecond,
+			10000 * time.Microsecond, 20000 * time.Microsecond,
+		},
+		RRBasicQuanta: []time.Duration{
+			5000 * time.Microsecond, 10000 * time.Microsecond,
+			20000 * time.Microsecond, 40000 * time.Microsecond,
+		},
+		Priorities:      []int{5, 10},
+		ThrashThreshold: 2 * time.Second,
+		SeriesBucket:    10 * time.Second,
+	}
+}
+
+// String renders the setup as Table 3.
+func (s Setup) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Experimental setup\n")
+	fmt.Fprintf(&b, "  %-32s %v input rate\n", "Workload rate", s.WorkloadRate)
+	fmt.Fprintf(&b, "  %-32s %v highways\n", "Workload L-rating", s.LRating)
+	fmt.Fprintf(&b, "  %-32s %v\n", "Experiment duration", s.Duration)
+	fmt.Fprintf(&b, "  %-32s %d internal actor iterations\n", "QBS Source scheduling interval", s.QBSSourceInterval)
+	fmt.Fprintf(&b, "  %-32s %s\n", "Basic Quantum (QBS) (µs)", quantaList(s.QBSBasicQuanta))
+	fmt.Fprintf(&b, "  %-32s %s\n", "Basic Quantum (RR) (µs)", quantaList(s.RRBasicQuanta))
+	fmt.Fprintf(&b, "  %-32s %s\n", "Priorities used (QBS)", intList(s.Priorities))
+	return b.String()
+}
+
+func quantaList(qs []time.Duration) string {
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = fmt.Sprintf("%d", q.Microseconds())
+	}
+	return strings.Join(parts, ", ")
+}
+
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// GenFor builds the workload generator configuration for the setup.
+func (s Setup) GenFor(seed int64) GenConfig {
+	return GenConfig{
+		Seed:     seed,
+		Duration: s.Duration,
+		RateCap:  s.WorkloadRate,
+	}
+}
+
+// Result is one experiment run.
+type Result struct {
+	Scheduler string
+	Label     string
+	// TollSeries is the response time at TollNotification over experiment
+	// time — the curve the figures plot.
+	TollSeries []metrics.Point
+	// Toll and Accident summarize the two probes.
+	Toll, Accident metrics.Summary
+	// ThrashAt is the experiment second where response time blows past the
+	// threshold for good (-1 if never).
+	ThrashAt float64
+	// Reports and TollCount/AlertCount are throughput counters.
+	Reports    int
+	TollCount  int
+	AlertCount int
+	// WallTime is the real time the virtual run took.
+	WallTime time.Duration
+	// TollRecords and AlertRecords are the captured notifications (tapped
+	// off the probes), which the Validator checks against the reference
+	// model.
+	TollRecords  []value.Record
+	AlertRecords []value.Record
+}
+
+// SchedulerSpec names a scheduler configuration for a run.
+type SchedulerSpec struct {
+	Label string
+	// Make builds the policy, or nil for the thread-based baseline.
+	Make func() stafilos.Scheduler
+}
+
+// QBSSpec, RRSpec, RBSpec and PNCWFSpec build the paper's four
+// configurations.
+func QBSSpec(b time.Duration) SchedulerSpec {
+	return SchedulerSpec{
+		Label: fmt.Sprintf("QBS-q%d", b.Microseconds()),
+		Make:  func() stafilos.Scheduler { return sched.NewQBS(b) },
+	}
+}
+
+// RRSpec builds a Round-Robin configuration.
+func RRSpec(q time.Duration) SchedulerSpec {
+	return SchedulerSpec{
+		Label: fmt.Sprintf("RR-q%d", q.Microseconds()),
+		Make:  func() stafilos.Scheduler { return sched.NewRR(q) },
+	}
+}
+
+// RBSpec builds the Rate Based configuration.
+func RBSpec() SchedulerSpec {
+	return SchedulerSpec{Label: "RB", Make: func() stafilos.Scheduler { return sched.NewRB() }}
+}
+
+// PNCWFSpec selects the thread-based baseline (simulated in virtual time).
+func PNCWFSpec() SchedulerSpec {
+	return SchedulerSpec{Label: "PNCWF", Make: nil}
+}
+
+// Run executes one Linear Road experiment in virtual time and returns its
+// result.
+func (s Setup) Run(ctx context.Context, spec SchedulerSpec, seed int64) (*Result, error) {
+	workload := Generate(s.GenFor(seed))
+	epoch := time.Unix(0, 0).UTC()
+	db := NewDB()
+	wf, probes, err := Build(db, workload.Feed(epoch), epoch)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Scheduler: spec.Label, Label: spec.Label}
+	probes.TollProbe.SetTap(func(tok value.Value) {
+		if r, ok := tok.(value.Record); ok {
+			res.TollRecords = append(res.TollRecords, r)
+		}
+	})
+	probes.AccidentProbe.SetTap(func(tok value.Value) {
+		if r, ok := tok.(value.Record); ok {
+			res.AlertRecords = append(res.AlertRecords, r)
+		}
+	})
+
+	start := time.Now()
+	if spec.Make == nil {
+		sim := director.NewThreadSim(ThreadCores, ThreadCtxSwitch, ThreadLockFraction, CostModel(), nil)
+		if err := sim.Setup(wf); err != nil {
+			return nil, err
+		}
+		if err := sim.Run(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		d := stafilos.NewDirector(spec.Make(), stafilos.Options{
+			Clock:          clock.NewVirtual(),
+			Cost:           CostModel(),
+			Priorities:     Priorities(),
+			SourceInterval: s.QBSSourceInterval,
+		})
+		if err := d.Setup(wf); err != nil {
+			return nil, err
+		}
+		if err := d.Run(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	res.TollSeries = probes.Toll.Series(s.SeriesBucket)
+	res.Toll = probes.Toll.Summary()
+	res.Accident = probes.Accident.Summary()
+	res.ThrashAt = probes.Toll.ThrashTime(s.SeriesBucket, s.ThrashThreshold)
+	res.Reports = len(workload.Reports)
+	res.TollCount = probes.Toll.Count()
+	res.AlertCount = probes.Accident.Count()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// FormatSeries renders result curves as aligned columns (time, then one
+// response-time column per run) — the textual form of Figures 6–8.
+func FormatSeries(results []*Result, bucket time.Duration) string {
+	var b strings.Builder
+	b.WriteString("time(s)")
+	for _, r := range results {
+		fmt.Fprintf(&b, "\t%s", r.Label)
+	}
+	b.WriteByte('\n')
+	// Index each series by bucket start.
+	maxT := 0.0
+	byRun := make([]map[float64]float64, len(results))
+	for i, r := range results {
+		byRun[i] = map[float64]float64{}
+		for _, p := range r.TollSeries {
+			byRun[i][p.T] = p.Avg
+			if p.T > maxT {
+				maxT = p.T
+			}
+		}
+	}
+	step := bucket.Seconds()
+	for t := 0.0; t <= maxT; t += step {
+		fmt.Fprintf(&b, "%.0f", t)
+		for i := range results {
+			if v, ok := byRun[i][t]; ok {
+				fmt.Fprintf(&b, "\t%.3f", v)
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

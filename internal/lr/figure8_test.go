@@ -1,0 +1,82 @@
+package lr
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestFigure8HeadlineNumbers pins the reproduced headline of the paper's
+// main result at full scale: with the calibrated cost model, the STAFiLOS
+// schedulers thrash at ~430 s (~162 reports/s) while the thread-based
+// baseline thrashes at ~310 s (~116 reports/s), and RB's pre-thrash mean
+// response time is several times QBS's. Any change to the engine,
+// schedulers or cost model that breaks the reproduced shape fails here.
+func TestFigure8HeadlineNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 600s grid; skipped in -short")
+	}
+	setup := DefaultSetup()
+	run := func(spec SchedulerSpec) *Result {
+		t.Helper()
+		r, err := setup.Run(context.Background(), spec, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	qbs := run(QBSSpec(500 * time.Microsecond))
+	rr := run(RRSpec(40 * time.Millisecond))
+	rb := run(RBSpec())
+	pncwf := run(PNCWFSpec())
+
+	// Identical workload and deterministic engines: throughput counters
+	// must agree exactly across schedulers.
+	for _, r := range []*Result{rr, rb, pncwf} {
+		if r.Reports != qbs.Reports || r.TollCount != qbs.TollCount {
+			t.Errorf("%s: reports/tolls %d/%d differ from QBS %d/%d",
+				r.Label, r.Reports, r.TollCount, qbs.Reports, qbs.TollCount)
+		}
+	}
+
+	// Thrash points: STAFiLOS policies within [400, 470]s (paper ~440),
+	// PNCWF within [280, 340]s (paper ~320), and strictly earlier.
+	for _, r := range []*Result{qbs, rr, rb} {
+		if r.ThrashAt < 400 || r.ThrashAt > 470 {
+			t.Errorf("%s thrash at %.0fs, want ~430s", r.Label, r.ThrashAt)
+		}
+	}
+	if pncwf.ThrashAt < 280 || pncwf.ThrashAt > 340 {
+		t.Errorf("PNCWF thrash at %.0fs, want ~310s", pncwf.ThrashAt)
+	}
+	if pncwf.ThrashAt >= qbs.ThrashAt {
+		t.Errorf("PNCWF (%.0fs) must thrash before STAFiLOS (%.0fs)",
+			pncwf.ThrashAt, qbs.ThrashAt)
+	}
+
+	// Pre-thrash response times (t < 300 s, before anything saturates):
+	// QBS and RR low and similar; RB several times worse; PNCWF worst.
+	pre := func(r *Result) float64 {
+		sum, n := 0.0, 0
+		for _, p := range r.TollSeries {
+			if p.T < 300 {
+				sum += p.Avg * float64(p.Count)
+				n += p.Count
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: no pre-thrash samples", r.Label)
+		}
+		return sum / float64(n)
+	}
+	qbsPre, rrPre, rbPre, pncwfPre := pre(qbs), pre(rr), pre(rb), pre(pncwf)
+	if qbsPre > 0.2 || rrPre > 0.2 {
+		t.Errorf("QBS/RR pre-thrash means %.3f/%.3f s, want well under 2s", qbsPre, rrPre)
+	}
+	if rbPre < 2*qbsPre {
+		t.Errorf("RB pre-thrash mean %.3fs should be well above QBS's %.3fs", rbPre, qbsPre)
+	}
+	if pncwfPre < rbPre {
+		t.Errorf("PNCWF pre-thrash mean %.3fs should be the worst (RB %.3fs)", pncwfPre, rbPre)
+	}
+}

@@ -1,0 +1,254 @@
+package lr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/actors"
+)
+
+// GenConfig parameterizes the workload generator. The defaults reproduce
+// the paper's 0.5-expressway workload of Figure 5: the input rate ramps
+// from ~0 to ~200 position reports per second over a 600-second run,
+// crossing ~120/s around t=320s and ~160/s around t=440s — the two thrash
+// points of Figure 8.
+type GenConfig struct {
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Duration is the experiment length (default 600s).
+	Duration time.Duration
+	// RampSlope is the input-rate growth in reports/sec per second
+	// (default 0.375).
+	RampSlope float64
+	// RateCap caps the input rate in reports/sec (default 200).
+	RateCap float64
+	// CongestedLo/CongestedHi bound the congested segment range where
+	// traffic is slow and dense enough for non-zero tolls.
+	CongestedLo, CongestedHi int
+	// AccidentEvery is the mean spacing between staged accidents
+	// (default 90s).
+	AccidentEvery time.Duration
+	// AccidentDuration is how long crashed cars keep reporting the same
+	// position (default 240s: eight identical reports).
+	AccidentDuration time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Duration <= 0 {
+		c.Duration = 600 * time.Second
+	}
+	if c.RampSlope == 0 {
+		c.RampSlope = 0.375
+	}
+	if c.RateCap == 0 {
+		c.RateCap = 200
+	}
+	if c.CongestedHi == 0 {
+		c.CongestedLo, c.CongestedHi = 30, 35
+	}
+	if c.AccidentEvery <= 0 {
+		c.AccidentEvery = 90 * time.Second
+	}
+	if c.AccidentDuration <= 0 {
+		c.AccidentDuration = 240 * time.Second
+	}
+	return c
+}
+
+// TargetRate returns the configured input rate (reports/sec) at second t —
+// the curve of Figure 5.
+func (c GenConfig) TargetRate(t float64) float64 {
+	c = c.withDefaults()
+	r := c.RampSlope * t
+	if r > c.RateCap {
+		r = c.RateCap
+	}
+	return r
+}
+
+// Workload is a fully materialized, time-ordered report sequence.
+type Workload struct {
+	Config  GenConfig
+	Reports []Report
+	// Accidents records the staged incidents for validation.
+	Accidents []Accident
+}
+
+// Accident describes one staged incident.
+type Accident struct {
+	Start    time.Duration
+	Duration time.Duration
+	Seg      int
+	Pos      int
+	CarA     int
+	CarB     int
+	// ExitLane marks staged stopped cars in the exit lane, which must NOT
+	// be detected as accidents.
+	ExitLane bool
+	// Single marks a lone stopped car (no collision), which must NOT be
+	// detected as an accident either.
+	Single bool
+}
+
+// Generate builds the deterministic workload.
+func Generate(cfg GenConfig) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Config: cfg}
+
+	seconds := int(cfg.Duration / time.Second)
+	nextCar := 1
+
+	// Cars: per-second control loop keeps the live-car count at
+	// rate(t) × 30 so reports arrive at rate(t).
+	type car struct {
+		id       int
+		enter    float64 // seconds
+		lifetime float64
+		seg0     int
+	}
+	var live int
+	deaths := make([]int, seconds+1)
+	var cars []car
+	for sec := 0; sec < seconds; sec++ {
+		live -= deaths[sec]
+		target := int(math.Round(cfg.TargetRate(float64(sec)) * ReportEvery.Seconds()))
+		for live < target {
+			lt := 120 + rng.Float64()*240 // 2–6 minutes on the road
+			c := car{
+				id:       nextCar,
+				enter:    float64(sec) + rng.Float64(),
+				lifetime: lt,
+				seg0:     rng.Intn(SegmentsPerXway),
+			}
+			nextCar++
+			cars = append(cars, c)
+			live++
+			end := sec + int(lt)
+			if end > seconds {
+				end = seconds
+			}
+			deaths[end]++
+		}
+	}
+
+	// Emit each car's reports. Speed depends on congestion; position
+	// integrates speed between reports.
+	for _, c := range cars {
+		pos := float64(c.seg0 * FeetPerSegment)
+		jitter := rng.Float64()*10 - 5
+		for t := c.enter; t < c.enter+c.lifetime && t < float64(seconds); t += ReportEvery.Seconds() {
+			seg := int(pos) / FeetPerSegment
+			if seg >= SegmentsPerXway {
+				break // left the expressway
+			}
+			speed := 45 + jitter + rng.Float64()*20
+			if seg >= cfg.CongestedLo && seg <= cfg.CongestedHi {
+				speed = 15 + rng.Float64()*15
+			}
+			lane := TravelLane + rng.Intn(3)
+			w.Reports = append(w.Reports, Report{
+				Time:  time.Duration(t * float64(time.Second)),
+				Car:   c.id,
+				Speed: math.Round(speed),
+				XWay:  0,
+				Lane:  lane,
+				Dir:   0,
+				Seg:   seg,
+				Pos:   int(pos),
+			})
+			pos += speed * 5280 / 3600 * ReportEvery.Seconds()
+		}
+	}
+
+	// Staged incidents: collisions (detectable), exit-lane stalls and
+	// single stalls (both non-detectable by the benchmark's rules).
+	stageStopped := func(start time.Duration, seg, n int, lane int, single bool) {
+		pos := seg*FeetPerSegment + rng.Intn(FeetPerSegment)
+		acc := Accident{
+			Start:    start,
+			Duration: cfg.AccidentDuration,
+			Seg:      seg,
+			Pos:      pos,
+			ExitLane: lane == ExitLane,
+			Single:   single,
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = nextCar
+			nextCar++
+		}
+		acc.CarA = ids[0]
+		if n > 1 {
+			acc.CarB = ids[1]
+		}
+		for _, id := range ids {
+			for t := start; t < start+cfg.AccidentDuration && t < cfg.Duration; t += ReportEvery {
+				w.Reports = append(w.Reports, Report{
+					Time: t, Car: id, Speed: 0, XWay: 0, Lane: lane, Dir: 0,
+					Seg: seg, Pos: pos,
+				})
+			}
+		}
+		w.Accidents = append(w.Accidents, acc)
+	}
+	for t := cfg.AccidentEvery / 2; t < cfg.Duration; {
+		stageStopped(t, rng.Intn(SegmentsPerXway), 2, TravelLane, false)
+		// Every other incident, add a decoy that must not alert.
+		if rng.Intn(2) == 0 {
+			stageStopped(t+30*time.Second, rng.Intn(SegmentsPerXway), 2, ExitLane, false)
+		} else {
+			stageStopped(t+45*time.Second, rng.Intn(SegmentsPerXway), 1, TravelLane, true)
+		}
+		t += cfg.AccidentEvery/2 + time.Duration(rng.Int63n(int64(cfg.AccidentEvery)))
+	}
+
+	sort.SliceStable(w.Reports, func(i, j int) bool {
+		return w.Reports[i].Time < w.Reports[j].Time
+	})
+	return w
+}
+
+// Feed converts the workload into a source feed anchored at the given
+// epoch.
+func (w *Workload) Feed(epoch time.Time) actors.Feed {
+	items := make([]actors.Item, len(w.Reports))
+	for i, r := range w.Reports {
+		items[i] = actors.Item{Tok: r.Record(), Time: epoch.Add(r.Time)}
+	}
+	return actors.NewSliceFeed(items)
+}
+
+// RateSeries returns the reports-per-second series of the workload — the
+// measured counterpart of Figure 5's input-rate plot.
+func (w *Workload) RateSeries(bucket time.Duration) []RatePoint {
+	if bucket <= 0 {
+		bucket = 10 * time.Second
+	}
+	counts := map[int]int{}
+	maxIdx := 0
+	for _, r := range w.Reports {
+		idx := int(r.Time / bucket)
+		counts[idx]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]RatePoint, 0, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
+		out = append(out, RatePoint{
+			T:    float64(i) * bucket.Seconds(),
+			Rate: float64(counts[i]) / bucket.Seconds(),
+		})
+	}
+	return out
+}
+
+// RatePoint is one input-rate sample.
+type RatePoint struct {
+	T    float64 // seconds since start
+	Rate float64 // reports per second
+}

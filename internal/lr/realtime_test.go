@@ -1,0 +1,91 @@
+package lr
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/director"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+)
+
+// TestLinearRoadRealTimePNCWF runs the full two-level workflow under the
+// real thread-based director (goroutine per actor, wall clock): feed
+// timestamps sit in the past, so the engine drains as fast as it can and
+// the run finishes in a few wall seconds (plus the 5 s minute-window
+// timeout tail). This is the only test exercising the complete benchmark on
+// real goroutines.
+func TestLinearRoadRealTimePNCWF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run with timeout tails; skipped in -short")
+	}
+	w := Generate(GenConfig{Seed: 23, Duration: 120 * time.Second})
+	// Push the epoch far enough back that every minute window's end has
+	// already passed in real time: timed windows can then close via their
+	// 5-second timeouts instead of waiting out their real-time spans.
+	epoch := time.Now().Add(-120*time.Second - 70*time.Second)
+	db := NewDB()
+	wf, probes, err := Build(db, w.Feed(epoch), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := director.NewPNCWF(director.PNCWFOptions{})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if probes.Toll.Count() == 0 {
+		t.Error("real-time PNCWF produced no toll notifications")
+	}
+	// Accident alerts depend on detection racing the notification branch:
+	// with a burst-replayed feed, PNCWF's free-running threads can process
+	// every position report before the 4-report detection chain inserts the
+	// accident — legitimate thread-based behavior (the paper's runs paced
+	// the feed in true real time). The detection chain itself must still
+	// have fired.
+	t.Logf("alerts under burst replay: %d (processing-order dependent)", probes.Accident.Count())
+	if st := d.Stats().Get("StoppedCars"); st.Invocations == 0 {
+		t.Error("stopped-car detection never fired")
+	}
+	if st := d.Stats().Get("TollCalculation"); st.Invocations == 0 || st.TotalCost <= 0 {
+		t.Errorf("PNCWF stats not measured: %+v", st)
+	}
+}
+
+// TestLinearRoadRealTimeSCWF does the same under the sequential SCWF
+// director with a real clock and measured (not modelled) costs.
+func TestLinearRoadRealTimeSCWF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run with timeout tails; skipped in -short")
+	}
+	w := Generate(GenConfig{Seed: 23, Duration: 120 * time.Second})
+	epoch := time.Now().Add(-120*time.Second - 70*time.Second)
+	db := NewDB()
+	wf, probes, err := Build(db, w.Feed(epoch), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stafilos.NewDirector(sched.NewQBS(0), stafilos.Options{
+		Priorities:     Priorities(),
+		SourceInterval: 5,
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if probes.Toll.Count() == 0 {
+		t.Error("real-time SCWF produced no toll notifications")
+	}
+	if st := d.Stats().Get("TollCalculation"); st.EWMACost <= 0 {
+		t.Errorf("measured cost not positive: %+v", st)
+	}
+}

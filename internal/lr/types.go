@@ -1,0 +1,80 @@
+// Package lr implements the Linear Road benchmark on continuous workflows:
+// the deterministic workload generator (car position reports with the
+// ramping input rate of Figure 5), the two-level workflow of Appendix A
+// (Figures 10–15), the relational tables it queries, the calibrated cost
+// model that places the 600-second experiments on the virtual-time axis,
+// and the experiment harness that regenerates Figures 5–8 and Table 3.
+//
+// Linear Road simulates a variable-tolling system for metropolitan
+// expressways: cars report their position every 30 seconds; the system must
+// notify them of toll charges whenever they change segment and alert them
+// of accidents up to four segments downstream, each within 5 seconds. As in
+// the paper, only the stream-processing aspect is implemented — historical
+// queries are excluded.
+package lr
+
+import (
+	"time"
+
+	"repro/internal/value"
+)
+
+// Expressway geometry (Linear Road specification).
+const (
+	// SegmentsPerXway is the number of one-mile segments per expressway.
+	SegmentsPerXway = 100
+	// FeetPerSegment is the segment length in feet.
+	FeetPerSegment = 5280
+	// ReportEvery is the position-report interval per car.
+	ReportEvery = 30 * time.Second
+	// TravelLane is a representative travel lane; EntryLane and ExitLane
+	// bracket it.
+	EntryLane  = 0
+	TravelLane = 1
+	ExitLane   = 4
+	// AccidentScanSegments is how far downstream accident alerts reach.
+	AccidentScanSegments = 4
+	// NotificationDeadline is the benchmark's response-time requirement.
+	NotificationDeadline = 5 * time.Second
+)
+
+// Report is one car position report (a Linear Road type-0 tuple).
+type Report struct {
+	Time  time.Duration // offset from experiment start
+	Car   int
+	Speed float64 // mph
+	XWay  int
+	Lane  int
+	Dir   int
+	Seg   int
+	Pos   int // feet from expressway start
+}
+
+// Record converts the report to the token record the workflow consumes.
+func (r Report) Record() value.Record {
+	return value.NewRecord(
+		"type", value.Int(0),
+		"time", value.Int(int64(r.Time/time.Second)),
+		"carID", value.Int(int64(r.Car)),
+		"speed", value.Float(r.Speed),
+		"xway", value.Int(int64(r.XWay)),
+		"lane", value.Int(int64(r.Lane)),
+		"dir", value.Int(int64(r.Dir)),
+		"seg", value.Int(int64(r.Seg)),
+		"pos", value.Int(int64(r.Pos)),
+	)
+}
+
+// ReportFromRecord reverses Record.
+func ReportFromRecord(rec value.Record) Report {
+	return Report{
+		Time:  time.Duration(rec.Int("time")) * time.Second,
+		Car:   int(rec.Int("carID")),
+		Speed: rec.Float("speed"),
+		XWay:  int(rec.Int("xway")),
+		Lane:  int(rec.Int("lane")),
+		Dir:   int(rec.Int("dir")),
+		Seg:   int(rec.Int("seg")),
+		Pos:   int(rec.Int("pos")),
+	}
+}

@@ -1,0 +1,139 @@
+package lr
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestValidatorReferenceStats(t *testing.T) {
+	w := Generate(GenConfig{Seed: 2, Duration: 300 * time.Second})
+	v := NewValidator(w)
+
+	// Cross-check the reference against a direct recount for a sampled
+	// segment-minute.
+	seg, minute := -1, int64(2)
+	for s := 0; s < SegmentsPerXway; s++ {
+		if _, ok := v.CarCount(s, minute); ok {
+			seg = s
+			break
+		}
+	}
+	if seg < 0 {
+		t.Fatal("no populated segment found")
+	}
+	distinct := map[int]bool{}
+	for _, r := range w.Reports {
+		if r.Seg == seg && int64(r.Time/time.Second)/60 == minute {
+			distinct[r.Car] = true
+		}
+	}
+	got, _ := v.CarCount(seg, minute)
+	if got != len(distinct) {
+		t.Errorf("CarCount(%d, %d) = %d, want %d", seg, minute, got, len(distinct))
+	}
+	if _, ok := v.CarCount(seg, 9999); ok {
+		t.Error("CarCount for empty minute reported ok")
+	}
+	if avg, ok := v.SegmentAvg(seg, minute); !ok || avg <= 0 || avg > 80 {
+		t.Errorf("SegmentAvg = %v, %v", avg, ok)
+	}
+	if _, ok := v.LAV(seg, 0); ok {
+		t.Error("LAV with no history reported ok")
+	}
+}
+
+func TestValidatorExpectedTollConditions(t *testing.T) {
+	w := Generate(GenConfig{Seed: 2, Duration: 400 * time.Second})
+	v := NewValidator(w)
+	cfg := w.Config
+
+	// Somewhere in the congested range late in the run, the toll should be
+	// positive (slow, dense traffic) unless an accident is active.
+	foundPositive := false
+	for seg := cfg.CongestedLo; seg <= cfg.CongestedHi; seg++ {
+		for tSec := int64(330); tSec < 390; tSec += 10 {
+			if v.ExpectedToll(seg, tSec) > 0 {
+				foundPositive = true
+			}
+		}
+	}
+	if !foundPositive {
+		t.Error("no positive reference toll in the congested range (workload too light?)")
+	}
+	// Far from congestion, tolls should be zero (LAV too high).
+	if got := v.ExpectedToll(90, 360); got != 0 {
+		t.Errorf("free-flow segment toll = %v", got)
+	}
+}
+
+// TestLinearRoadOutputsMatchReference is the semantic end-to-end check: the
+// engine's toll amounts and accident alerts must agree with the reference
+// model computed directly from the workload (the benchmark is event-time
+// deterministic).
+func TestLinearRoadOutputsMatchReference(t *testing.T) {
+	setup := DefaultSetup()
+	setup.Duration = 360 * time.Second
+	for _, spec := range []SchedulerSpec{
+		QBSSpec(500 * time.Microsecond),
+		RBSpec(),
+		PNCWFSpec(),
+	} {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			res, err := setup.Run(context.Background(), spec, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.TollRecords) != res.TollCount {
+				t.Fatalf("captured %d toll records, probe counted %d", len(res.TollRecords), res.TollCount)
+			}
+			w := Generate(setup.GenFor(17))
+			v := NewValidator(w)
+			rep := v.Validate(res.TollRecords, res.AlertRecords)
+			t.Logf("%s: %s", spec.Label, rep)
+			if !rep.Ok() {
+				t.Errorf("validation failures:\n tolls: %v\n alerts: %v",
+					rep.TollFailures, rep.AlertFailures)
+			}
+			if rep.Tolls == 0 || rep.Alerts == 0 {
+				t.Error("nothing to validate")
+			}
+			// Exact matches must dominate; boundary tolerance is for edge
+			// windows only.
+			if float64(rep.TollMatches) < 0.9*float64(rep.Tolls) {
+				t.Errorf("only %d/%d tolls matched exactly", rep.TollMatches, rep.Tolls)
+			}
+			// Every detectable staged accident must have produced alerts.
+			if rep.AccidentsAlerted < rep.AccidentsStaged*8/10 {
+				t.Errorf("alert coverage %d/%d too low", rep.AccidentsAlerted, rep.AccidentsStaged)
+			}
+		})
+	}
+}
+
+func TestValidatorFlagsBadOutputs(t *testing.T) {
+	w := Generate(GenConfig{Seed: 3, Duration: 200 * time.Second})
+	v := NewValidator(w)
+
+	badToll := value.NewRecord(
+		"carID", value.Int(1), "seg", value.Int(90),
+		"toll", value.Float(1234), "time", value.Int(150),
+	)
+	badAlert := value.NewRecord(
+		"carID", value.Int(1), "seg", value.Int(90),
+		"accidentSeg", value.Int(90), "time", value.Int(10),
+	)
+	rep := v.Validate([]value.Record{badToll}, []value.Record{badAlert})
+	if rep.Ok() {
+		t.Fatal("validator accepted fabricated outputs")
+	}
+	if len(rep.TollFailures) != 1 || len(rep.AlertFailures) != 1 {
+		t.Errorf("failures = %d/%d, want 1/1", len(rep.TollFailures), len(rep.AlertFailures))
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}

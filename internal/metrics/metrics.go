@@ -1,0 +1,185 @@
+// Package metrics implements the QoS measurements of the paper's
+// evaluation: response time at output actors (e.g. TollNotification),
+// per-second time series for the figures, deadline-fraction metrics
+// ("keeping a fraction of results below a response time target"), and
+// thrash detection (the sustained response-time blow-up the figures show).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one time-series sample: the bucket's position on the experiment
+// time axis and the bucket's response-time aggregate.
+type Point struct {
+	// T is the bucket start, in seconds since the experiment epoch.
+	T float64
+	// Avg, Max are the bucket's response times in seconds.
+	Avg float64
+	Max float64
+	// Count is the number of results in the bucket.
+	Count int
+}
+
+// Summary aggregates a whole run.
+type Summary struct {
+	Count          int
+	Mean           time.Duration
+	Max            time.Duration
+	P50, P95, P99  time.Duration
+	WithinDeadline float64 // fraction of results within the deadline target
+	Deadline       time.Duration
+}
+
+// ResponseCollector accumulates response-time samples for one output actor.
+// It is safe for concurrent use (the PNCWF engine records from actor
+// threads).
+type ResponseCollector struct {
+	name     string
+	deadline time.Duration
+	epoch    time.Time
+
+	mu      sync.Mutex
+	rts     []float64 // seconds, in completion order
+	atSec   []float64 // completion time (seconds since epoch), parallel to rts
+	withinN int
+}
+
+// NewResponseCollector builds a collector. epoch anchors the experiment
+// time axis; deadline is the QoS target (0 disables the fraction metric).
+func NewResponseCollector(name string, epoch time.Time, deadline time.Duration) *ResponseCollector {
+	return &ResponseCollector{name: name, deadline: deadline, epoch: epoch}
+}
+
+// Name returns the collector name.
+func (c *ResponseCollector) Name() string { return c.name }
+
+// Record registers one result: the source timestamp of the external event
+// it answers and the completion time.
+func (c *ResponseCollector) Record(eventTime, completion time.Time) {
+	rt := completion.Sub(eventTime)
+	if rt < 0 {
+		rt = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rts = append(c.rts, rt.Seconds())
+	c.atSec = append(c.atSec, completion.Sub(c.epoch).Seconds())
+	if c.deadline > 0 && rt <= c.deadline {
+		c.withinN++
+	}
+}
+
+// Count returns the number of recorded results.
+func (c *ResponseCollector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rts)
+}
+
+// Series buckets the samples by completion time and returns per-bucket
+// response-time aggregates — the curves of Figures 6–8.
+func (c *ResponseCollector) Series(bucket time.Duration) []Point {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.rts) == 0 {
+		return nil
+	}
+	width := bucket.Seconds()
+	agg := map[int]*Point{}
+	maxIdx := 0
+	for i, rt := range c.rts {
+		idx := int(c.atSec[i] / width)
+		p, ok := agg[idx]
+		if !ok {
+			p = &Point{T: float64(idx) * width}
+			agg[idx] = p
+		}
+		p.Avg += rt
+		if rt > p.Max {
+			p.Max = rt
+		}
+		p.Count++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]Point, 0, len(agg))
+	for idx := 0; idx <= maxIdx; idx++ {
+		if p, ok := agg[idx]; ok {
+			p.Avg /= float64(p.Count)
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Summary computes the run-level aggregate.
+func (c *ResponseCollector) Summary() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{Count: len(c.rts), Deadline: c.deadline}
+	if len(c.rts) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), c.rts...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	toDur := func(sec float64) time.Duration { return time.Duration(sec * float64(time.Second)) }
+	s.Mean = toDur(sum / float64(len(sorted)))
+	s.Max = toDur(sorted[len(sorted)-1])
+	s.P50 = toDur(quantile(sorted, 0.50))
+	s.P95 = toDur(quantile(sorted, 0.95))
+	s.P99 = toDur(quantile(sorted, 0.99))
+	if c.deadline > 0 {
+		s.WithinDeadline = float64(c.withinN) / float64(len(sorted))
+	}
+	return s
+}
+
+// quantile returns the q-quantile of sorted data by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ThrashTime finds the experiment second at which the scheduler thrashes:
+// the start of the first bucket whose average response time exceeds
+// threshold and never durably recovers below it. It returns -1 when the
+// run never thrashes.
+func (c *ResponseCollector) ThrashTime(bucket time.Duration, threshold time.Duration) float64 {
+	series := c.Series(bucket)
+	th := threshold.Seconds()
+	thrashAt := -1.0
+	for _, p := range series {
+		if p.Avg > th {
+			if thrashAt < 0 {
+				thrashAt = p.T
+			}
+		} else {
+			thrashAt = -1
+		}
+	}
+	return thrashAt
+}

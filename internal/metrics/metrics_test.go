@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+func TestRecordAndSummary(t *testing.T) {
+	c := NewResponseCollector("toll", at(0), 5*time.Second)
+	// RTs: 1s, 2s, 3s, 10s.
+	for i, rt := range []float64{1, 2, 3, 10} {
+		ev := at(float64(i * 10))
+		c.Record(ev, ev.Add(time.Duration(rt*float64(time.Second))))
+	}
+	if c.Count() != 4 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	s := c.Summary()
+	if s.Mean != 4*time.Second {
+		t.Errorf("Mean = %v, want 4s", s.Mean)
+	}
+	if s.Max != 10*time.Second {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.WithinDeadline != 0.75 {
+		t.Errorf("WithinDeadline = %v, want 0.75", s.WithinDeadline)
+	}
+	if s.P50 != 2500*time.Millisecond {
+		t.Errorf("P50 = %v, want 2.5s", s.P50)
+	}
+}
+
+func TestNegativeResponseTimeClamped(t *testing.T) {
+	c := NewResponseCollector("x", at(0), 0)
+	c.Record(at(10), at(5))
+	if s := c.Summary(); s.Max != 0 {
+		t.Errorf("negative RT not clamped: %v", s.Max)
+	}
+}
+
+func TestSeriesBucketsByCompletionTime(t *testing.T) {
+	c := NewResponseCollector("toll", at(0), 0)
+	// Two results completing in second 0, one in second 2.
+	c.Record(at(0), at(0.5))   // rt 0.5
+	c.Record(at(0.2), at(0.7)) // rt 0.5
+	c.Record(at(1.5), at(2.5)) // rt 1.0
+	pts := c.Series(time.Second)
+	if len(pts) != 2 {
+		t.Fatalf("series = %d points, want 2", len(pts))
+	}
+	if pts[0].T != 0 || pts[0].Count != 2 || math.Abs(pts[0].Avg-0.5) > 1e-9 {
+		t.Errorf("bucket 0 = %+v", pts[0])
+	}
+	if pts[1].T != 2 || pts[1].Count != 1 || math.Abs(pts[1].Avg-1.0) > 1e-9 {
+		t.Errorf("bucket 2 = %+v", pts[1])
+	}
+	if c.Series(0) == nil {
+		t.Error("Series(0) should default to 1s buckets")
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewResponseCollector("e", at(0), time.Second)
+	if c.Series(time.Second) != nil {
+		t.Error("empty series should be nil")
+	}
+	s := c.Summary()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if c.ThrashTime(time.Second, time.Second) != -1 {
+		t.Error("empty collector reported a thrash time")
+	}
+}
+
+func TestThrashTime(t *testing.T) {
+	c := NewResponseCollector("toll", at(0), 0)
+	// Healthy until t=300, a transient spike at 100, sustained blow-up
+	// from 440 on.
+	for sec := 0; sec < 600; sec += 10 {
+		rt := 0.5
+		if sec == 100 {
+			rt = 8 // transient: recovers, must not count as thrash
+		}
+		if sec >= 440 {
+			rt = 3 + float64(sec-440)*0.2 // sustained growth
+		}
+		ev := at(float64(sec))
+		c.Record(ev, ev.Add(time.Duration(rt*float64(time.Second))))
+	}
+	got := c.ThrashTime(10*time.Second, 2*time.Second)
+	if got < 430 || got > 460 {
+		t.Errorf("ThrashTime = %v, want ~440 (after completions shift)", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := quantile(data, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("quantile(nil)")
+	}
+	if quantile([]float64{7}, 0.9) != 7 {
+		t.Error("quantile single")
+	}
+}
+
+// Property: Summary.Mean equals the arithmetic mean of the recorded RTs and
+// P50 <= P95 <= P99 <= Max for any sample set.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewResponseCollector("p", at(0), 0)
+		sum := 0.0
+		for i, v := range raw {
+			rt := float64(v%10000) / 1000.0
+			sum += rt
+			ev := at(float64(i))
+			c.Record(ev, ev.Add(time.Duration(rt*float64(time.Second))))
+		}
+		s := c.Summary()
+		mean := sum / float64(len(raw))
+		if math.Abs(s.Mean.Seconds()-mean) > 1e-6 {
+			return false
+		}
+		return s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bucket counts sum to the total sample count.
+func TestSeriesCountConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := NewResponseCollector("p", at(0), 0)
+		for i, v := range raw {
+			ev := at(float64(i) * 0.37)
+			c.Record(ev, ev.Add(time.Duration(v)*time.Millisecond))
+		}
+		total := 0
+		for _, p := range c.Series(time.Second) {
+			total += p.Count
+		}
+		return total == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// Probe is a pass-through actor that records the response time of every
+// event crossing it — placed after TollNotification/AccidentNotificationOut
+// in the Linear Road workflow to measure the QoS the figures plot. Events
+// flow through unchanged, so a probe can also sit mid-workflow.
+type Probe struct {
+	model.Base
+	in, out   *model.Port
+	collector *ResponseCollector
+	tap       func(tok value.Value)
+}
+
+// NewProbe builds a probe feeding the given collector.
+func NewProbe(name string, collector *ResponseCollector) *Probe {
+	p := &Probe{Base: model.NewBase(name), collector: collector}
+	p.Bind(p)
+	p.in = p.WindowedInput("in", window.Passthrough())
+	p.out = p.Output("out")
+	return p
+}
+
+// In returns the probe's input port.
+func (p *Probe) In() *model.Port { return p.in }
+
+// Out returns the probe's pass-through output port.
+func (p *Probe) Out() *model.Port { return p.out }
+
+// Collector returns the backing collector.
+func (p *Probe) Collector() *ResponseCollector { return p.collector }
+
+// SetTap installs a callback observing every token crossing the probe,
+// without adding actors (and therefore modelled cost) to the workflow —
+// validators use it to capture outputs.
+func (p *Probe) SetTap(fn func(tok value.Value)) { p.tap = fn }
+
+// Fire implements model.Actor.
+func (p *Probe) Fire(ctx *model.FireContext) error {
+	w := ctx.Window(p.in)
+	if w == nil {
+		return nil
+	}
+	now := ctx.Now()
+	for _, ev := range w.Events {
+		p.collector.Record(ev.Time, now)
+		if p.tap != nil {
+			p.tap(ev.Token)
+		}
+		ctx.Put(p.out, ev.Token)
+	}
+	return nil
+}
+
+// Deadline is a convenience constructor for the benchmark's 5-second
+// notification requirement.
+func Deadline() time.Duration { return 5 * time.Second }

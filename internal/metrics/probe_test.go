@@ -1,0 +1,62 @@
+package metrics_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+)
+
+func TestProbePassesThroughAndRecords(t *testing.T) {
+	epoch := time.Unix(0, 0).UTC()
+	collector := metrics.NewResponseCollector("p", epoch, 5*time.Second)
+	probe := metrics.NewProbe("probe", collector)
+	if probe.Collector() != collector {
+		t.Fatal("Collector accessor broken")
+	}
+	var tapped []value.Value
+	probe.SetTap(func(tok value.Value) { tapped = append(tapped, tok) })
+
+	wf := model.NewWorkflow("probe")
+	src := actors.NewGenerator("src", epoch, time.Second, 5,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, probe, sink)
+	wf.MustConnect(src.Out(), probe.In())
+	wf.MustConnect(probe.Out(), sink.In())
+
+	d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: 100 * time.Millisecond},
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Tokens) != 5 {
+		t.Fatalf("probe passed %d tokens, want 5", len(sink.Tokens))
+	}
+	if len(tapped) != 5 {
+		t.Fatalf("tap saw %d tokens, want 5", len(tapped))
+	}
+	s := collector.Summary()
+	if s.Count != 5 {
+		t.Fatalf("collector recorded %d, want 5", s.Count)
+	}
+	// Costs are 100ms per firing in virtual time: response times positive.
+	if s.Mean <= 0 {
+		t.Errorf("mean RT = %v, want > 0", s.Mean)
+	}
+	if metrics.Deadline() != 5*time.Second {
+		t.Errorf("Deadline helper = %v", metrics.Deadline())
+	}
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// Emission is one token produced during a firing, already stamped into an
+// event whose wave-tag the director finalizes at end of firing.
+type Emission struct {
+	Port *Port
+	Ev   *event.Event
+}
+
+// FireContext carries everything an actor may touch during one lifecycle
+// call. Directors construct one per firing (or reuse one per actor), stage
+// the input window the firing consumes, and collect the emissions.
+type FireContext struct {
+	clk clock.Clock
+	tk  *event.Timekeeper
+
+	// staged maps input ports to the window delivered for this firing.
+	staged map[*Port]*window.Window
+	// puller, when set, fetches a window on demand (blocking directors).
+	puller func(*Port) (*window.Window, bool)
+	// emissions are the tokens produced so far in this firing.
+	emissions []Emission
+	// stopped is set by StopWorkflow.
+	stopped bool
+}
+
+// NewFireContext builds a context bound to a clock and a timekeeper.
+func NewFireContext(clk clock.Clock, tk *event.Timekeeper) *FireContext {
+	return &FireContext{clk: clk, tk: tk, staged: make(map[*Port]*window.Window)}
+}
+
+// Clock returns the engine clock.
+func (c *FireContext) Clock() clock.Clock { return c.clk }
+
+// Now returns the current engine time.
+func (c *FireContext) Now() time.Time { return c.clk.Now() }
+
+// SetPuller installs an on-demand window fetcher, used by blocking
+// (thread-based) directors where actors pull their own inputs.
+func (c *FireContext) SetPuller(f func(*Port) (*window.Window, bool)) { c.puller = f }
+
+// Stage places a window on an input port for the upcoming firing.
+func (c *FireContext) Stage(p *Port, w *window.Window) { c.staged[p] = w }
+
+// BeginFiring resets the per-firing state. The trigger event (the newest
+// member of the consumed window) parents the wave-tags of everything the
+// firing produces.
+func (c *FireContext) BeginFiring(trigger *event.Event) {
+	c.tk.BeginFiring(trigger)
+	c.emissions = c.emissions[:0]
+}
+
+// EndFiring finalizes wave-tags and returns the emissions of the firing.
+func (c *FireContext) EndFiring() []Emission {
+	c.tk.EndFiring()
+	out := make([]Emission, len(c.emissions))
+	copy(out, c.emissions)
+	c.emissions = c.emissions[:0]
+	for p := range c.staged {
+		delete(c.staged, p)
+	}
+	return out
+}
+
+// Window returns the window available on input port p for this firing. With
+// a staged window it returns it; otherwise, under a blocking director, it
+// pulls one (possibly blocking). It returns nil when no window is
+// available, which multi-input actors use to discover which port fired.
+func (c *FireContext) Window(p *Port) *window.Window {
+	if w, ok := c.staged[p]; ok {
+		return w
+	}
+	if c.puller != nil {
+		if w, ok := c.puller(p); ok {
+			c.staged[p] = w
+			return w
+		}
+	}
+	return nil
+}
+
+// Has reports whether input port p has a staged window without pulling.
+func (c *FireContext) Has(p *Port) bool {
+	_, ok := c.staged[p]
+	return ok
+}
+
+// Event returns the newest event of the window on p, or nil.
+func (c *FireContext) Event(p *Port) *event.Event {
+	w := c.Window(p)
+	if w == nil || w.Len() == 0 {
+		return nil
+	}
+	return w.Events[w.Len()-1]
+}
+
+// Token returns the newest token of the window on p, or nil.
+func (c *FireContext) Token(p *Port) value.Value {
+	ev := c.Event(p)
+	if ev == nil {
+		return nil
+	}
+	return ev.Token
+}
+
+// Record returns the newest token of the window on p as a record.
+func (c *FireContext) Record(p *Port) value.Record {
+	if r, ok := c.Token(p).(value.Record); ok {
+		return r
+	}
+	return value.Record{}
+}
+
+// Put produces a token on output port p. The token is stamped into the
+// current wave; delivery happens when the director ends the firing.
+func (c *FireContext) Put(p *Port, tok value.Value) {
+	ev := c.tk.Stamp(tok, c.clk.Now())
+	c.emissions = append(c.emissions, Emission{Port: p, Ev: ev})
+}
+
+// PutAt produces a token carrying an explicit event timestamp; source
+// actors use it to preserve external feed timestamps.
+func (c *FireContext) PutAt(p *Port, tok value.Value, ts time.Time) {
+	ev := c.tk.Stamp(tok, ts)
+	c.emissions = append(c.emissions, Emission{Port: p, Ev: ev})
+}
+
+// PutEvent re-emits an existing event unchanged, preserving its timestamp
+// and wave identity; remote-bridge receivers use it so waves survive node
+// boundaries. The event bypasses the timekeeper's wave re-tagging.
+func (c *FireContext) PutEvent(p *Port, ev *event.Event) {
+	c.emissions = append(c.emissions, Emission{Port: p, Ev: ev})
+}
+
+// StopWorkflow asks the director to end the whole execution after this
+// firing (used by sinks that detect end-of-experiment).
+func (c *FireContext) StopWorkflow() { c.stopped = true }
+
+// Stopped reports whether StopWorkflow was called.
+func (c *FireContext) Stopped() bool { return c.stopped }

@@ -1,0 +1,123 @@
+// Package model implements the actor kernel CONFLuEnCE builds on: the
+// concepts the paper inherits from Kepler/PtolemyII. A workflow is a
+// composition of independent actors; actors communicate through ports;
+// connections between ports are channels; the receiving end of a channel has
+// a receiver object provided not by the actor but by the workflow's
+// controlling entity, the director. The director defines the execution and
+// communication model (Table 1 of the paper); this package defines only the
+// model-of-computation-independent kernel.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// PortKind distinguishes input from output ports.
+type PortKind int
+
+const (
+	// Input ports receive events; the director attaches a Receiver and a
+	// window operator to each.
+	Input PortKind = iota
+	// Output ports broadcast events to every connected input port.
+	Output
+)
+
+// String returns the kind name.
+func (k PortKind) String() string {
+	if k == Input {
+		return "input"
+	}
+	return "output"
+}
+
+// Port is a named communication interface of an actor. Input ports carry
+// the window semantics of the paper's active queues; output ports record
+// their connected destinations.
+type Port struct {
+	name  string
+	kind  PortKind
+	owner Actor
+	spec  window.Spec
+
+	// recv is the director-installed receiver (input ports only).
+	recv Receiver
+	// dests are the input ports this output port broadcasts to.
+	dests []*Port
+	// sources are the output ports feeding this input port (fan-in).
+	sources []*Port
+}
+
+// Name returns the port name, unique within its actor and direction.
+func (p *Port) Name() string { return p.name }
+
+// Kind reports whether the port is an input or an output.
+func (p *Port) Kind() PortKind { return p.kind }
+
+// Owner returns the actor the port belongs to.
+func (p *Port) Owner() Actor { return p.owner }
+
+// Spec returns the input port's window semantics (Passthrough by default).
+func (p *Port) Spec() window.Spec { return p.spec }
+
+// FullName renders "actor.port" for diagnostics.
+func (p *Port) FullName() string {
+	if p.owner != nil {
+		return p.owner.Name() + "." + p.name
+	}
+	return p.name
+}
+
+// Receiver returns the installed receiver, or nil before Setup.
+func (p *Port) Receiver() Receiver { return p.recv }
+
+// SetReceiver installs the director-provided receiver on an input port.
+func (p *Port) SetReceiver(r Receiver) {
+	if p.kind != Input {
+		panic(fmt.Sprintf("model: SetReceiver on output port %s", p.FullName()))
+	}
+	p.recv = r
+}
+
+// Destinations returns the input ports connected to this output port.
+func (p *Port) Destinations() []*Port { return p.dests }
+
+// Sources returns the output ports connected into this input port.
+func (p *Port) Sources() []*Port { return p.sources }
+
+// Connected reports whether the port participates in any channel.
+func (p *Port) Connected() bool {
+	return len(p.dests) > 0 || len(p.sources) > 0
+}
+
+// Broadcast delivers ev to every connected receiver. The director calls it
+// after finalizing the event's stamps.
+func (p *Port) Broadcast(ev *event.Event) {
+	for _, d := range p.dests {
+		if d.recv != nil {
+			d.recv.Put(ev)
+		}
+	}
+}
+
+// Receiver controls the communication between two actors: every input port
+// has one, and the director — not the actor — decides its behavior
+// (blocking, windowed, scheduler-mediated, …).
+type Receiver interface {
+	// Put hands an event to the receiving end of the channel.
+	Put(ev *event.Event)
+}
+
+// Channel is a directed connection from an output port to an input port.
+type Channel struct {
+	From *Port
+	To   *Port
+}
+
+// String renders the channel for diagnostics.
+func (c Channel) String() string {
+	return c.From.FullName() + " -> " + c.To.FullName()
+}

@@ -1,0 +1,51 @@
+package model
+
+// DirectorTrait describes one row of the paper's Table 1: the taxonomy of
+// models of computation found in Kepler (first group) and PtolemyII (second
+// group), plus CONFLuEnCE's PNCWF director. The table is reproduced here as
+// a machine-readable registry so tooling (and tests) can regenerate it.
+type DirectorTrait struct {
+	// Name is the director's short name (SDF, DDF, PN, …).
+	Name string
+	// Group is "Kepler", "PtolemyII" or "CONFLuEnCE".
+	Group string
+	// ActorInteraction describes how actors exchange data.
+	ActorInteraction string
+	// ComputationDriver describes what triggers computation.
+	ComputationDriver string
+	// Scheduling describes the scheduling regime.
+	Scheduling string
+	// TimeBased describes time support ("N/A", "Yes (global)", …).
+	TimeBased string
+	// QoS describes quality-of-service support.
+	QoS string
+}
+
+// Taxonomy returns the rows of Table 1 in the paper's order.
+func Taxonomy() []DirectorTrait {
+	return []DirectorTrait{
+		{"SDF", "Kepler", "Director: Topology-driven", "Pre-compiled", "Pre-compiled", "N/A", "N/A"},
+		{"DDF", "Kepler", "Push", "Data-driven", "Iterative/Consumption Based", "N/A", "N/A"},
+		{"PN", "Kepler", "Push", "Data-driven", "Thread/OS", "N/A", "N/A"},
+		{"DE", "Kepler", "Director: Event Queue", "Event-driven", "Event Order", "Yes (global)", "N/A"},
+		{"CN", "PtolemyII", "Director: Topology-driven Push/Pull", "Pre-compiled", "Pre-compiled", "Yes (global)", "N/A"},
+		{"CI", "PtolemyII", "Push", "Data-driven", "Thread/OS", "N/A", "N/A"},
+		{"CSP", "PtolemyII", "Push Synchronous", "Data-driven", "Thread/OS", "Yes (global)", "N/A"},
+		{"DT", "PtolemyII", "Director: Topology-driven", "Pre-compiled", "Pre-compiled", "Yes (global or local)", "N/A"},
+		{"HDF", "PtolemyII", "Director: Topology-driven", "Pre-compiled", "Multiple Pre-compiled", "N/A", "N/A"},
+		{"SR", "PtolemyII", "Synchronous Reactive", "Pre-compiled", "Pre-compiled", "Yes (global tick)", "N/A"},
+		{"TM", "PtolemyII", "Director: Priority Queue", "Priority-based", "Pre-emptive Priority-based", "N/A", "Priority"},
+		{"TPN", "PtolemyII", "Push", "Data-Time-driven", "Thread/OS", "Yes (global)", "N/A"},
+		{"PNCWF", "CONFLuEnCE", "Push-Windowed", "Data-Windowed-driven", "Thread/OS", "Yes (local)", "N/A"},
+	}
+}
+
+// TaxonomyByName returns the trait row for a director name, if present.
+func TaxonomyByName(name string) (DirectorTrait, bool) {
+	for _, t := range Taxonomy() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return DirectorTrait{}, false
+}

@@ -1,0 +1,205 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workflow is a composition of actors wired through channels. It is the
+// specification only: models of computation (directors) execute it.
+type Workflow struct {
+	name     string
+	actors   []Actor
+	byName   map[string]Actor
+	channels []Channel
+}
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow(name string) *Workflow {
+	return &Workflow{name: name, byName: make(map[string]Actor)}
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// Add registers an actor. Actor names must be unique within the workflow.
+func (w *Workflow) Add(actors ...Actor) error {
+	for _, a := range actors {
+		if a == nil {
+			return fmt.Errorf("workflow %s: Add(nil)", w.name)
+		}
+		if _, dup := w.byName[a.Name()]; dup {
+			return fmt.Errorf("workflow %s: duplicate actor %q", w.name, a.Name())
+		}
+		w.byName[a.Name()] = a
+		w.actors = append(w.actors, a)
+	}
+	return nil
+}
+
+// MustAdd is Add for workflow-construction code where a failure is a
+// programming error.
+func (w *Workflow) MustAdd(actors ...Actor) {
+	if err := w.Add(actors...); err != nil {
+		panic(err)
+	}
+}
+
+// Connect creates a channel from an output port to an input port. Fan-out
+// (one output to many inputs) and fan-in (many outputs to one input) are
+// both allowed.
+func (w *Workflow) Connect(from, to *Port) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("workflow %s: Connect with nil port", w.name)
+	}
+	if from.Kind() != Output {
+		return fmt.Errorf("workflow %s: %s is not an output port", w.name, from.FullName())
+	}
+	if to.Kind() != Input {
+		return fmt.Errorf("workflow %s: %s is not an input port", w.name, to.FullName())
+	}
+	for _, owner := range []Actor{from.Owner(), to.Owner()} {
+		if owner == nil {
+			return fmt.Errorf("workflow %s: port without owner", w.name)
+		}
+		// Membership is by name: wrapper actors may register under the
+		// same name as the embedded actor that owns their ports.
+		if _, ok := w.byName[owner.Name()]; !ok {
+			return fmt.Errorf("workflow %s: actor %q not in workflow", w.name, owner.Name())
+		}
+	}
+	for _, d := range from.dests {
+		if d == to {
+			return fmt.Errorf("workflow %s: duplicate channel %s -> %s", w.name, from.FullName(), to.FullName())
+		}
+	}
+	from.dests = append(from.dests, to)
+	to.sources = append(to.sources, from)
+	w.channels = append(w.channels, Channel{From: from, To: to})
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (w *Workflow) MustConnect(from, to *Port) {
+	if err := w.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Actors returns the actors in registration order.
+func (w *Workflow) Actors() []Actor { return w.actors }
+
+// Actor returns the named actor, or nil.
+func (w *Workflow) Actor(name string) Actor { return w.byName[name] }
+
+// Channels returns the channels in creation order.
+func (w *Workflow) Channels() []Channel { return w.channels }
+
+// Sources returns the actors that pump data into the workflow: those
+// implementing SourceActor, plus any actor with no connected inputs and at
+// least one connected output.
+func (w *Workflow) Sources() []Actor {
+	var out []Actor
+	for _, a := range w.actors {
+		if _, ok := a.(SourceActor); ok {
+			out = append(out, a)
+			continue
+		}
+		if !hasConnectedInput(a) && hasConnectedOutput(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func hasConnectedInput(a Actor) bool {
+	for _, p := range a.Inputs() {
+		if len(p.Sources()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasConnectedOutput(a Actor) bool {
+	for _, p := range a.Outputs() {
+		if len(p.Destinations()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Downstream returns the distinct actors directly fed by a's outputs, in
+// deterministic (name) order.
+func (w *Workflow) Downstream(a Actor) []Actor {
+	seen := map[string]Actor{}
+	for _, p := range a.Outputs() {
+		for _, d := range p.Destinations() {
+			seen[d.Owner().Name()] = d.Owner()
+		}
+	}
+	return sortedActors(seen)
+}
+
+// Upstream returns the distinct actors directly feeding a's inputs.
+func (w *Workflow) Upstream(a Actor) []Actor {
+	seen := map[string]Actor{}
+	for _, p := range a.Inputs() {
+		for _, s := range p.Sources() {
+			seen[s.Owner().Name()] = s.Owner()
+		}
+	}
+	return sortedActors(seen)
+}
+
+func sortedActors(m map[string]Actor) []Actor {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Actor, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: port ownership, window specs,
+// and that every channel endpoint belongs to a registered actor.
+func (w *Workflow) Validate() error {
+	for _, a := range w.actors {
+		for _, p := range a.Inputs() {
+			if p.Kind() != Input {
+				return fmt.Errorf("workflow %s: %s listed as input but is %v", w.name, p.FullName(), p.Kind())
+			}
+			if err := p.Spec().Validate(); err != nil {
+				return fmt.Errorf("workflow %s: %s: %w", w.name, p.FullName(), err)
+			}
+		}
+		for _, p := range a.Outputs() {
+			if p.Kind() != Output {
+				return fmt.Errorf("workflow %s: %s listed as output but is %v", w.name, p.FullName(), p.Kind())
+			}
+		}
+	}
+	for _, c := range w.channels {
+		for _, end := range []*Port{c.From, c.To} {
+			if w.byName[end.Owner().Name()] == nil {
+				return fmt.Errorf("workflow %s: channel %s references foreign actor", w.name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// InputPorts returns every input port of every actor, in actor order. The
+// directors use it to install receivers.
+func (w *Workflow) InputPorts() []*Port {
+	var out []*Port
+	for _, a := range w.actors {
+		out = append(out, a.Inputs()...)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package multiwf
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Factory builds a fresh workflow and director, used by the controller's
+// ADD command to attach new workflows to a running engine.
+type Factory func() (*model.Workflow, model.Director, error)
+
+// Controller is the ConnectionController of Figure 9: when CONFLuEnCE runs
+// in multi-workflow mode it listens for commands to manage the running
+// workflows as well as add and remove them from the running list.
+//
+// The protocol is line-based:
+//
+//	LIST
+//	STATUS <name>
+//	PAUSE <name> | RESUME <name> | STOP <name>
+//	ADD <factory> <name> <share>
+//	REMOVE <name>
+//	QUIT
+//
+// Every response is a single line starting with "ok" or "err".
+type Controller struct {
+	global *Global
+	ln     net.Listener
+
+	mu        sync.Mutex
+	factories map[string]Factory
+	closed    bool
+}
+
+// NewController starts a controller listening on addr (e.g. "127.0.0.1:0").
+func NewController(global *Global, addr string) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("multiwf: controller listen: %w", err)
+	}
+	c := &Controller{global: global, ln: ln, factories: make(map[string]Factory)}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// RegisterFactory makes a workflow constructor available to ADD commands.
+func (c *Controller) RegisterFactory(name string, f Factory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.factories[name] = f
+}
+
+// Close stops accepting connections.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.ln.Close()
+}
+
+func (c *Controller) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.serve(conn)
+	}
+}
+
+func (c *Controller) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := c.handle(line)
+		fmt.Fprintln(conn, resp)
+		if quit {
+			return
+		}
+	}
+}
+
+// handle executes one command line.
+func (c *Controller) handle(line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	arg := func(i int) string {
+		if i < len(fields) {
+			return fields[i]
+		}
+		return ""
+	}
+	switch cmd {
+	case "QUIT":
+		return "ok bye", true
+	case "LIST":
+		names := []string{}
+		for _, inst := range c.global.Instances() {
+			names = append(names, fmt.Sprintf("%s(%s,share=%g)", inst.Name, inst.State(), inst.Share))
+		}
+		return "ok " + strings.Join(names, " "), false
+	case "STATUS":
+		inst := c.global.Instance(arg(1))
+		if inst == nil {
+			return fmt.Sprintf("err no instance %q", arg(1)), false
+		}
+		return fmt.Sprintf("ok %s state=%s steps=%d share=%g", inst.Name, inst.State(), inst.Steps(), inst.Share), false
+	case "PAUSE", "RESUME", "STOP":
+		inst := c.global.Instance(arg(1))
+		if inst == nil {
+			return fmt.Sprintf("err no instance %q", arg(1)), false
+		}
+		switch cmd {
+		case "PAUSE":
+			inst.Pause()
+		case "RESUME":
+			inst.Resume()
+		case "STOP":
+			inst.Stop()
+		}
+		return fmt.Sprintf("ok %s %s", strings.ToLower(cmd), inst.Name), false
+	case "ADD":
+		factoryName, name := arg(1), arg(2)
+		share := 1.0
+		if s := arg(3); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v <= 0 {
+				return fmt.Sprintf("err bad share %q", s), false
+			}
+			share = v
+		}
+		c.mu.Lock()
+		f, ok := c.factories[factoryName]
+		c.mu.Unlock()
+		if !ok {
+			return fmt.Sprintf("err no factory %q", factoryName), false
+		}
+		wf, dir, err := f()
+		if err != nil {
+			return fmt.Sprintf("err factory: %v", err), false
+		}
+		if _, err := c.global.Add(name, wf, dir, share); err != nil {
+			return fmt.Sprintf("err %v", err), false
+		}
+		return fmt.Sprintf("ok added %s", name), false
+	case "REMOVE":
+		if err := c.global.Remove(arg(1)); err != nil {
+			return fmt.Sprintf("err %v", err), false
+		}
+		return fmt.Sprintf("ok removed %s", arg(1)), false
+	default:
+		return fmt.Sprintf("err unknown command %q", cmd), false
+	}
+}

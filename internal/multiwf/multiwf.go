@@ -1,0 +1,328 @@
+// Package multiwf implements the paper's multiple-CWF processing design
+// (Section 5, Figure 9): two-level scheduling where each workflow director
+// runs its own local scheduler and a top-level global scheduler manages the
+// workflow instances according to a CPU capacity distribution policy. Each
+// instance exposes the Manager verbs of PtolemyII/Kepler — initialize,
+// pause, resume, stop — and a ConnectionController makes them reachable
+// over TCP so running workflows can be managed externally.
+package multiwf
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Instance is one managed workflow with its CPU share.
+type Instance struct {
+	Name string
+	// Share is the relative CPU capacity weight (> 0).
+	Share float64
+
+	wf   *model.Workflow
+	dir  model.Director
+	step model.Steppable
+
+	mu    sync.Mutex
+	state model.ManagerState
+	err   error
+	// pass implements stride scheduling: the instance with the smallest
+	// pass value runs next; each step advances pass by 1/Share.
+	pass  float64
+	steps int64
+}
+
+// Workflow returns the managed workflow.
+func (i *Instance) Workflow() *model.Workflow { return i.wf }
+
+// Director returns the instance's (local-scheduler) director.
+func (i *Instance) Director() model.Director { return i.dir }
+
+// State returns the lifecycle state.
+func (i *Instance) State() model.ManagerState {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.state
+}
+
+// Err returns the instance's terminal error, if any.
+func (i *Instance) Err() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.err
+}
+
+// Pause suspends the instance at its next iteration boundary.
+func (i *Instance) Pause() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.state == model.Running {
+		i.state = model.Paused
+	}
+}
+
+// Resume continues a paused instance.
+func (i *Instance) Resume() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.state == model.Paused {
+		i.state = model.Running
+	}
+}
+
+// Stop terminates the instance permanently.
+func (i *Instance) Stop() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.state != model.Stopped {
+		i.state = model.Stopped
+	}
+}
+
+// Steps returns how many director iterations the instance has received.
+func (i *Instance) Steps() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.steps
+}
+
+func (i *Instance) fail(err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.err = err
+	i.state = model.Stopped
+}
+
+// Global is the top-level scheduler of Figure 9. It requires Steppable
+// directors (the SCWF director qualifies) so it can interleave instances
+// deterministically with stride scheduling weighted by Share.
+type Global struct {
+	mu        sync.Mutex
+	instances map[string]*Instance
+	order     []string
+}
+
+// NewGlobal returns an empty global scheduler.
+func NewGlobal() *Global {
+	return &Global{instances: make(map[string]*Instance)}
+}
+
+// Add registers and initializes a workflow instance under the given name
+// and share. The director must implement model.Steppable.
+func (g *Global) Add(name string, wf *model.Workflow, dir model.Director, share float64) (*Instance, error) {
+	st, ok := dir.(model.Steppable)
+	if !ok {
+		return nil, fmt.Errorf("multiwf: director %s is not steppable", dir.Name())
+	}
+	if share <= 0 {
+		return nil, fmt.Errorf("multiwf: share must be positive, got %v", share)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.instances[name]; dup {
+		return nil, fmt.Errorf("multiwf: duplicate instance %q", name)
+	}
+	if err := dir.Setup(wf); err != nil {
+		return nil, err
+	}
+	inst := &Instance{Name: name, Share: share, wf: wf, dir: dir, step: st, state: model.Running}
+	// Late joiners start at the current minimum pass so they do not
+	// monopolize the CPU catching up.
+	minPass := 0.0
+	first := true
+	for _, other := range g.instances {
+		if first || other.pass < minPass {
+			minPass = other.pass
+			first = false
+		}
+	}
+	inst.pass = minPass
+	g.instances[name] = inst
+	g.order = append(g.order, name)
+	return inst, nil
+}
+
+// Remove deletes an instance (stopping it first).
+func (g *Global) Remove(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	inst, ok := g.instances[name]
+	if !ok {
+		return fmt.Errorf("multiwf: no instance %q", name)
+	}
+	inst.Stop()
+	delete(g.instances, name)
+	for i, n := range g.order {
+		if n == name {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Instances returns the registered instances in registration order.
+func (g *Global) Instances() []*Instance {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Instance, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.instances[n])
+	}
+	return out
+}
+
+// Instance returns the named instance, or nil.
+func (g *Global) Instance(name string) *Instance {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.instances[name]
+}
+
+// Names returns instance names, sorted.
+func (g *Global) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := append([]string(nil), g.order...)
+	sort.Strings(out)
+	return out
+}
+
+// next picks the runnable instance with the lowest stride pass.
+func (g *Global) next() *Instance {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var best *Instance
+	for _, n := range g.order {
+		inst := g.instances[n]
+		if inst.State() != model.Running {
+			continue
+		}
+		if best == nil || inst.pass < best.pass {
+			best = inst
+		}
+	}
+	return best
+}
+
+// Run interleaves every instance's director iterations until all finish,
+// stop, or ctx is cancelled. Each step charges 1/Share of stride, so over
+// time instances receive director iterations proportional to their shares —
+// the CPU capacity distribution policy of Figure 9. Paused instances are
+// skipped until resumed.
+func (g *Global) Run(ctx context.Context) error {
+	idleRounds := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		inst := g.next()
+		if inst == nil {
+			if g.anyPaused() {
+				// Paused instances may be resumed externally (via the
+				// ConnectionController); wait for them.
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(time.Millisecond):
+				}
+				continue
+			}
+			return g.firstError()
+		}
+		worked, err := inst.step.Step()
+		inst.mu.Lock()
+		inst.pass += 1 / inst.Share
+		inst.steps++
+		inst.mu.Unlock()
+		if err != nil {
+			inst.fail(err)
+			continue
+		}
+		if worked {
+			idleRounds = 0
+			continue
+		}
+		if !hasPendingWork(inst) {
+			inst.Stop()
+			continue
+		}
+		idleRounds++
+		if idleRounds > 4*(1+len(g.Instances())) {
+			// Everyone is idle waiting on time: advance idle horizons.
+			advanced := false
+			for _, other := range g.Instances() {
+				if other.State() == model.Running && advanceIdle(other) {
+					advanced = true
+				}
+			}
+			if !advanced && !g.anyPendingRunnable() {
+				return g.firstError()
+			}
+			idleRounds = 0
+		}
+	}
+}
+
+// hasPendingWork reports whether the instance can ever make progress again.
+func hasPendingWork(inst *Instance) bool {
+	type pending interface{ HasPendingWork() bool }
+	if p, ok := inst.step.(pending); ok {
+		return p.HasPendingWork()
+	}
+	for _, a := range inst.wf.Sources() {
+		if sa, ok := a.(model.SourceActor); ok && !sa.Exhausted() {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceIdle lets the instance jump its idle time forward.
+func advanceIdle(inst *Instance) bool {
+	type idler interface{ AdvanceIdle() bool }
+	if ad, ok := inst.step.(idler); ok {
+		return ad.AdvanceIdle()
+	}
+	return false
+}
+
+func (g *Global) anyPaused() bool {
+	for _, inst := range g.Instances() {
+		if inst.State() == model.Paused {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Global) anyPendingRunnable() bool {
+	for _, inst := range g.Instances() {
+		if inst.State() == model.Running && hasPendingWork(inst) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Global) firstError() error {
+	for _, inst := range g.Instances() {
+		if err := inst.Err(); err != nil {
+			return fmt.Errorf("multiwf: instance %s: %w", inst.Name, err)
+		}
+	}
+	return nil
+}
+
+// StepCounts reports how many director iterations each instance received.
+func (g *Global) StepCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, inst := range g.Instances() {
+		out[inst.Name] = inst.Steps()
+	}
+	return out
+}

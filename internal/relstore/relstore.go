@@ -1,0 +1,327 @@
+// Package relstore is the in-memory relational store backing the Linear
+// Road workflow. The paper's implementation "requires the support of a
+// relational database to store statistics on road congestion as well as the
+// recent accidents detected"; this package substitutes a thread-safe
+// in-memory engine with tables, optional hash indexes and predicate
+// queries — sufficient for the two tables and the toll SELECT the
+// benchmark uses, while remaining a general-purpose building block.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Row is one table row.
+type Row = value.Record
+
+// Predicate filters rows.
+type Predicate func(Row) bool
+
+// Table is a named relation with a fixed column set.
+type Table struct {
+	name string
+	cols []string
+
+	mu      sync.RWMutex
+	rows    []Row
+	indexes map[string]*index
+}
+
+// index is a hash index over a column tuple.
+type index struct {
+	cols []string
+	m    map[string][]int // key -> row positions
+}
+
+func indexKey(cols []string) string { return strings.Join(cols, ",") }
+
+// Store is a collection of tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{tables: make(map[string]*Table)} }
+
+// CreateTable registers a table with the given columns. Creating an
+// existing table is an error.
+func (s *Store) CreateTable(name string, cols ...string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relstore: table %s needs at least one column", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %s already exists", name)
+	}
+	t := &Table{name: name, cols: append([]string(nil), cols...), indexes: make(map[string]*index)}
+	s.tables[name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable for schema-definition code.
+func (s *Store) MustCreateTable(name string, cols ...string) *Table {
+	t, err := s.CreateTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// Tables returns the table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the declared columns.
+func (t *Table) Columns() []string { return t.cols }
+
+// CreateIndex builds a hash index over the given column tuple; queries via
+// Lookup on the same tuple then avoid full scans.
+func (t *Table) CreateIndex(cols ...string) error {
+	for _, c := range cols {
+		if !t.hasColumn(c) {
+			return fmt.Errorf("relstore: %s: no column %s", t.name, c)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := indexKey(cols)
+	if _, dup := t.indexes[key]; dup {
+		return fmt.Errorf("relstore: %s: duplicate index on (%s)", t.name, key)
+	}
+	ix := &index{cols: append([]string(nil), cols...), m: make(map[string][]int)}
+	for pos, r := range t.rows {
+		k := r.Key(ix.cols...)
+		ix.m[k] = append(ix.m[k], pos)
+	}
+	t.indexes[key] = ix
+	return nil
+}
+
+func (t *Table) hasColumn(c string) bool {
+	for _, col := range t.cols {
+		if col == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert appends a row. Rows must provide every declared column.
+func (t *Table) Insert(r Row) error {
+	for _, c := range t.cols {
+		if _, ok := r.Get(c); !ok {
+			return fmt.Errorf("relstore: %s: insert missing column %s", t.name, c)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.rows)
+	t.rows = append(t.rows, r)
+	for _, ix := range t.indexes {
+		k := r.Key(ix.cols...)
+		ix.m[k] = append(ix.m[k], pos)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows) - t.deletedCountLocked()
+}
+
+func (t *Table) deletedCountLocked() int {
+	n := 0
+	for _, r := range t.rows {
+		if r.Len() == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Select returns the rows satisfying pred, in insertion order.
+func (t *Table) Select(pred Predicate) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Row
+	for _, r := range t.rows {
+		if r.Len() == 0 {
+			continue // tombstone
+		}
+		if pred == nil || pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns how many rows satisfy pred.
+func (t *Table) Count(pred Predicate) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, r := range t.rows {
+		if r.Len() == 0 {
+			continue
+		}
+		if pred == nil || pred(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup returns the rows whose indexed column tuple equals the key values,
+// using the index built with CreateIndex. It falls back to a scan when no
+// matching index exists.
+func (t *Table) Lookup(cols []string, key Row) []Row {
+	t.mu.RLock()
+	ix, ok := t.indexes[indexKey(cols)]
+	if !ok {
+		t.mu.RUnlock()
+		return t.Select(func(r Row) bool {
+			for _, c := range cols {
+				if !r.Field(c).Equal(key.Field(c)) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	k := key.Key(ix.cols...)
+	positions := ix.m[k]
+	out := make([]Row, 0, len(positions))
+	for _, pos := range positions {
+		r := t.rows[pos]
+		if r.Len() == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	t.mu.RUnlock()
+	return out
+}
+
+// Update rewrites every row satisfying pred with fn's result and returns
+// how many rows changed. fn must keep all declared columns.
+func (t *Table) Update(pred Predicate, fn func(Row) Row) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i, r := range t.rows {
+		if r.Len() == 0 || (pred != nil && !pred(r)) {
+			continue
+		}
+		newRow := fn(r)
+		t.unindexLocked(i, r)
+		t.rows[i] = newRow
+		t.indexLocked(i, newRow)
+		n++
+	}
+	return n
+}
+
+// Upsert replaces the single row matching the key columns, or inserts.
+func (t *Table) Upsert(keyCols []string, r Row) error {
+	matches := t.Lookup(keyCols, r)
+	if len(matches) == 0 {
+		return t.Insert(r)
+	}
+	t.Update(func(row Row) bool {
+		for _, c := range keyCols {
+			if !row.Field(c).Equal(r.Field(c)) {
+				return false
+			}
+		}
+		return true
+	}, func(Row) Row { return r })
+	return nil
+}
+
+// Delete tombstones every row satisfying pred and returns the count.
+func (t *Table) Delete(pred Predicate) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i, r := range t.rows {
+		if r.Len() == 0 || (pred != nil && !pred(r)) {
+			continue
+		}
+		t.unindexLocked(i, r)
+		t.rows[i] = Row{}
+		n++
+	}
+	return n
+}
+
+func (t *Table) indexLocked(pos int, r Row) {
+	for _, ix := range t.indexes {
+		k := r.Key(ix.cols...)
+		ix.m[k] = append(ix.m[k], pos)
+	}
+}
+
+func (t *Table) unindexLocked(pos int, r Row) {
+	for _, ix := range t.indexes {
+		k := r.Key(ix.cols...)
+		list := ix.m[k]
+		for j, p := range list {
+			if p == pos {
+				ix.m[k] = append(list[:j], list[j+1:]...)
+				break
+			}
+		}
+		if len(ix.m[k]) == 0 {
+			delete(ix.m, k)
+		}
+	}
+}
+
+// Compact removes tombstones and rebuilds indexes; long-running monitoring
+// workflows call it periodically to bound memory.
+func (t *Table) Compact() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := t.rows[:0]
+	for _, r := range t.rows {
+		if r.Len() > 0 {
+			live = append(live, r)
+		}
+	}
+	t.rows = live
+	for key, ix := range t.indexes {
+		fresh := &index{cols: ix.cols, m: make(map[string][]int)}
+		for pos, r := range t.rows {
+			k := r.Key(ix.cols...)
+			fresh.m[k] = append(fresh.m[k], pos)
+		}
+		t.indexes[key] = fresh
+	}
+}

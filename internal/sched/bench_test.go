@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// benchCycle measures the enqueue -> NextActor -> fire accounting loop of a
+// policy: the per-event scheduler overhead the D1 ablation reasons about.
+func benchCycle(b *testing.B, s stafilos.Scheduler) {
+	b.Helper()
+	if err := s.Init(&stafilos.Env{SourceInterval: 5}); err != nil {
+		b.Fatal(err)
+	}
+	var entries []*stafilos.Entry
+	var acts []*testActor
+	for i := 0; i < 8; i++ {
+		a := newTestActor(string(rune('A' + i)))
+		acts = append(acts, a)
+		entries = append(entries, s.Register(a, false))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := acts[i%len(acts)]
+		s.Enqueue(mkItem(a, a.in, int64(i)))
+		e := s.NextActor()
+		if e == nil {
+			s.IterationEnd()
+			s.IterationBegin()
+			continue
+		}
+		e.Pop()
+		s.ActorFired(e, 100*time.Microsecond, 1)
+	}
+	_ = entries
+}
+
+func BenchmarkQBSCycle(b *testing.B)  { benchCycle(b, NewQBS(500*time.Microsecond)) }
+func BenchmarkRRCycle(b *testing.B)   { benchCycle(b, NewRR(10*time.Millisecond)) }
+func BenchmarkRBCycle(b *testing.B)   { benchCycle(b, NewRB()) }
+func BenchmarkFIFOCycle(b *testing.B) { benchCycle(b, NewFIFO()) }
+func BenchmarkLQFCycle(b *testing.B)  { benchCycle(b, NewLQF()) }

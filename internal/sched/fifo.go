@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// NewFIFO returns a first-come-first-served policy: the runnable actor
+// holding the globally oldest ready event runs next. It is not one of the
+// paper's three case studies — it exists to demonstrate (and measure, see
+// BenchmarkSchedulerDispatchOverhead) that a minimal policy drops into the
+// STAFiLOS framework unchanged.
+func NewFIFO() stafilos.Scheduler {
+	core := newQuantumCore("FIFO", headTimeLess)
+	// FIFO has no notion of exhausting an allowance: grant quanta far
+	// larger than any firing cost so actors only leave the active queue by
+	// draining their events.
+	core.quantumFor = func(*stafilos.Entry) time.Duration { return time.Hour }
+	core.resetOnActivate = true
+	return core
+}
+
+// headTimeLess orders entries by the timestamp of their oldest ready event;
+// entries with no ready events (sources) sort last.
+func headTimeLess(a, b *stafilos.Entry) bool {
+	ia, oka := a.Peek()
+	ib, okb := b.Peek()
+	switch {
+	case !oka && !okb:
+		return false
+	case !oka:
+		return false
+	case !okb:
+		return true
+	default:
+		return ia.Win.Time.Before(ib.Win.Time)
+	}
+}
+
+// NewEDF returns an earliest-deadline-first policy: every ready event
+// carries an implicit deadline of its source timestamp plus the owning
+// actor's target delay, and the actor with the earliest pending deadline
+// runs next. Targets default to defaultTarget for unlisted actors. Like
+// FIFO it is a framework-pluggability extension, modelling the QoS
+// delay-target metrics the paper's evaluation section discusses.
+func NewEDF(targets map[string]time.Duration, defaultTarget time.Duration) stafilos.Scheduler {
+	if defaultTarget <= 0 {
+		defaultTarget = 5 * time.Second
+	}
+	target := func(e *stafilos.Entry) time.Duration {
+		if t, ok := targets[e.Actor.Name()]; ok {
+			return t
+		}
+		return defaultTarget
+	}
+	core := newQuantumCore("EDF", func(a, b *stafilos.Entry) bool {
+		ia, oka := a.Peek()
+		ib, okb := b.Peek()
+		switch {
+		case !oka && !okb:
+			return false
+		case !oka:
+			return false
+		case !okb:
+			return true
+		default:
+			return ia.Win.Time.Add(target(a)).Before(ib.Win.Time.Add(target(b)))
+		}
+	})
+	core.quantumFor = func(*stafilos.Entry) time.Duration { return time.Hour }
+	core.resetOnActivate = true
+	return core
+}

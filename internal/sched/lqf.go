@@ -1,0 +1,22 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// NewLQF returns a Longest-Queue-First policy: the runnable actor with the
+// most ready events runs next. LQF is the classic backlog-draining stream
+// scheduler; like FIFO and EDF it is not one of the paper's case studies
+// but a pluggability demonstration — and a useful contrast, since LQF
+// minimizes queue memory while typically hurting response time relative to
+// the rate-based policies.
+func NewLQF() stafilos.Scheduler {
+	core := newQuantumCore("LQF", func(a, b *stafilos.Entry) bool {
+		return a.QueueLen() > b.QueueLen()
+	})
+	core.quantumFor = func(*stafilos.Entry) time.Duration { return time.Hour }
+	core.resetOnActivate = true
+	return core
+}

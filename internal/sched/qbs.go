@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// DefaultBasicQuantum is the best-performing QBS basic quantum from the
+// paper's sensitivity analysis (Figure 7).
+const DefaultBasicQuantum = 500 * time.Microsecond
+
+// NewQBS returns the Quantum Priority Based Scheduler, largely based on the
+// Linux process scheduler. Actors are assigned priorities by the workflow
+// designer (Env.Priorities; lower is more urgent) and receive quanta per
+// Equation 1 of the paper:
+//
+//	q = (40 − p) × b     for p ≥ 20
+//	q = (40 − p) × 4b    for p <  20
+//
+// where b is the basic quantum. The active queue is sorted by ascending
+// priority, FIFO among equals. When every actor with events has exhausted
+// its quantum the scheduler re-quantifies (quanta accumulate on top of any
+// negative remainder) and swaps the queues. Source actors are scheduled in
+// regular intervals — one source firing per Env.SourceInterval internal
+// firings — to smooth how input data enters the workflow.
+func NewQBS(basicQuantum time.Duration) stafilos.Scheduler {
+	if basicQuantum <= 0 {
+		basicQuantum = DefaultBasicQuantum
+	}
+	core := newQuantumCore("QBS", func(a, b *stafilos.Entry) bool {
+		return a.Priority < b.Priority
+	})
+	core.quantumFor = func(e *stafilos.Entry) time.Duration {
+		return QBSQuantum(e.Priority, basicQuantum)
+	}
+	return core
+}
+
+// QBSQuantum evaluates Equation 1: the quantum granted to an actor with
+// priority p given basic quantum b.
+func QBSQuantum(p int, b time.Duration) time.Duration {
+	if p >= 20 {
+		return time.Duration(40-p) * b
+	}
+	return time.Duration(40-p) * 4 * b
+}

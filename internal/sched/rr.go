@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/stafilos"
+)
+
+// DefaultSlice is the best-performing RR time slice in the paper's Figure 8
+// comparison (RR-q40000).
+const DefaultSlice = 40 * time.Millisecond
+
+// NewRR returns the traditional fair Round-Robin scheduler. It works like
+// QBS but takes no priorities into account: at each scheduling period every
+// active actor receives the same time slice and actors process their
+// available events in round-robin (FIFO-activation) order. An actor that
+// drains its events goes inactive and gives up the rest of its slice; an
+// actor that exhausts its slice waits for the next period. An inactive
+// actor that receives new events is assigned a fresh slice and placed at
+// the end of the round-robin queue.
+func NewRR(slice time.Duration) stafilos.Scheduler {
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	// No priority ordering: the comparator reports equality for every
+	// pair, so the entry queues degrade to pure FIFO on activation order —
+	// exactly a round-robin ring.
+	core := newQuantumCore("RR", func(a, b *stafilos.Entry) bool { return false })
+	core.quantumFor = func(*stafilos.Entry) time.Duration { return slice }
+	core.resetOnActivate = true
+	return core
+}

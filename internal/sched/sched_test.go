@@ -1,0 +1,681 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/stafilos"
+	"repro/internal/stats"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// testActor is a minimal actor with one input and one output port.
+type testActor struct {
+	model.Base
+	in, out *model.Port
+}
+
+func newTestActor(name string) *testActor {
+	a := &testActor{Base: model.NewBase(name)}
+	a.Bind(a)
+	a.in = a.Input("in")
+	a.out = a.Output("out")
+	return a
+}
+
+// testSource is a marker source actor.
+type testSource struct {
+	model.Base
+	out *model.Port
+}
+
+func newTestSource(name string) *testSource {
+	a := &testSource{Base: model.NewBase(name)}
+	a.Bind(a)
+	a.out = a.Output("out")
+	return a
+}
+
+func (a *testSource) Exhausted() bool { return false }
+
+var testTK = event.NewTimekeeper()
+
+func mkItem(a model.Actor, p *model.Port, sec int64) stafilos.ReadyItem {
+	ev := testTK.External(value.Int(sec), time.Unix(sec, 0).UTC())
+	w := &window.Window{Events: []*event.Event{ev}, Time: ev.Time, Wave: ev.Wave}
+	return stafilos.NewItem(a, p, w)
+}
+
+func env(t *testing.T, priorities map[string]int) *stafilos.Env {
+	t.Helper()
+	return &stafilos.Env{
+		Clock:          clock.NewVirtual(),
+		Stats:          stats.NewRegistry(),
+		Priorities:     priorities,
+		SourceInterval: 5,
+	}
+}
+
+func TestQBSQuantumEquation(t *testing.T) {
+	b := 500 * time.Microsecond
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{
+		{5, 35 * 4 * b},  // (40-5)*4b
+		{10, 30 * 4 * b}, // (40-10)*4b
+		{19, 21 * 4 * b}, // below-20 branch boundary
+		{20, 20 * b},     // at-20 branch boundary
+		{25, 15 * b},
+		{39, 1 * b},
+	}
+	for _, c := range cases {
+		if got := QBSQuantum(c.p, b); got != c.want {
+			t.Errorf("QBSQuantum(%d, b) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestStateConditions asserts Table 2 of the paper for all three published
+// schedulers.
+func TestStateConditions(t *testing.T) {
+	t.Run("QBS+RR internal actor", func(t *testing.T) {
+		for _, mk := range []func() stafilos.Scheduler{
+			func() stafilos.Scheduler { return NewQBS(time.Millisecond) },
+			func() stafilos.Scheduler { return NewRR(time.Millisecond) },
+		} {
+			s := mk()
+			if err := s.Init(env(t, nil)); err != nil {
+				t.Fatal(err)
+			}
+			a := newTestActor("A")
+			e := s.Register(a, false)
+			if e.State != stafilos.Inactive {
+				t.Fatalf("%s: fresh actor state = %v, want INACTIVE", s.Name(), e.State)
+			}
+			// Events waiting AND positive quantum -> ACTIVE.
+			s.Enqueue(mkItem(a, a.in, 1))
+			if e.State != stafilos.Active {
+				t.Errorf("%s: events+quantum state = %v, want ACTIVE", s.Name(), e.State)
+			}
+			// Events waiting AND non-positive quantum -> WAITING.
+			e.Pop()
+			s.Enqueue(mkItem(a, a.in, 2))
+			s.ActorFired(e, e.Quantum+time.Millisecond, 0) // overdraw the quantum
+			if e.State != stafilos.Waiting {
+				t.Errorf("%s: events+negative-quantum state = %v, want WAITING", s.Name(), e.State)
+			}
+			// No events -> INACTIVE.
+			e.Pop()
+			s.ActorFired(e, 0, 0)
+			if e.State != stafilos.Inactive {
+				t.Errorf("%s: no-events state = %v, want INACTIVE", s.Name(), e.State)
+			}
+		}
+	})
+
+	t.Run("QBS+RR source actor", func(t *testing.T) {
+		for _, mk := range []func() stafilos.Scheduler{
+			func() stafilos.Scheduler { return NewQBS(time.Millisecond) },
+			func() stafilos.Scheduler { return NewRR(time.Millisecond) },
+		} {
+			s := mk()
+			if err := s.Init(env(t, nil)); err != nil {
+				t.Fatal(err)
+			}
+			src := newTestSource("S")
+			e := s.Register(src, true)
+			s.IterationBegin()
+			// Positive quantum AND not yet fired -> ACTIVE.
+			if e.State != stafilos.Active {
+				t.Errorf("%s: fresh source state = %v, want ACTIVE", s.Name(), e.State)
+			}
+			// Fired in the current iteration -> WAITING.
+			s.ActorFired(e, time.Microsecond, 1)
+			if e.State != stafilos.Waiting {
+				t.Errorf("%s: fired source state = %v, want WAITING", s.Name(), e.State)
+			}
+			// Sources never become INACTIVE.
+			s.IterationEnd()
+			s.IterationBegin()
+			if e.State == stafilos.Inactive {
+				t.Errorf("%s: source became INACTIVE", s.Name())
+			}
+		}
+	})
+
+	t.Run("RB internal actor", func(t *testing.T) {
+		s := NewRB()
+		if err := s.Init(env(t, nil)); err != nil {
+			t.Fatal(err)
+		}
+		a := newTestActor("A")
+		e := s.Register(a, false)
+		if e.State != stafilos.Inactive {
+			t.Fatalf("fresh state = %v", e.State)
+		}
+		// Newly enqueued events buffer for the next period: no events in
+		// queue AND events in the next-period buffer -> WAITING.
+		s.Enqueue(mkItem(a, a.in, 1))
+		if e.State != stafilos.Waiting {
+			t.Errorf("buffered-only state = %v, want WAITING", e.State)
+		}
+		// Period rollover: events move to the queue -> ACTIVE.
+		s.IterationEnd()
+		if e.State != stafilos.Active {
+			t.Errorf("queued-events state = %v, want ACTIVE", e.State)
+		}
+		// Queue drained, buffer empty -> INACTIVE.
+		e.Pop()
+		s.ActorFired(e, time.Microsecond, 0)
+		if e.State != stafilos.Inactive {
+			t.Errorf("drained state = %v, want INACTIVE", e.State)
+		}
+	})
+
+	t.Run("RB source actor", func(t *testing.T) {
+		s := NewRB()
+		if err := s.Init(env(t, nil)); err != nil {
+			t.Fatal(err)
+		}
+		src := newTestSource("S")
+		e := s.Register(src, true)
+		s.IterationBegin()
+		// Has not fired in the current period -> ACTIVE.
+		if e.State != stafilos.Active {
+			t.Errorf("unfired source = %v, want ACTIVE", e.State)
+		}
+		s.ActorFired(e, time.Microsecond, 3)
+		// Has fired in the current period -> WAITING.
+		if e.State != stafilos.Waiting {
+			t.Errorf("fired source = %v, want WAITING", e.State)
+		}
+		s.IterationEnd()
+		s.IterationBegin()
+		if e.State != stafilos.Active {
+			t.Errorf("source next period = %v, want ACTIVE", e.State)
+		}
+	})
+}
+
+func TestQBSPriorityOrdering(t *testing.T) {
+	s := NewQBS(time.Millisecond)
+	if err := s.Init(env(t, map[string]int{"hi": 5, "lo": 10})); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := newTestActor("lo"), newTestActor("hi")
+	s.Register(lo, false)
+	s.Register(hi, false)
+	s.Enqueue(mkItem(lo, lo.in, 1))
+	s.Enqueue(mkItem(hi, hi.in, 2)) // later event, but higher priority
+	e := s.NextActor()
+	if e == nil || e.Actor.Name() != "hi" {
+		t.Fatalf("NextActor = %v, want hi (priority 5 before 10)", e)
+	}
+}
+
+func TestQBSFIFOAmongEqualPriorities(t *testing.T) {
+	s := NewQBS(time.Millisecond)
+	if err := s.Init(env(t, map[string]int{"a": 10, "b": 10})); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newTestActor("a"), newTestActor("b")
+	s.Register(a, false)
+	s.Register(b, false)
+	s.Enqueue(mkItem(b, b.in, 1)) // b activates first
+	s.Enqueue(mkItem(a, a.in, 2))
+	e := s.NextActor()
+	if e == nil || e.Actor.Name() != "b" {
+		t.Fatalf("NextActor = %v, want b (FIFO among equals)", e)
+	}
+}
+
+func TestQBSQuantumExhaustionAndRequantification(t *testing.T) {
+	s := NewQBS(time.Millisecond)
+	if err := s.Init(env(t, map[string]int{"A": 25})); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestActor("A")
+	e := s.Register(a, false)
+	q := QBSQuantum(25, time.Millisecond) // 15ms
+	if e.Quantum != q {
+		t.Fatalf("initial quantum = %v, want %v", e.Quantum, q)
+	}
+	s.Enqueue(mkItem(a, a.in, 1))
+	s.Enqueue(mkItem(a, a.in, 2))
+	// Consume more than the whole quantum in one firing.
+	e.Pop()
+	s.ActorFired(e, q+3*time.Millisecond, 1)
+	if e.State != stafilos.Waiting {
+		t.Fatalf("state after overdraw = %v, want WAITING", e.State)
+	}
+	if e.Quantum != -3*time.Millisecond {
+		t.Fatalf("quantum after overdraw = %v, want -3ms", e.Quantum)
+	}
+	// Re-quantification accumulates on top of the negative remainder
+	// (DESIGN.md decision D4) and reactivates the actor.
+	s.IterationEnd()
+	if e.Quantum != q-3*time.Millisecond {
+		t.Errorf("quantum after requantification = %v, want %v", e.Quantum, q-3*time.Millisecond)
+	}
+	if e.State != stafilos.Active {
+		t.Errorf("state after requantification = %v, want ACTIVE", e.State)
+	}
+}
+
+func TestQBSDeeplyNegativeQuantumStaysWaiting(t *testing.T) {
+	s := NewQBS(time.Millisecond)
+	if err := s.Init(env(t, map[string]int{"A": 25})); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestActor("A")
+	e := s.Register(a, false)
+	q := QBSQuantum(25, time.Millisecond)
+	s.Enqueue(mkItem(a, a.in, 1))
+	s.Enqueue(mkItem(a, a.in, 2))
+	e.Pop()
+	// Overdraw by more than one fresh quantum: even after
+	// re-quantification it stays in the waiting queue.
+	s.ActorFired(e, q+q+time.Millisecond, 1)
+	s.IterationEnd()
+	if e.State != stafilos.Waiting {
+		t.Errorf("state = %v, want WAITING (still negative)", e.State)
+	}
+	s.IterationEnd()
+	if e.State != stafilos.Active {
+		t.Errorf("state after second requantification = %v, want ACTIVE", e.State)
+	}
+}
+
+func TestQBSInactivePreservesQuantum(t *testing.T) {
+	s := NewQBS(time.Millisecond)
+	if err := s.Init(env(t, map[string]int{"A": 25})); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestActor("A")
+	e := s.Register(a, false)
+	s.Enqueue(mkItem(a, a.in, 1))
+	e.Pop()
+	s.ActorFired(e, 4*time.Millisecond, 1) // drains queue -> INACTIVE
+	if e.State != stafilos.Inactive {
+		t.Fatalf("state = %v", e.State)
+	}
+	left := e.Quantum
+	s.IterationEnd() // must not requantify inactive actors
+	if e.Quantum != left {
+		t.Errorf("inactive quantum changed: %v -> %v", left, e.Quantum)
+	}
+	// New events: quantum preserved (QBS does not reset on activation).
+	s.Enqueue(mkItem(a, a.in, 2))
+	if e.Quantum != left {
+		t.Errorf("quantum after reactivation = %v, want preserved %v", e.Quantum, left)
+	}
+	if e.State != stafilos.Active {
+		t.Errorf("state = %v, want ACTIVE", e.State)
+	}
+}
+
+func TestQBSSourceInterval(t *testing.T) {
+	s := NewQBS(time.Millisecond).(*quantumCore)
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	src := newTestSource("S")
+	a := newTestActor("A")
+	se := s.Register(src, true)
+	s.Register(a, false)
+	s.IterationBegin()
+	for i := 0; i < 20; i++ {
+		s.Enqueue(mkItem(a, a.in, int64(i)))
+	}
+	// Five internal firings, then the source must be scheduled.
+	for i := 0; i < 5; i++ {
+		e := s.NextActor()
+		if e == nil || e.Source {
+			t.Fatalf("firing %d: NextActor = %v, want internal actor", i, e)
+		}
+		e.Pop()
+		s.ActorFired(e, time.Microsecond, 0)
+	}
+	e := s.NextActor()
+	if e != se {
+		t.Fatalf("after %d internal firings NextActor = %v, want source", s.Env.SourceInterval, e)
+	}
+	s.ActorFired(e, time.Microsecond, 1)
+	// The gate resets: the next pick is internal again.
+	if e := s.NextActor(); e == nil || e.Source {
+		t.Fatalf("after source firing NextActor = %v, want internal", e)
+	}
+}
+
+func TestRRRoundRobinOrder(t *testing.T) {
+	s := NewRR(10 * time.Millisecond)
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"A", "B", "C"}
+	actorsByName := map[string]*testActor{}
+	for _, n := range names {
+		a := newTestActor(n)
+		actorsByName[n] = a
+		s.Register(a, false)
+	}
+	// Activate in order A, B, C with two events each.
+	for _, n := range names {
+		a := actorsByName[n]
+		s.Enqueue(mkItem(a, a.in, 1))
+		s.Enqueue(mkItem(a, a.in, 2))
+	}
+	// Each actor drains both events when scheduled (it keeps the head of
+	// the queue while it has events and slice), then goes inactive; the
+	// ring serves A, B, C in activation order.
+	var order []string
+	for {
+		e := s.NextActor()
+		if e == nil {
+			break
+		}
+		order = append(order, e.Actor.Name())
+		e.Pop()
+		s.ActorFired(e, time.Millisecond, 0)
+	}
+	want := []string{"A", "A", "B", "B", "C", "C"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRRSliceExhaustionRotates(t *testing.T) {
+	s := NewRR(time.Millisecond)
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newTestActor("A"), newTestActor("B")
+	ea := s.Register(a, false)
+	s.Register(b, false)
+	for i := 0; i < 3; i++ {
+		s.Enqueue(mkItem(a, a.in, int64(i)))
+		s.Enqueue(mkItem(b, b.in, int64(i)))
+	}
+	// A consumes its whole slice on the first firing: it must rotate out
+	// and B must run next even though A still has events.
+	e := s.NextActor()
+	if e.Actor.Name() != "A" {
+		t.Fatalf("first = %s", e.Actor.Name())
+	}
+	e.Pop()
+	s.ActorFired(e, 2*time.Millisecond, 0)
+	if ea.State != stafilos.Waiting {
+		t.Fatalf("A state = %v, want WAITING", ea.State)
+	}
+	if e := s.NextActor(); e.Actor.Name() != "B" {
+		t.Fatalf("second = %s, want B", e.Actor.Name())
+	}
+}
+
+func TestRRFreshSliceOnReactivation(t *testing.T) {
+	s := NewRR(5 * time.Millisecond)
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestActor("A")
+	e := s.Register(a, false)
+	s.Enqueue(mkItem(a, a.in, 1))
+	e.Pop()
+	s.ActorFired(e, 4*time.Millisecond, 0) // drains -> INACTIVE, 1ms left
+	if e.State != stafilos.Inactive {
+		t.Fatalf("state = %v", e.State)
+	}
+	// New events assign a fresh slice (RR, unlike QBS, resets).
+	s.Enqueue(mkItem(a, a.in, 2))
+	if e.Quantum != 5*time.Millisecond {
+		t.Errorf("reactivation quantum = %v, want fresh 5ms slice", e.Quantum)
+	}
+}
+
+func TestRBPeriodBuffering(t *testing.T) {
+	s := NewRB()
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestActor("A")
+	e := s.Register(a, false)
+	s.IterationBegin()
+	s.Enqueue(mkItem(a, a.in, 1))
+	// Mid-period: the event sits in the buffer, not the queue.
+	if e.QueueLen() != 0 || e.BufferLen() != 1 {
+		t.Fatalf("queue/buffer = %d/%d, want 0/1", e.QueueLen(), e.BufferLen())
+	}
+	if got := s.NextActor(); got != nil && !got.Source {
+		t.Fatalf("actor schedulable before period end")
+	}
+	s.IterationEnd()
+	if e.QueueLen() != 1 || e.BufferLen() != 0 {
+		t.Fatalf("after rollover queue/buffer = %d/%d, want 1/0", e.QueueLen(), e.BufferLen())
+	}
+	s.IterationBegin()
+	if got := s.NextActor(); got != e {
+		t.Fatalf("NextActor = %v, want A", got)
+	}
+}
+
+func TestRBSourceFiresOncePerPeriod(t *testing.T) {
+	s := NewRB()
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	src := newTestSource("S")
+	e := s.Register(src, true)
+	s.IterationBegin()
+	if got := s.NextActor(); got != e {
+		t.Fatalf("NextActor = %v, want source", got)
+	}
+	s.ActorFired(e, time.Microsecond, 2)
+	if got := s.NextActor(); got != nil {
+		t.Fatalf("source offered twice in one period: %v", got)
+	}
+	s.IterationEnd()
+	s.IterationBegin()
+	if got := s.NextActor(); got != e {
+		t.Fatalf("source not offered in new period")
+	}
+}
+
+func TestRBPriorityComputation(t *testing.T) {
+	// Chain A -> B -> C with known statistics; verify
+	// Pr(X) = GS(X)/GC(X) per the Highest Rate definitions.
+	wf := model.NewWorkflow("chain")
+	a, b, c := newTestActor("A"), newTestActor("B"), newTestActor("C")
+	wf.MustAdd(a, b, c)
+	wf.MustConnect(a.out, b.in)
+	wf.MustConnect(b.out, c.in)
+
+	e := env(t, nil)
+	e.WF = wf
+	// A: sel 0.5, cost 10ms; B: sel 2.0, cost 5ms; C: sel 1.0, cost 1ms.
+	rec := func(name string, sel float64, cost time.Duration) {
+		in := 100
+		out := int(sel * 100)
+		e.Stats.RecordFiring(name, time.Duration(in)*cost, in, out, time.Unix(0, 0))
+		// One RecordFiring with aggregate counts: EWMA seeds to in*cost;
+		// use per-event cost by recording `in` firings instead.
+	}
+	_ = rec
+	for i := 0; i < 100; i++ {
+		e.Stats.RecordFiring("A", 10*time.Millisecond, 1, boolToInt(i%2 == 0), time.Unix(int64(i), 0))
+		e.Stats.RecordFiring("B", 5*time.Millisecond, 1, 2, time.Unix(int64(i), 0))
+		e.Stats.RecordFiring("C", 1*time.Millisecond, 1, 1, time.Unix(int64(i), 0))
+	}
+
+	s := NewRB()
+	if err := s.Init(e); err != nil {
+		t.Fatal(err)
+	}
+	ea := s.Register(a, false)
+	eb := s.Register(b, false)
+	ec := s.Register(c, false)
+	s.IterationEnd() // triggers recomputePriorities
+
+	// Expected: GS(C)=1, GC(C)=0.001 -> Pr(C)=1000.
+	// GS(B)=2*1=2, GC(B)=0.005+2*0.001=0.007 -> Pr(B)=285.7…
+	// GS(A)=0.5*2=1, GC(A)=0.010+0.5*0.007=0.0135 -> Pr(A)=74.07…
+	approx := func(got, want float64) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < want*0.02
+	}
+	if !approx(ec.DynPriority, 1000) {
+		t.Errorf("Pr(C) = %v, want ~1000", ec.DynPriority)
+	}
+	if !approx(eb.DynPriority, 2.0/0.007) {
+		t.Errorf("Pr(B) = %v, want ~%v", eb.DynPriority, 2.0/0.007)
+	}
+	if !approx(ea.DynPriority, 1.0/0.0135) {
+		t.Errorf("Pr(A) = %v, want ~%v", ea.DynPriority, 1.0/0.0135)
+	}
+	// Ordering: C (closest to output, cheapest) first.
+	if !(ec.DynPriority > eb.DynPriority && eb.DynPriority > ea.DynPriority) {
+		t.Errorf("priority order wrong: A=%v B=%v C=%v", ea.DynPriority, eb.DynPriority, ec.DynPriority)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestRBSharedActorAddsPathMetrics(t *testing.T) {
+	// A feeds both B and C (shared actor): its global metrics sum the two
+	// downstream paths.
+	wf := model.NewWorkflow("shared")
+	a, b, c := newTestActor("A"), newTestActor("B"), newTestActor("C")
+	wf.MustAdd(a, b, c)
+	wf.MustConnect(a.out, b.in)
+	wf.MustConnect(a.out, c.in)
+
+	e := env(t, nil)
+	e.WF = wf
+	for i := 0; i < 50; i++ {
+		e.Stats.RecordFiring("A", 2*time.Millisecond, 1, 1, time.Unix(int64(i), 0))
+		e.Stats.RecordFiring("B", 4*time.Millisecond, 1, 1, time.Unix(int64(i), 0))
+		e.Stats.RecordFiring("C", 6*time.Millisecond, 1, 1, time.Unix(int64(i), 0))
+	}
+	s := NewRB()
+	if err := s.Init(e); err != nil {
+		t.Fatal(err)
+	}
+	ea := s.Register(a, false)
+	s.Register(b, false)
+	s.Register(c, false)
+	s.IterationEnd()
+
+	// GS(A) = 1*(1+1) = 2; GC(A) = 0.002 + 1*(0.004+0.006) = 0.012.
+	want := 2.0 / 0.012
+	if diff := ea.DynPriority - want; diff > want*0.02 || diff < -want*0.02 {
+		t.Errorf("Pr(A) = %v, want ~%v", ea.DynPriority, want)
+	}
+}
+
+func TestFIFOOrdersByHeadTimestamp(t *testing.T) {
+	s := NewFIFO()
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newTestActor("A"), newTestActor("B")
+	s.Register(a, false)
+	s.Register(b, false)
+	s.Enqueue(mkItem(a, a.in, 10))
+	s.Enqueue(mkItem(b, b.in, 5)) // older head event
+	e := s.NextActor()
+	if e == nil || e.Actor.Name() != "B" {
+		t.Fatalf("NextActor = %v, want B (oldest event first)", e)
+	}
+	e.Pop()
+	s.ActorFired(e, time.Microsecond, 0)
+	if e := s.NextActor(); e == nil || e.Actor.Name() != "A" {
+		t.Fatalf("NextActor = %v, want A", e)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	// B's event is older but has a lax target; A's tight target gives it
+	// the earlier deadline.
+	s := NewEDF(map[string]time.Duration{"A": time.Second, "B": time.Minute}, 0)
+	if err := s.Init(env(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newTestActor("A"), newTestActor("B")
+	s.Register(a, false)
+	s.Register(b, false)
+	s.Enqueue(mkItem(b, b.in, 5))  // deadline 65s
+	s.Enqueue(mkItem(a, a.in, 10)) // deadline 11s
+	e := s.NextActor()
+	if e == nil || e.Actor.Name() != "A" {
+		t.Fatalf("NextActor = %v, want A (earliest deadline)", e)
+	}
+}
+
+func TestSchedulerNeverPlacesEntryInBothQueues(t *testing.T) {
+	// Structural invariant across a random-ish workload for each policy.
+	mks := []func() stafilos.Scheduler{
+		func() stafilos.Scheduler { return NewQBS(time.Millisecond) },
+		func() stafilos.Scheduler { return NewRR(time.Millisecond) },
+		func() stafilos.Scheduler { return NewRB() },
+		func() stafilos.Scheduler { return NewFIFO() },
+	}
+	for _, mk := range mks {
+		s := mk()
+		if err := s.Init(env(t, nil)); err != nil {
+			t.Fatal(err)
+		}
+		var entries []*stafilos.Entry
+		var acts []*testActor
+		for i := 0; i < 4; i++ {
+			a := newTestActor(string(rune('A' + i)))
+			acts = append(acts, a)
+			entries = append(entries, s.Register(a, false))
+		}
+		for round := 0; round < 30; round++ {
+			s.IterationBegin()
+			for i, a := range acts {
+				if (round+i)%2 == 0 {
+					s.Enqueue(mkItem(a, a.in, int64(round)))
+				}
+			}
+			for fired := 0; fired < 10; fired++ {
+				e := s.NextActor()
+				if e == nil {
+					break
+				}
+				e.Pop()
+				s.ActorFired(e, time.Duration(1+round%3)*time.Millisecond, round%2)
+			}
+			s.IterationEnd()
+			for _, e := range entries {
+				inQ := 0
+				switch e.State {
+				case stafilos.Active, stafilos.Waiting:
+					inQ = 1
+				}
+				_ = inQ
+				// An entry must never report events while INACTIVE.
+				if e.State == stafilos.Inactive && e.HasEvents() {
+					t.Fatalf("%s: INACTIVE entry %s holds %d events", s.Name(), e.Actor.Name(), e.QueueLen())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the specification parser never panics and that anything
+// it accepts also builds or fails with a descriptive error (never a crash).
+func FuzzParse(f *testing.F) {
+	f.Add(demoSpec)
+	f.Add(`{"name":"x","actors":[{"name":"a","type":"print"}]}`)
+	f.Add(`{"name":"x","actors":[{"name":"a","type":"generator"}],"connections":[["a.out","a.in"]]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"", "actors": []}`)
+	f.Add(`{"name":"w","actors":[{"name":"a","type":"aggregate","window":{"unit":"time","sizeMs":-5}}]}`)
+	f.Fuzz(func(t *testing.T, js string) {
+		s, err := ParseString(js)
+		if err != nil {
+			return
+		}
+		// Anything that parses must either build cleanly or return an
+		// error, never panic.
+		wf, _, err := s.Build()
+		if err == nil && wf == nil {
+			t.Fatal("Build returned nil workflow without error")
+		}
+	})
+}
+
+func TestFuzzSeedsDirectly(t *testing.T) {
+	// The fuzz seeds double as table tests under plain `go test`.
+	for _, js := range []string{
+		`{`,
+		`[]`,
+		`{"name":"", "actors": []}`,
+		strings.Repeat(`{"name":"x",`, 50),
+	} {
+		if _, err := ParseString(js); err == nil {
+			t.Errorf("malformed spec accepted: %q", js)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package spec implements a JSON workflow-specification language — the
+// analog of Kepler's workflow files for this engine. A specification names
+// actors (by registered type, with parameters and optional input window
+// semantics), wires their ports, and selects the scheduling policy, so
+// workflows can be authored and executed without writing Go:
+//
+//	{
+//	  "name": "demo",
+//	  "scheduler": {"policy": "QBS", "priorities": {"out": 5}},
+//	  "actors": [
+//	    {"name": "src", "type": "generator",
+//	     "params": {"count": 100, "intervalMs": 100, "field": "n"}},
+//	    {"name": "avg", "type": "aggregate",
+//	     "params": {"fn": "avg", "field": "n"},
+//	     "window": {"unit": "tuples", "size": 4, "step": 2}},
+//	    {"name": "out", "type": "print"}
+//	  ],
+//	  "connections": [["src.out", "avg.in"], ["avg.out", "out.in"]]
+//	}
+//
+// The built-in actor types are registered in registry.go; applications can
+// register their own with RegisterType.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/window"
+)
+
+// Spec is a parsed workflow specification.
+type Spec struct {
+	Name        string        `json:"name"`
+	Scheduler   SchedulerSpec `json:"scheduler"`
+	Actors      []ActorSpec   `json:"actors"`
+	Connections [][2]string   `json:"connections"`
+}
+
+// SchedulerSpec selects and parameterizes the scheduling policy.
+type SchedulerSpec struct {
+	// Policy is QBS, RR, RB, FIFO, LQF, EDF or PNCWF (default QBS).
+	Policy string `json:"policy"`
+	// QuantumUs sets the QBS basic quantum / RR slice in microseconds.
+	QuantumUs int64 `json:"quantumUs"`
+	// Priorities are designer-assigned actor priorities.
+	Priorities map[string]int `json:"priorities"`
+	// SourceInterval is the source scheduling interval.
+	SourceInterval int `json:"sourceInterval"`
+}
+
+// ActorSpec declares one actor instance.
+type ActorSpec struct {
+	Name   string         `json:"name"`
+	Type   string         `json:"type"`
+	Params map[string]any `json:"params"`
+	Window *WindowSpec    `json:"window"`
+}
+
+// WindowSpec is the JSON form of the five window parameters.
+type WindowSpec struct {
+	Unit       string   `json:"unit"` // "tuples", "time" or "waves"
+	Size       int      `json:"size"`
+	Step       int      `json:"step"`
+	SizeMs     int64    `json:"sizeMs"`
+	StepMs     int64    `json:"stepMs"`
+	TimeoutMs  int64    `json:"timeoutMs"`
+	GroupBy    []string `json:"groupBy"`
+	DeleteUsed bool     `json:"deleteUsed"`
+}
+
+// toWindow converts to the engine's window.Spec.
+func (w *WindowSpec) toWindow() (window.Spec, error) {
+	if w == nil {
+		return window.Passthrough(), nil
+	}
+	spec := window.Spec{
+		Size:       w.Size,
+		Step:       w.Step,
+		SizeDur:    time.Duration(w.SizeMs) * time.Millisecond,
+		StepDur:    time.Duration(w.StepMs) * time.Millisecond,
+		Timeout:    time.Duration(w.TimeoutMs) * time.Millisecond,
+		GroupBy:    w.GroupBy,
+		DeleteUsed: w.DeleteUsed,
+	}
+	switch strings.ToLower(w.Unit) {
+	case "", "tuples":
+		spec.Unit = window.Tuples
+		if spec.Step == 0 {
+			spec.Step = 1
+		}
+	case "time":
+		spec.Unit = window.Time
+		if spec.StepDur == 0 {
+			spec.StepDur = spec.SizeDur
+		}
+	case "waves":
+		spec.Unit = window.Waves
+		if spec.Step == 0 {
+			spec.Step = spec.Size
+		}
+	default:
+		return spec, fmt.Errorf("spec: unknown window unit %q", w.Unit)
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// Parse reads a specification from JSON.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseString parses a specification from a string.
+func ParseString(js string) (*Spec, error) { return Parse(strings.NewReader(js)) }
+
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: workflow name is required")
+	}
+	if len(s.Actors) == 0 {
+		return fmt.Errorf("spec: workflow %s declares no actors", s.Name)
+	}
+	seen := map[string]bool{}
+	for i, a := range s.Actors {
+		if a.Name == "" {
+			return fmt.Errorf("spec: actor %d has no name", i)
+		}
+		if a.Type == "" {
+			return fmt.Errorf("spec: actor %s has no type", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("spec: duplicate actor name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for i, c := range s.Connections {
+		for _, end := range c {
+			actor, _, ok := splitEndpoint(end)
+			if !ok {
+				return fmt.Errorf("spec: connection %d endpoint %q is not actor.port", i, end)
+			}
+			if !seen[actor] {
+				return fmt.Errorf("spec: connection %d references unknown actor %q", i, actor)
+			}
+		}
+	}
+	return nil
+}
+
+func splitEndpoint(s string) (actor, port string, ok bool) {
+	i := strings.LastIndex(s, ".")
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// Build instantiates the workflow: every actor through its registered type
+// builder, then the connections.
+func (s *Spec) Build() (*model.Workflow, *Built, error) {
+	wf := model.NewWorkflow(s.Name)
+	built := &Built{Spec: s, Actors: map[string]model.Actor{}}
+	for _, as := range s.Actors {
+		b, ok := lookupType(as.Type)
+		if !ok {
+			return nil, nil, fmt.Errorf("spec: unknown actor type %q (known: %s)",
+				as.Type, strings.Join(TypeNames(), ", "))
+		}
+		win, err := as.Window.toWindow()
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec: actor %s: %w", as.Name, err)
+		}
+		a, err := b(BuildContext{Name: as.Name, Params: Params(as.Params), Window: win, Built: built})
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec: actor %s: %w", as.Name, err)
+		}
+		if err := wf.Add(a); err != nil {
+			return nil, nil, err
+		}
+		built.Actors[as.Name] = a
+	}
+	for _, c := range s.Connections {
+		from, err := built.outputPort(c[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		to, err := built.inputPort(c[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := wf.Connect(from, to); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return wf, built, nil
+}
+
+// Built carries the instantiated actors and any artifacts builders
+// registered (collectors, shedders, …) for post-run inspection.
+type Built struct {
+	Spec   *Spec
+	Actors map[string]model.Actor
+	// Artifacts maps "actorName" to builder-specific handles (e.g. the
+	// *actors.Collect behind a "collect" actor).
+	Artifacts map[string]any
+}
+
+// Artifact records a handle for post-run inspection.
+func (b *Built) Artifact(name string, v any) {
+	if b.Artifacts == nil {
+		b.Artifacts = map[string]any{}
+	}
+	b.Artifacts[name] = v
+}
+
+func (b *Built) outputPort(endpoint string) (*model.Port, error) {
+	actor, port, _ := splitEndpoint(endpoint)
+	a := b.Actors[actor]
+	for _, p := range a.Outputs() {
+		if p.Name() == port {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("spec: %s has no output port %q", actor, port)
+}
+
+func (b *Built) inputPort(endpoint string) (*model.Port, error) {
+	actor, port, _ := splitEndpoint(endpoint)
+	a := b.Actors[actor]
+	for _, p := range a.Inputs() {
+		if p.Name() == port {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("spec: %s has no input port %q", actor, port)
+}

@@ -1,0 +1,236 @@
+package stafilos
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// Env is the framework environment handed to a scheduler at initialization:
+// the workflow model, the engine clock, the runtime statistics module, and
+// the designer-assigned actor priorities.
+type Env struct {
+	WF    *model.Workflow
+	Clock clock.Clock
+	Stats *stats.Registry
+	// Priorities maps actor names to designer-assigned priorities (lower
+	// is more urgent, as in the Linux scheduler QBS is based on).
+	Priorities map[string]int
+	// SourceInterval is the source scheduling interval: one source firing
+	// is scheduled after this many internal actor firings (QBS; Table 3
+	// uses 5).
+	SourceInterval int
+}
+
+// Priority returns the designer priority for an actor, defaulting to 20
+// (the boundary value of Equation 1).
+func (e *Env) Priority(name string) int {
+	if p, ok := e.Priorities[name]; ok {
+		return p
+	}
+	return 20
+}
+
+// Scheduler is a STAFiLOS scheduling policy. The SCWF director is
+// schedule-independent and drives any implementation of this interface.
+//
+// The call pattern per director iteration is:
+//
+//	IterationBegin
+//	for { e := NextActor(); if e == nil break; …fire…; ActorFired(e…) }
+//	IterationEnd
+//
+// Enqueue is called whenever a TM Windowed Receiver produces a window,
+// which can happen in the middle of a firing.
+type Scheduler interface {
+	// Name identifies the policy ("QBS", "RR", "RB", …).
+	Name() string
+	// Init receives the environment; called once before execution.
+	Init(env *Env) error
+	// Register introduces an actor; source actors are flagged, letting the
+	// policy treat them independently to regulate the flow of data coming
+	// into the workflow.
+	Register(a model.Actor, source bool) *Entry
+	// Enqueue adds a ready window to its actor's event queue and
+	// re-evaluates the actor's state.
+	Enqueue(item ReadyItem)
+	// NextActor returns the next actor to fire, or nil to end the current
+	// director iteration.
+	NextActor() *Entry
+	// ActorFired reports a completed firing and its cost so the policy can
+	// account quanta and update states.
+	ActorFired(e *Entry, cost time.Duration, produced int)
+	// IterationBegin signals the start of a director iteration.
+	IterationBegin()
+	// IterationEnd signals the end of a director iteration; policies run
+	// their maintenance here (re-quantification, queue swaps, priority
+	// re-evaluation, period rollover).
+	IterationEnd()
+	// HasWork reports whether any actor has ready or buffered events.
+	HasWork() bool
+}
+
+var itemSeq atomic.Uint64
+
+// NewItem builds a ReadyItem with a fresh arrival sequence number.
+func NewItem(a model.Actor, p *model.Port, w *window.Window) ReadyItem {
+	return ReadyItem{Actor: a, Port: p, Win: w, seq: itemSeq.Add(1)}
+}
+
+// Base implements the abstract scheduler of the paper: the actor list, the
+// per-actor event queues sorted by timestamp, the actor-state map, and the
+// two priority queues (active and waiting) sorted by a pluggable
+// Comparator. Concrete schedulers embed *Base and provide the policy:
+// state-transition rules, comparators, quantum accounting and source
+// treatment.
+type Base struct {
+	Env     *Env
+	Entries []*Entry
+	Sources []*Entry
+	byActor map[string]*Entry
+
+	// ActiveQ holds ACTIVE entries, WaitingQ holds WAITING entries.
+	ActiveQ, WaitingQ *EntryQueue
+
+	// InternalSinceSource counts internal firings since a source last
+	// fired, for interval-based source scheduling.
+	InternalSinceSource int
+
+	seq uint64
+}
+
+// NewBase builds the abstract-scheduler state with the given comparator for
+// both priority queues.
+func NewBase(less Comparator) *Base {
+	return &Base{
+		byActor:  make(map[string]*Entry),
+		ActiveQ:  NewEntryQueue(less),
+		WaitingQ: NewEntryQueue(less),
+	}
+}
+
+// Init stores the environment.
+func (b *Base) Init(env *Env) error {
+	b.Env = env
+	return nil
+}
+
+// Register implements Scheduler.Register: it creates the entry, records the
+// designer priority and classifies sources.
+func (b *Base) Register(a model.Actor, source bool) *Entry {
+	if e, ok := b.byActor[a.Name()]; ok {
+		return e
+	}
+	e := &Entry{Actor: a, Source: source, State: Inactive, heapIndex: -1}
+	if b.Env != nil {
+		e.Priority = b.Env.Priority(a.Name())
+	}
+	b.byActor[a.Name()] = e
+	b.Entries = append(b.Entries, e)
+	if source {
+		b.Sources = append(b.Sources, e)
+	}
+	return e
+}
+
+// Entry returns the bookkeeping entry for an actor, or nil.
+func (b *Base) Entry(a model.Actor) *Entry {
+	if a == nil {
+		return nil
+	}
+	return b.byActor[a.Name()]
+}
+
+// EntryByName returns the entry for the named actor, or nil.
+func (b *Base) EntryByName(name string) *Entry { return b.byActor[name] }
+
+// SetState transitions e between the scheduler states, maintaining the
+// active/waiting priority queues: ACTIVE entries live in the active queue,
+// WAITING entries in the waiting queue, INACTIVE entries in neither.
+func (b *Base) SetState(e *Entry, s State) {
+	if e.State == s {
+		// Re-assert queue membership in case priority fields changed.
+		switch s {
+		case Active:
+			if b.ActiveQ.Contains(e) {
+				b.ActiveQ.Fix(e)
+				return
+			}
+		case Waiting:
+			if b.WaitingQ.Contains(e) {
+				b.WaitingQ.Fix(e)
+				return
+			}
+		default:
+			return
+		}
+	}
+	b.ActiveQ.Remove(e)
+	b.WaitingQ.Remove(e)
+	e.State = s
+	switch s {
+	case Active:
+		b.seq++
+		e.enqueueSeq = b.seq
+		b.ActiveQ.Push(e)
+	case Waiting:
+		b.seq++
+		e.enqueueSeq = b.seq
+		b.WaitingQ.Push(e)
+	}
+}
+
+// SwapQueues exchanges the active and waiting queues (QBS's
+// re-quantification swap), fixing entry states to match their new queue.
+func (b *Base) SwapQueues() {
+	b.ActiveQ, b.WaitingQ = b.WaitingQ, b.ActiveQ
+	for _, e := range b.ActiveQ.entries {
+		e.State = Active
+	}
+	for _, e := range b.WaitingQ.entries {
+		e.State = Waiting
+	}
+}
+
+// Queues exposes the active and waiting priority queues, letting the
+// parallel director park a mid-firing head entry and look deeper into the
+// queue for co-schedulable actors.
+func (b *Base) Queues() (active, waiting *EntryQueue) { return b.ActiveQ, b.WaitingQ }
+
+// HasWork reports whether any entry holds ready or buffered events, or a
+// source is mid-iteration.
+func (b *Base) HasWork() bool {
+	for _, e := range b.Entries {
+		if e.HasEvents() || e.BufferLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalQueued returns the total ready items across entries (diagnostics
+// and backlog metrics).
+func (b *Base) TotalQueued() int {
+	n := 0
+	for _, e := range b.Entries {
+		n += e.QueueLen() + e.BufferLen()
+	}
+	return n
+}
+
+// IterationBegin provides the default no-op hook.
+func (b *Base) IterationBegin() {}
+
+// CountInternalFiring advances the interval-based source gate and reports
+// whether a source firing is now due.
+func (b *Base) CountInternalFiring() bool {
+	b.InternalSinceSource++
+	return b.Env != nil && b.Env.SourceInterval > 0 && b.InternalSinceSource >= b.Env.SourceInterval
+}
+
+// ResetSourceGate clears the interval counter after a source fired.
+func (b *Base) ResetSourceGate() { b.InternalSinceSource = 0 }

@@ -1,0 +1,60 @@
+package stafilos
+
+import (
+	"time"
+
+	"repro/internal/model"
+)
+
+// CostModel supplies modelled actor firing costs for virtual-time
+// execution. With a nil CostModel the director measures real elapsed time
+// instead (real mode). The experiments of the paper run for 600 wall-clock
+// seconds on fixed hardware; the cost model plus a virtual clock is this
+// reproduction's deterministic substitute (see DESIGN.md, substitution 2).
+type CostModel interface {
+	// FiringCost returns the cost of one invocation of a that consumed
+	// `consumed` events and produced `produced` events.
+	FiringCost(a model.Actor, consumed, produced int) time.Duration
+	// DispatchOverhead is the scheduler framework's per-dispatch cost
+	// (getNextActor, queue maintenance, statistics update).
+	DispatchOverhead() time.Duration
+}
+
+// TableCostModel is a CostModel driven by per-actor cost tables.
+type TableCostModel struct {
+	// PerFire is the fixed cost per invocation by actor name.
+	PerFire map[string]time.Duration
+	// PerEvent is the additional cost per consumed event by actor name.
+	PerEvent map[string]time.Duration
+	// DefaultPerFire applies to actors absent from PerFire.
+	DefaultPerFire time.Duration
+	// Dispatch is the per-dispatch scheduler overhead.
+	Dispatch time.Duration
+}
+
+// FiringCost implements CostModel.
+func (m *TableCostModel) FiringCost(a model.Actor, consumed, produced int) time.Duration {
+	cost, ok := m.PerFire[a.Name()]
+	if !ok {
+		cost = m.DefaultPerFire
+	}
+	if per, ok := m.PerEvent[a.Name()]; ok && consumed > 1 {
+		cost += time.Duration(consumed-1) * per
+	}
+	return cost
+}
+
+// DispatchOverhead implements CostModel.
+func (m *TableCostModel) DispatchOverhead() time.Duration { return m.Dispatch }
+
+// UniformCostModel charges the same cost for every firing; handy in tests.
+type UniformCostModel struct {
+	Cost     time.Duration
+	Dispatch time.Duration
+}
+
+// FiringCost implements CostModel.
+func (m UniformCostModel) FiringCost(model.Actor, int, int) time.Duration { return m.Cost }
+
+// DispatchOverhead implements CostModel.
+func (m UniformCostModel) DispatchOverhead() time.Duration { return m.Dispatch }

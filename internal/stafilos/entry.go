@@ -1,0 +1,249 @@
+// Package stafilos implements STAFiLOS, the STreAm FLOw Scheduling for
+// Continuous Workflows framework of the paper: a Scheduled CWF (SCWF)
+// director that is schedule-independent, a TM Windowed Receiver that routes
+// produced windows to the scheduler's per-actor ready queues, and an
+// abstract scheduler base that concrete policies (internal/sched) extend.
+package stafilos
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/window"
+)
+
+// State is an actor's scheduling state (Section 3 of the paper).
+type State int
+
+const (
+	// Inactive means the actor currently has no events to process.
+	Inactive State = iota
+	// Active means the actor can be considered for firing in the current
+	// iteration.
+	Active
+	// Waiting means the actor is waiting for something to happen within
+	// the scheduler (e.g. re-quantification) before it can run.
+	Waiting
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Inactive:
+		return "INACTIVE"
+	case Active:
+		return "ACTIVE"
+	case Waiting:
+		return "WAITING"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ReadyItem is one window ready to be propagated to an actor's input port
+// when the actor is scheduled for execution.
+type ReadyItem struct {
+	Actor model.Actor
+	Port  *model.Port
+	Win   *window.Window
+	seq   uint64
+}
+
+// Entry is the scheduler's bookkeeping for one actor: its ready-event
+// queue (sorted by timestamp), its state, and the policy fields the
+// implemented schedulers use (static priority, quantum, dynamic priority).
+type Entry struct {
+	Actor  model.Actor
+	Source bool
+	State  State
+
+	// Priority is the designer-assigned priority (QBS; lower = higher).
+	Priority int
+	// Quantum is the remaining execution allowance (QBS/RR).
+	Quantum time.Duration
+	// DynPriority is the runtime-computed priority (RB's Pr(A) = S_A/C_A).
+	DynPriority float64
+	// FiredThisIteration marks sources that already ran in the current
+	// director iteration / period.
+	FiredThisIteration bool
+
+	// queue holds the actor's ready items ordered by window timestamp.
+	queue itemHeap
+	// buffer holds items deferred to the next period (RB).
+	buffer []ReadyItem
+
+	// heapIndex is the entry's position in the active/waiting queue, -1
+	// when in neither.
+	heapIndex int
+	// enqueueSeq orders entries that became active at the same priority
+	// (FIFO tie-break and round-robin order).
+	enqueueSeq uint64
+}
+
+// QueueLen returns the number of ready items waiting for the actor.
+func (e *Entry) QueueLen() int { return len(e.queue) }
+
+// BufferLen returns the number of items parked for the next period.
+func (e *Entry) BufferLen() int { return len(e.buffer) }
+
+// HasEvents reports whether the actor has ready items in its queue.
+func (e *Entry) HasEvents() bool { return len(e.queue) > 0 }
+
+// Push adds a ready item to the actor's sorted event queue.
+func (e *Entry) Push(item ReadyItem) { heap.Push(&e.queue, item) }
+
+// Pop removes and returns the oldest ready item.
+func (e *Entry) Pop() (ReadyItem, bool) {
+	if len(e.queue) == 0 {
+		return ReadyItem{}, false
+	}
+	return heap.Pop(&e.queue).(ReadyItem), true
+}
+
+// Peek returns the oldest ready item without removing it.
+func (e *Entry) Peek() (ReadyItem, bool) {
+	if len(e.queue) == 0 {
+		return ReadyItem{}, false
+	}
+	return e.queue[0], true
+}
+
+// Buffer parks an item for the next period (RB's next-period buffer).
+func (e *Entry) Buffer(item ReadyItem) { e.buffer = append(e.buffer, item) }
+
+// ReleaseBuffer moves every buffered item into the ready queue and returns
+// how many moved.
+func (e *Entry) ReleaseBuffer() int {
+	n := len(e.buffer)
+	for _, it := range e.buffer {
+		heap.Push(&e.queue, it)
+	}
+	e.buffer = e.buffer[:0]
+	return n
+}
+
+// itemHeap orders ready items by window timestamp, breaking ties by
+// enqueue sequence ("queues of events sorted by timestamp").
+type itemHeap []ReadyItem
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if !h[i].Win.Time.Equal(h[j].Win.Time) {
+		return h[i].Win.Time.Before(h[j].Win.Time)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(ReadyItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Comparator orders entries in the active/waiting priority queues. It is
+// the QueueComparator of the paper: provided by the scheduler
+// implementation, it may use designer priorities or dynamic runtime
+// statistics.
+type Comparator func(a, b *Entry) bool
+
+// EntryQueue is a priority queue of actor entries sorted by a Comparator.
+type EntryQueue struct {
+	entries []*Entry
+	less    Comparator
+}
+
+// NewEntryQueue returns an empty queue ordered by less.
+func NewEntryQueue(less Comparator) *EntryQueue {
+	return &EntryQueue{less: less}
+}
+
+// Len returns the number of queued entries.
+func (q *EntryQueue) Len() int { return len(q.entries) }
+
+// Push inserts an entry.
+func (q *EntryQueue) Push(e *Entry) { heap.Push((*entryHeap)(q), e) }
+
+// Pop removes and returns the highest-priority entry, or nil.
+func (q *EntryQueue) Pop() *Entry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return heap.Pop((*entryHeap)(q)).(*Entry)
+}
+
+// Peek returns the highest-priority entry without removing it, or nil.
+func (q *EntryQueue) Peek() *Entry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return q.entries[0]
+}
+
+// Remove deletes e from the queue if present.
+func (q *EntryQueue) Remove(e *Entry) {
+	if e.heapIndex >= 0 && e.heapIndex < len(q.entries) && q.entries[e.heapIndex] == e {
+		heap.Remove((*entryHeap)(q), e.heapIndex)
+	}
+}
+
+// Contains reports whether e is in the queue.
+func (q *EntryQueue) Contains(e *Entry) bool {
+	return e.heapIndex >= 0 && e.heapIndex < len(q.entries) && q.entries[e.heapIndex] == e
+}
+
+// Fix re-establishes heap order after e's priority fields changed.
+func (q *EntryQueue) Fix(e *Entry) {
+	if q.Contains(e) {
+		heap.Fix((*entryHeap)(q), e.heapIndex)
+	}
+}
+
+// Drain removes and returns all entries (heap order not guaranteed).
+func (q *EntryQueue) Drain() []*Entry {
+	out := make([]*Entry, 0, len(q.entries))
+	for _, e := range q.entries {
+		e.heapIndex = -1
+		out = append(out, e)
+	}
+	q.entries = q.entries[:0]
+	return out
+}
+
+// entryHeap adapts EntryQueue to container/heap.
+type entryHeap EntryQueue
+
+func (h *entryHeap) Len() int { return len(h.entries) }
+func (h *entryHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if h.less(a, b) {
+		return true
+	}
+	if h.less(b, a) {
+		return false
+	}
+	return a.enqueueSeq < b.enqueueSeq // FIFO among equals
+}
+func (h *entryHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].heapIndex = i
+	h.entries[j].heapIndex = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*Entry)
+	e.heapIndex = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *entryHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIndex = -1
+	h.entries = old[:n-1]
+	return e
+}

@@ -1,0 +1,279 @@
+package stafilos_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+)
+
+var errBoom = errors.New("boom")
+
+// faultActor fails its lifecycle methods on demand.
+type faultActor struct {
+	model.Base
+	in, out  *model.Port
+	failFire int // fail on the n-th firing (1-based); 0 = never
+	failPre  bool
+	failPost bool
+	failInit bool
+	fired    int
+}
+
+func newFaultActor(name string) *faultActor {
+	a := &faultActor{Base: model.NewBase(name)}
+	a.Bind(a)
+	a.in = a.Input("in")
+	a.out = a.Output("out")
+	return a
+}
+
+func (a *faultActor) Initialize(*model.FireContext) error {
+	if a.failInit {
+		return errBoom
+	}
+	return nil
+}
+
+func (a *faultActor) Prefire(*model.FireContext) (bool, error) {
+	if a.failPre {
+		return false, errBoom
+	}
+	return true, nil
+}
+
+func (a *faultActor) Fire(ctx *model.FireContext) error {
+	a.fired++
+	if a.failFire > 0 && a.fired >= a.failFire {
+		return errBoom
+	}
+	if tok := ctx.Token(a.in); tok != nil {
+		ctx.Put(a.out, tok)
+	}
+	return nil
+}
+
+func (a *faultActor) Postfire(*model.FireContext) (bool, error) {
+	if a.failPost {
+		return false, errBoom
+	}
+	return true, nil
+}
+
+func faultWorkflow(fault *faultActor) *model.Workflow {
+	wf := model.NewWorkflow("faulty")
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, 20,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, fault, sink)
+	wf.MustConnect(src.Out(), fault.in)
+	wf.MustConnect(fault.out, sink.In())
+	return wf
+}
+
+func newFaultDirector() *stafilos.Director {
+	return stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: time.Microsecond},
+	})
+}
+
+func TestActorFireErrorStopsRun(t *testing.T) {
+	fault := newFaultActor("fault")
+	fault.failFire = 5
+	d := newFaultDirector()
+	if err := d.Setup(faultWorkflow(fault)); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run(context.Background())
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("Run = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "fire fault") {
+		t.Errorf("error should name the failing phase and actor: %v", err)
+	}
+	if fault.fired != 5 {
+		t.Errorf("actor fired %d times before failing, want 5", fault.fired)
+	}
+}
+
+func TestActorPrefireErrorStopsRun(t *testing.T) {
+	fault := newFaultActor("fault")
+	fault.failPre = true
+	d := newFaultDirector()
+	if err := d.Setup(faultWorkflow(fault)); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "prefire fault") {
+		t.Fatalf("Run = %v, want prefire error", err)
+	}
+}
+
+func TestActorPostfireErrorStopsRun(t *testing.T) {
+	fault := newFaultActor("fault")
+	fault.failPost = true
+	d := newFaultDirector()
+	if err := d.Setup(faultWorkflow(fault)); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "postfire fault") {
+		t.Fatalf("Run = %v, want postfire error", err)
+	}
+}
+
+func TestActorInitializeErrorFailsSetup(t *testing.T) {
+	fault := newFaultActor("fault")
+	fault.failInit = true
+	d := newFaultDirector()
+	err := d.Setup(faultWorkflow(fault))
+	if err == nil || !strings.Contains(err.Error(), "initialize fault") {
+		t.Fatalf("Setup = %v, want initialize error", err)
+	}
+}
+
+func TestPrefireFalseSkipsFiringWithoutError(t *testing.T) {
+	// An actor whose Prefire declines must not fire, and the run must
+	// still complete (the consumed window is simply dropped).
+	wf := model.NewWorkflow("decline")
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, 10,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	decline := &prefireDecliner{Base: model.NewBase("decline")}
+	decline.Bind(decline)
+	decline.in = decline.Input("in")
+	decline.out = decline.Output("out")
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, decline, sink)
+	wf.MustConnect(src.Out(), decline.in)
+	wf.MustConnect(decline.out, sink.In())
+
+	d := newFaultDirector()
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Odd-indexed prefires declined: roughly half the tokens flow.
+	if len(sink.Tokens) != 5 {
+		t.Errorf("sink got %d tokens, want 5", len(sink.Tokens))
+	}
+	if decline.fires != 5 {
+		t.Errorf("actor fired %d times, want 5", decline.fires)
+	}
+}
+
+type prefireDecliner struct {
+	model.Base
+	in, out  *model.Port
+	attempts int
+	fires    int
+}
+
+func (a *prefireDecliner) Prefire(*model.FireContext) (bool, error) {
+	a.attempts++
+	return a.attempts%2 == 0, nil
+}
+
+func (a *prefireDecliner) Fire(ctx *model.FireContext) error {
+	a.fires++
+	if tok := ctx.Token(a.in); tok != nil {
+		ctx.Put(a.out, tok)
+	}
+	return nil
+}
+
+// TestEventConservationAcrossRandomTopology fans a source across a diamond
+// topology and checks exact delivery counts under every policy — a
+// conservation check beyond simple pipelines.
+func TestEventConservationAcrossDiamond(t *testing.T) {
+	for _, mk := range []func() stafilos.Scheduler{
+		func() stafilos.Scheduler { return sched.NewQBS(time.Millisecond) },
+		func() stafilos.Scheduler { return sched.NewRR(time.Millisecond) },
+		func() stafilos.Scheduler { return sched.NewRB() },
+		func() stafilos.Scheduler { return sched.NewLQF() },
+	} {
+		s := mk()
+		wf := model.NewWorkflow("diamond")
+		const n = 120
+		src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, n,
+			func(i int) value.Value { return value.Int(int64(i)) })
+		left := actors.NewMap("left", func(v value.Value) value.Value { return v })
+		right := actors.NewMap("right", func(v value.Value) value.Value { return v })
+		sink := actors.NewCollect("sink")
+		wf.MustAdd(src, left, right, sink)
+		wf.MustConnect(src.Out(), left.In())
+		wf.MustConnect(src.Out(), right.In())
+		wf.MustConnect(left.Out(), sink.In())
+		wf.MustConnect(right.Out(), sink.In())
+
+		d := stafilos.NewDirector(s, stafilos.Options{
+			Clock:          clock.NewVirtual(),
+			Cost:           stafilos.UniformCostModel{Cost: 30 * time.Microsecond},
+			SourceInterval: 5,
+		})
+		if err := d.Setup(wf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(context.Background()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(sink.Tokens) != 2*n {
+			t.Errorf("%s: sink got %d tokens, want %d", s.Name(), len(sink.Tokens), 2*n)
+		}
+		counts := map[int64]int{}
+		for _, tok := range sink.Tokens {
+			counts[int64(tok.(value.Int))]++
+		}
+		for i := int64(0); i < n; i++ {
+			if counts[i] != 2 {
+				t.Errorf("%s: token %d delivered %d times, want 2", s.Name(), i, counts[i])
+			}
+		}
+	}
+}
+
+// TestWindowedBackpressureUnderOverload drives far more load than the
+// modelled capacity and checks that the engine neither drops nor
+// duplicates: everything is eventually processed, just late.
+func TestWindowedBackpressureUnderOverload(t *testing.T) {
+	wf := model.NewWorkflow("overload")
+	const n = 2000
+	// All events due immediately: a burst far beyond per-firing capacity.
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), 0, n,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	slow := actors.NewMap("slow", func(v value.Value) value.Value { return v })
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, slow, sink)
+	wf.MustConnect(src.Out(), slow.In())
+	wf.MustConnect(slow.Out(), sink.In())
+
+	d := stafilos.NewDirector(sched.NewQBS(500*time.Microsecond), stafilos.Options{
+		Clock:          clock.NewVirtual(),
+		Cost:           stafilos.UniformCostModel{Cost: 5 * time.Millisecond}, // very slow actor
+		SourceInterval: 5,
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Tokens) != n {
+		t.Fatalf("overloaded run delivered %d/%d", len(sink.Tokens), n)
+	}
+	// The backlog forces the virtual clock far beyond the feed span.
+	v := d.Clock().(*clock.Virtual)
+	if v.Elapsed() < n*5*time.Millisecond {
+		t.Errorf("clock %v did not account for the backlog", v.Elapsed())
+	}
+}

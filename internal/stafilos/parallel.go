@@ -1,0 +1,377 @@
+package stafilos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// ParallelDirector is the paper's first single-node scalability direction
+// (Section 5): an SCWF director aware of the machine's cores, balancing the
+// ready-actors queue across workers while respecting data dependencies.
+//
+// The scheduling policy still decides *order*: a single dispatcher asks the
+// scheduler for the next actor exactly as the sequential director does, but
+// hands the firing to a worker pool. Two constraints preserve the model's
+// semantics: an actor never fires concurrently with itself (its windows and
+// state are sequential), and all scheduler/receiver bookkeeping happens
+// under one engine lock — only the actor's Fire work runs in parallel.
+// It always runs in real time (parallel firings have no single virtual
+// timeline).
+type ParallelDirector struct {
+	sched   Scheduler
+	clk     clock.Clock
+	stats   *stats.Registry
+	env     *Env
+	workers int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	wf        *model.Workflow
+	receivers []*TMReceiver
+	running   map[string]bool // actors currently firing
+	inFlight  int
+	setup     bool
+	stopped   bool
+	// gen increments on every completed firing; the dispatcher waits on it
+	// when the policy has nothing co-schedulable right now.
+	gen uint64
+	// peak tracks the maximum observed concurrent firings (tests).
+	peak int
+}
+
+// NewParallelDirector builds a parallel SCWF director with the given worker
+// count (0 = GOMAXPROCS).
+func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDirector {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Stats == nil {
+		opts.Stats = stats.NewRegistry()
+	}
+	d := &ParallelDirector{
+		sched:   sched,
+		clk:     clock.NewReal(), // parallel execution is real-time only
+		stats:   opts.Stats,
+		workers: workers,
+		running: make(map[string]bool),
+		env: &Env{
+			Clock:          clock.NewReal(),
+			Stats:          opts.Stats,
+			Priorities:     opts.Priorities,
+			SourceInterval: opts.SourceInterval,
+		},
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// Name implements model.Director.
+func (d *ParallelDirector) Name() string {
+	return fmt.Sprintf("SCWF-parallel(%d)/%s", d.workers, d.sched.Name())
+}
+
+// Stats returns the runtime statistics registry.
+func (d *ParallelDirector) Stats() *stats.Registry { return d.stats }
+
+// PeakConcurrency reports the maximum number of simultaneous firings seen.
+func (d *ParallelDirector) PeakConcurrency() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
+
+// Setup implements model.Director.
+func (d *ParallelDirector) Setup(wf *model.Workflow) error {
+	if d.setup {
+		return fmt.Errorf("stafilos: parallel director already set up")
+	}
+	if err := wf.Validate(); err != nil {
+		return err
+	}
+	d.wf = wf
+	d.env.WF = wf
+	if err := d.sched.Init(d.env); err != nil {
+		return err
+	}
+	for _, p := range wf.InputPorts() {
+		// Enqueues happen with d.mu held (see deliver), keeping the
+		// scheduler single-threaded.
+		r := NewTMReceiver(p, d.clk, d.stats, d.sched.Enqueue)
+		p.SetReceiver(r)
+		d.receivers = append(d.receivers, r)
+	}
+	sources := map[string]bool{}
+	for _, s := range wf.Sources() {
+		sources[s.Name()] = true
+	}
+	for _, a := range wf.Actors() {
+		d.sched.Register(a, sources[a.Name()])
+		ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+		if err := a.Initialize(ctx); err != nil {
+			return fmt.Errorf("stafilos: initialize %s: %w", a.Name(), err)
+		}
+	}
+	d.setup = true
+	return nil
+}
+
+// task is one dispatched firing.
+type task struct {
+	entry   *Entry
+	item    ReadyItem
+	hasItem bool
+}
+
+// Run implements model.Director.
+func (d *ParallelDirector) Run(ctx context.Context) error {
+	if !d.setup {
+		return model.ErrNotSetup
+	}
+	defer func() {
+		for _, a := range d.wf.Actors() {
+			a.Wrapup()
+		}
+	}()
+
+	tasks := make(chan task)
+	errCh := make(chan error, d.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < d.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if err := d.execute(t); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	err := d.dispatchLoop(ctx, tasks, errCh)
+	close(tasks)
+	wg.Wait()
+	select {
+	case werr := <-errCh:
+		if err == nil {
+			err = werr
+		}
+	default:
+	}
+	return err
+}
+
+// dispatchLoop is the single-threaded scheduler driver.
+func (d *ParallelDirector) dispatchLoop(ctx context.Context, tasks chan<- task, errCh <-chan error) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case err := <-errCh:
+			return err
+		default:
+		}
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			return nil
+		}
+		d.pollTimeoutsLocked()
+		d.sched.IterationBegin()
+		dispatched := 0
+		for {
+			t, ok := d.takeLocked()
+			if !ok {
+				break
+			}
+			d.mu.Unlock()
+			select {
+			case tasks <- t:
+			case <-ctx.Done():
+				d.finish(t.entry)
+				return ctx.Err()
+			}
+			dispatched++
+			d.mu.Lock()
+		}
+		d.sched.IterationEnd()
+		busy := d.inFlight
+		hasWork := d.sched.HasWork()
+		d.mu.Unlock()
+
+		if dispatched > 0 {
+			continue
+		}
+		if busy > 0 {
+			// Nothing co-schedulable right now: sleep until a firing
+			// completes (it may free the actor or produce new events).
+			d.mu.Lock()
+			gen := d.gen
+			for d.gen == gen && d.inFlight > 0 && !d.stopped {
+				d.cond.Wait()
+			}
+			d.mu.Unlock()
+			continue
+		}
+		if hasWork {
+			continue
+		}
+		if d.sourcesExhausted() {
+			return nil
+		}
+		// Idle: real-time sources may produce later.
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// queueAccess is implemented by Base-backed schedulers; it lets the
+// dispatcher park a busy head entry and keep scanning the active queue.
+type queueAccess interface {
+	Queues() (active, waiting *EntryQueue)
+}
+
+// takeLocked asks the policy for the next runnable, not-already-firing
+// actor and claims it, parking mid-firing heads so independent actors
+// deeper in the queue can still be co-scheduled. Called with d.mu held.
+func (d *ParallelDirector) takeLocked() (task, bool) {
+	var parked []*Entry
+	var active *EntryQueue
+	if qa, ok := d.sched.(queueAccess); ok {
+		active, _ = qa.Queues()
+	}
+	defer func() {
+		for _, p := range parked {
+			active.Push(p)
+		}
+	}()
+
+	var e *Entry
+	for {
+		e = d.sched.NextActor()
+		if e == nil {
+			return task{}, false
+		}
+		if !d.running[e.Actor.Name()] {
+			break
+		}
+		// The policy's head is mid-firing on another core; data
+		// dependencies forbid co-scheduling the same actor. Park it and
+		// look deeper, unless the policy gives no queue access.
+		if active == nil || !active.Contains(e) {
+			return task{}, false
+		}
+		active.Remove(e)
+		parked = append(parked, e)
+	}
+	t := task{entry: e}
+	if e.Source {
+		if ps, ok := e.Actor.(PushSource); ok && !ps.Available(d.clk.Now()) {
+			// Nothing to ingest yet: count the slot so the policy moves
+			// on, but dispatch no work.
+			d.sched.ActorFired(e, 0, 0)
+			return task{}, false
+		}
+	} else {
+		item, ok := e.Pop()
+		if !ok {
+			d.sched.ActorFired(e, 0, 0)
+			return task{}, false
+		}
+		t.item = item
+		t.hasItem = true
+	}
+	d.running[e.Actor.Name()] = true
+	d.inFlight++
+	if d.inFlight > d.peak {
+		d.peak = d.inFlight
+	}
+	return t, true
+}
+
+// execute runs one firing on a worker.
+func (d *ParallelDirector) execute(t task) error {
+	a := t.entry.Actor
+	ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	var consumed int
+	if t.hasItem {
+		var trigger *event.Event
+		if n := t.item.Win.Len(); n > 0 {
+			trigger = t.item.Win.Events[n-1]
+		}
+		ctx.BeginFiring(trigger)
+		ctx.Stage(t.item.Port, t.item.Win)
+		consumed = t.item.Win.Len()
+	} else {
+		ctx.BeginFiring(nil)
+	}
+
+	start := time.Now()
+	var fireErr error
+	ready, err := a.Prefire(ctx)
+	if err != nil {
+		fireErr = fmt.Errorf("stafilos: prefire %s: %w", a.Name(), err)
+	} else if ready {
+		if err := a.Fire(ctx); err != nil {
+			fireErr = fmt.Errorf("stafilos: fire %s: %w", a.Name(), err)
+		} else if _, err := a.Postfire(ctx); err != nil {
+			fireErr = fmt.Errorf("stafilos: postfire %s: %w", a.Name(), err)
+		}
+	}
+	emissions := ctx.EndFiring()
+	cost := time.Since(start)
+
+	d.mu.Lock()
+	for _, em := range emissions {
+		em.Port.Broadcast(em.Ev) // receivers enqueue under the engine lock
+	}
+	d.stats.RecordFiring(a.Name(), cost, consumed, len(emissions), d.clk.Now())
+	d.sched.ActorFired(t.entry, cost, len(emissions))
+	d.running[a.Name()] = false
+	d.inFlight--
+	d.gen++
+	if ctx.Stopped() {
+		d.stopped = true
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return fireErr
+}
+
+// finish releases a claimed entry without firing (cancellation path).
+func (d *ParallelDirector) finish(e *Entry) {
+	d.mu.Lock()
+	d.running[e.Actor.Name()] = false
+	d.inFlight--
+	d.gen++
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+func (d *ParallelDirector) pollTimeoutsLocked() {
+	now := d.clk.Now()
+	for _, r := range d.receivers {
+		if dl, ok := r.NextDeadline(); ok && !dl.After(now) {
+			r.OnTime(now)
+		}
+	}
+}
+
+func (d *ParallelDirector) sourcesExhausted() bool {
+	for _, a := range d.wf.Sources() {
+		if sa, ok := a.(model.SourceActor); ok && !sa.Exhausted() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package stafilos_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// spinFor burns CPU for roughly d (sleep-free, so workers genuinely occupy
+// cores).
+func spinFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func TestParallelDirectorCorrectness(t *testing.T) {
+	const n = 300
+	wf := model.NewWorkflow("par")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Minute), time.Millisecond, n,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	// Two independent branches that can fire concurrently.
+	var concurrent, peak int64
+	work := func(name string) *actors.Func {
+		return actors.NewFunc(name, window.Passthrough(),
+			func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+				cur := atomic.AddInt64(&concurrent, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+						break
+					}
+				}
+				spinFor(200 * time.Microsecond)
+				atomic.AddInt64(&concurrent, -1)
+				for _, tok := range w.Tokens() {
+					emit(tok)
+				}
+				return nil
+			})
+	}
+	left, right := work("left"), work("right")
+	sinkL, sinkR := actors.NewCollect("sinkL"), actors.NewCollect("sinkR")
+	wf.MustAdd(src, left, right, sinkL, sinkR)
+	wf.MustConnect(src.Out(), left.In())
+	wf.MustConnect(src.Out(), right.In())
+	wf.MustConnect(left.Out(), sinkL.In())
+	wf.MustConnect(right.Out(), sinkR.In())
+
+	d := stafilos.NewParallelDirector(sched.NewFIFO(), stafilos.Options{SourceInterval: 5}, 4)
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinkL.Tokens) != n || len(sinkR.Tokens) != n {
+		t.Fatalf("delivered %d/%d tokens, want %d/%d", len(sinkL.Tokens), len(sinkR.Tokens), n, n)
+	}
+	for _, sink := range []*actors.Collect{sinkL, sinkR} {
+		seen := map[int64]bool{}
+		for _, tok := range sink.Tokens {
+			v := int64(tok.(value.Int))
+			if seen[v] {
+				t.Fatalf("duplicate token %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if d.Stats().Get("left").Invocations == 0 {
+		t.Error("no stats recorded")
+	}
+	t.Logf("peak in-actor concurrency: %d; director peak: %d", atomic.LoadInt64(&peak), d.PeakConcurrency())
+	if d.PeakConcurrency() < 2 {
+		t.Errorf("parallel director never overlapped firings (peak %d)", d.PeakConcurrency())
+	}
+}
+
+func TestParallelDirectorNeverCoSchedulesOneActor(t *testing.T) {
+	const n = 200
+	wf := model.NewWorkflow("excl")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Minute), time.Millisecond, n,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	var inside, violations int64
+	lone := actors.NewFunc("lone", window.Passthrough(),
+		func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+			if atomic.AddInt64(&inside, 1) > 1 {
+				atomic.AddInt64(&violations, 1)
+			}
+			spinFor(50 * time.Microsecond)
+			atomic.AddInt64(&inside, -1)
+			emit(w.Tokens()[0])
+			return nil
+		})
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, lone, sink)
+	wf.MustConnect(src.Out(), lone.In())
+	wf.MustConnect(lone.Out(), sink.In())
+
+	d := stafilos.NewParallelDirector(sched.NewQBS(0), stafilos.Options{SourceInterval: 5}, 8)
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&violations) != 0 {
+		t.Fatalf("actor fired concurrently with itself %d times", violations)
+	}
+	if len(sink.Tokens) != n {
+		t.Fatalf("delivered %d, want %d", len(sink.Tokens), n)
+	}
+}
+
+func TestParallelDirectorErrorPropagates(t *testing.T) {
+	wf := model.NewWorkflow("err")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Minute), time.Millisecond, 50,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	bad := newFaultActor("bad")
+	bad.failFire = 3
+	wf.MustAdd(src, bad)
+	wf.MustConnect(src.Out(), bad.in)
+
+	d := stafilos.NewParallelDirector(sched.NewFIFO(), stafilos.Options{}, 2)
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err == nil {
+		t.Fatal("worker error not propagated")
+	}
+}
+
+func TestParallelDirectorStopWorkflow(t *testing.T) {
+	wf := model.NewWorkflow("stop")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Minute), time.Millisecond, 10000,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	n := int64(0)
+	sink := actors.NewSink("sink", window.Passthrough(),
+		func(ctx *model.FireContext, w *window.Window) error {
+			if atomic.AddInt64(&n, int64(w.Len())) >= 20 {
+				ctx.StopWorkflow()
+			}
+			return nil
+		})
+	wf.MustAdd(src, sink)
+	wf.MustConnect(src.Out(), sink.In())
+
+	d := stafilos.NewParallelDirector(sched.NewRR(0), stafilos.Options{}, 4)
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&n); got < 20 || got >= 10000 {
+		t.Errorf("stopped after %d events", got)
+	}
+}

@@ -1,0 +1,151 @@
+package stafilos_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// TestRandomTopologiesConserveEvents generates random layered DAGs of
+// pass-through actors with random fan-out/fan-in and runs them under a
+// randomly chosen policy, checking exact delivery counts: each source token
+// must reach every sink exactly (number of distinct source→sink paths)
+// times. This is the engine's broadest structural invariant.
+func TestRandomTopologiesConserveEvents(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			wf := model.NewWorkflow("random")
+			const nEvents = 40
+
+			src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, nEvents,
+				func(i int) value.Value { return value.Int(int64(i)) })
+			wf.MustAdd(src)
+
+			// Build 1-3 layers of 1-3 pass-through actors each.
+			type outNode struct {
+				port  *model.Port
+				paths int // distinct paths from the source to this output
+			}
+			prev := []outNode{{port: src.Out(), paths: 1}}
+			layers := 1 + rng.Intn(3)
+			id := 0
+			for l := 0; l < layers; l++ {
+				width := 1 + rng.Intn(3)
+				var next []outNode
+				for wI := 0; wI < width; wI++ {
+					id++
+					a := actors.NewMap(fmt.Sprintf("n%d", id), func(v value.Value) value.Value { return v })
+					wf.MustAdd(a)
+					// Connect from 1..len(prev) random upstream outputs.
+					nIn := 1 + rng.Intn(len(prev))
+					perm := rng.Perm(len(prev))[:nIn]
+					paths := 0
+					for _, pi := range perm {
+						wf.MustConnect(prev[pi].port, a.In())
+						paths += prev[pi].paths
+					}
+					next = append(next, outNode{port: a.Out(), paths: paths})
+				}
+				prev = next
+			}
+			// Every remaining output feeds the sink.
+			sink := actors.NewCollect("sink")
+			wf.MustAdd(sink)
+			wantPerToken := 0
+			for _, n := range prev {
+				wf.MustConnect(n.port, sink.In())
+				wantPerToken += n.paths
+			}
+
+			policies := []func() stafilos.Scheduler{
+				func() stafilos.Scheduler { return sched.NewQBS(time.Millisecond) },
+				func() stafilos.Scheduler { return sched.NewRR(time.Millisecond) },
+				func() stafilos.Scheduler { return sched.NewRB() },
+				func() stafilos.Scheduler { return sched.NewFIFO() },
+				func() stafilos.Scheduler { return sched.NewLQF() },
+				func() stafilos.Scheduler { return sched.NewEDF(nil, 0) },
+			}
+			d := stafilos.NewDirector(policies[rng.Intn(len(policies))](), stafilos.Options{
+				Clock:          clock.NewVirtual(),
+				Cost:           stafilos.UniformCostModel{Cost: time.Duration(1+rng.Intn(200)) * time.Microsecond},
+				SourceInterval: 1 + rng.Intn(8),
+			})
+			if err := d.Setup(wf); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			if len(sink.Tokens) != nEvents*wantPerToken {
+				t.Fatalf("%s over %d layers: sink got %d tokens, want %d (%d paths)",
+					d.Name(), layers, len(sink.Tokens), nEvents*wantPerToken, wantPerToken)
+			}
+			counts := map[int64]int{}
+			for _, tok := range sink.Tokens {
+				counts[int64(tok.(value.Int))]++
+			}
+			for i := int64(0); i < nEvents; i++ {
+				if counts[i] != wantPerToken {
+					t.Fatalf("token %d delivered %d times, want %d", i, counts[i], wantPerToken)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomWindowedPipelines runs random tumbling-window aggregation
+// chains and checks the aggregate count matches the closed-form value.
+func TestRandomWindowedPipelines(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 100))
+			n := 50 + rng.Intn(200)
+			size := 1 + rng.Intn(7)
+
+			wf := model.NewWorkflow("win")
+			src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Millisecond, n,
+				func(i int) value.Value { return value.Int(int64(i)) })
+			agg := actors.NewAggregate("agg",
+				window.Spec{Unit: window.Tuples, Size: size, Step: size},
+				func(w *window.Window) value.Value { return value.Int(int64(w.Len())) })
+			sink := actors.NewCollect("sink")
+			wf.MustAdd(src, agg, sink)
+			wf.MustConnect(src.Out(), agg.In())
+			wf.MustConnect(agg.Out(), sink.In())
+
+			d := stafilos.NewDirector(sched.NewQBS(0), stafilos.Options{
+				Clock:          clock.NewVirtual(),
+				Cost:           stafilos.UniformCostModel{Cost: 20 * time.Microsecond},
+				SourceInterval: 5,
+			})
+			if err := d.Setup(wf); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if want := n / size; len(sink.Tokens) != want {
+				t.Fatalf("n=%d size=%d: aggregates = %d, want %d", n, size, len(sink.Tokens), want)
+			}
+			for _, tok := range sink.Tokens {
+				if int64(tok.(value.Int)) != int64(size) {
+					t.Fatalf("window size = %v, want %d", tok, size)
+				}
+			}
+		})
+	}
+}

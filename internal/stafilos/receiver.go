@@ -1,0 +1,92 @@
+package stafilos
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// TMReceiver is the TM Windowed Receiver: the receiver the SCWF director
+// installs on every input port. It extends the Windowed Receiver of the
+// thread-based engine with the TM domain's scheduler interaction — when an
+// upstream actor broadcasts an event, put() runs the window operator on the
+// appropriate group-by queue, and any produced window is enqueued at the
+// owning actor's ready queue in the scheduler. Timed windows additionally
+// register window-timeout deadlines, which the director polls so a timed
+// window is produced even before an event from the next window arrives to
+// close it.
+type TMReceiver struct {
+	port    *model.Port
+	op      *window.Operator
+	clk     clock.Clock
+	stats   *stats.Registry
+	enqueue func(ReadyItem)
+	// expireTo optionally receives expired events (the expired-items queue
+	// wired to another activity).
+	expireTo func([]*event.Event)
+}
+
+// NewTMReceiver builds a receiver for port applying the port's window spec.
+// enqueue delivers produced windows to the scheduler.
+func NewTMReceiver(port *model.Port, clk clock.Clock, st *stats.Registry, enqueue func(ReadyItem)) *TMReceiver {
+	return &TMReceiver{
+		port:    port,
+		op:      window.New(port.Spec()),
+		clk:     clk,
+		stats:   st,
+		enqueue: enqueue,
+	}
+}
+
+// Port returns the input port the receiver serves.
+func (r *TMReceiver) Port() *model.Port { return r.port }
+
+// Operator exposes the underlying window operator (tests, diagnostics).
+func (r *TMReceiver) Operator() *window.Operator { return r.op }
+
+// SetExpiredHandler wires the expired-items queue to a consumer.
+func (r *TMReceiver) SetExpiredHandler(f func([]*event.Event)) { r.expireTo = f }
+
+// Put implements model.Receiver: it timestamps the event into the
+// appropriate group-by queue, evaluates the window semantics, and enqueues
+// any produced window at the scheduler.
+func (r *TMReceiver) Put(ev *event.Event) {
+	now := r.clk.Now()
+	if r.stats != nil {
+		r.stats.RecordArrival(r.port.Owner().Name(), 1, now)
+	}
+	for _, w := range r.op.Put(ev, now) {
+		r.enqueue(NewItem(r.port.Owner(), r.port, w))
+	}
+	r.flushExpired()
+}
+
+// OnTime forces out windows whose formation timeout passed and returns how
+// many were produced.
+func (r *TMReceiver) OnTime(now time.Time) int {
+	ws := r.op.OnTime(now)
+	for _, w := range ws {
+		r.enqueue(NewItem(r.port.Owner(), r.port, w))
+	}
+	r.flushExpired()
+	return len(ws)
+}
+
+// NextDeadline reports the earliest pending window-timeout deadline.
+func (r *TMReceiver) NextDeadline() (time.Time, bool) { return r.op.NextDeadline() }
+
+func (r *TMReceiver) flushExpired() {
+	if r.expireTo == nil {
+		// Drop expired items when nothing consumes them, keeping memory
+		// bounded.
+		r.op.DrainExpired()
+		return
+	}
+	if exp := r.op.DrainExpired(); len(exp) > 0 {
+		r.expireTo(exp)
+	}
+}

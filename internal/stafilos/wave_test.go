@@ -1,0 +1,172 @@
+package stafilos_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// TestWaveSynchronization exercises the paper's wave semantics end to end:
+// each external event starts a wave; a splitter fans it into sub-events
+// that travel two different paths; a downstream wave window re-synchronizes
+// everything belonging to a single wave, no matter which path it took.
+func TestWaveSynchronization(t *testing.T) {
+	const nWaves = 12
+
+	wf := model.NewWorkflow("waves")
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Second, nWaves,
+		func(i int) value.Value { return value.Int(int64(i)) })
+
+	// Splitter: 3 sub-events per external event (wave-tags t.1, t.2, t.3).
+	split := actors.NewFunc("split", window.Passthrough(),
+		func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+			base := int64(w.Tokens()[0].(value.Int))
+			for k := int64(0); k < 3; k++ {
+				emit(value.Int(base*10 + k))
+			}
+			return nil
+		})
+
+	// Two processing paths with different transformations.
+	double := actors.NewMap("double", func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) * 2)
+	})
+	negate := actors.NewMap("negate", func(v value.Value) value.Value {
+		return value.Int(-int64(v.(value.Int)))
+	})
+
+	// Wave join: one whole wave per window (timeout closes the last wave).
+	var waves [][]int64
+	join := actors.NewSink("join", window.Spec{
+		Unit: window.Waves, Size: 1, Step: 1, Timeout: 2 * time.Second,
+	}, func(_ *model.FireContext, w *window.Window) error {
+		var vals []int64
+		for _, tok := range w.Tokens() {
+			vals = append(vals, int64(tok.(value.Int)))
+		}
+		// All member events must belong to one wave.
+		root := w.Events[0].Wave
+		for _, ev := range w.Events {
+			if !ev.Wave.SameWave(root) {
+				t.Errorf("window mixes waves: %v and %v", root, ev.Wave)
+			}
+		}
+		waves = append(waves, vals)
+		return nil
+	})
+
+	wf.MustAdd(src, split, double, negate, join)
+	wf.MustConnect(src.Out(), split.In())
+	wf.MustConnect(split.Out(), double.In())
+	wf.MustConnect(split.Out(), negate.In())
+	wf.MustConnect(double.Out(), join.In())
+	wf.MustConnect(negate.Out(), join.In()) // fan-in: both paths re-join
+
+	d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: 100 * time.Microsecond},
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(waves) != nWaves {
+		t.Fatalf("joined %d waves, want %d", len(waves), nWaves)
+	}
+	for i, vals := range waves {
+		// Each wave carries 3 doubled and 3 negated sub-events: for
+		// external value b, the multiset {2·(10b+k)} ∪ {−(10b+k)}, k<3.
+		if len(vals) != 6 {
+			t.Fatalf("wave %d has %d events, want 6: %v", i, len(vals), vals)
+		}
+		b := int64(i)
+		want := map[int64]int{}
+		for k := int64(0); k < 3; k++ {
+			want[2*(b*10+k)]++
+			want[-(b*10+k)]++
+		}
+		got := map[int64]int{}
+		for _, v := range vals {
+			got[v]++
+		}
+		for v, n := range want {
+			if got[v] != n {
+				t.Errorf("wave %d composition wrong: got %v, want %v", i, vals, want)
+				break
+			}
+		}
+	}
+}
+
+// TestWaveTagsPropagateThroughEngine checks that sub-wave hierarchies form
+// when produced events are processed again (t.k -> t.k.j).
+func TestWaveTagsPropagateThroughEngine(t *testing.T) {
+	wf := model.NewWorkflow("subwaves")
+	src := actors.NewGenerator("src", time.Unix(0, 0).UTC(), time.Second, 2,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	splitA := actors.NewFunc("splitA", window.Passthrough(),
+		func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+			emit(w.Tokens()[0])
+			emit(w.Tokens()[0])
+			return nil
+		})
+	splitB := actors.NewFunc("splitB", window.Passthrough(),
+		func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+			emit(w.Tokens()[0])
+			emit(w.Tokens()[0])
+			emit(w.Tokens()[0])
+			return nil
+		})
+	var depths []int
+	var lastCount int
+	sink := actors.NewSink("sink", window.Passthrough(),
+		func(_ *model.FireContext, w *window.Window) error {
+			for _, ev := range w.Events {
+				depths = append(depths, ev.Wave.Depth())
+				if ev.Wave.Last {
+					lastCount++
+				}
+			}
+			return nil
+		})
+	wf.MustAdd(src, splitA, splitB, sink)
+	wf.MustConnect(src.Out(), splitA.In())
+	wf.MustConnect(splitA.Out(), splitB.In())
+	wf.MustConnect(splitB.Out(), sink.In())
+
+	d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{
+		Clock: clock.NewVirtual(),
+		Cost:  stafilos.UniformCostModel{Cost: 10 * time.Microsecond},
+	})
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// 2 external events × 2 (splitA) × 3 (splitB) = 12 leaf events, all at
+	// wave depth 2 (t.k.j).
+	if len(depths) != 12 {
+		t.Fatalf("sink saw %d events, want 12", len(depths))
+	}
+	for i, dth := range depths {
+		if dth != 2 {
+			t.Errorf("event %d wave depth = %d, want 2", i, dth)
+		}
+	}
+	// splitB marks its 3rd emission last-of-subwave: 2×2 = 4 last markers.
+	if lastCount != 4 {
+		t.Errorf("last-of-wave markers = %d, want 4", lastCount)
+	}
+}

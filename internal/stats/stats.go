@@ -1,0 +1,182 @@
+// Package stats implements STAFiLOS's actor statistics module. It keeps
+// track of the cost of each actor (time per invocation), actor input rates
+// and actor output rates, which in turn give the actor's selectivity. The
+// statistics are updated dynamically with each actor invocation and are
+// exposed to every scheduler implemented within the framework, so that
+// policies can make smart resource-allocation decisions (e.g. the Rate
+// Based scheduler's Pr(A) = S_A / C_A).
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ewmaAlpha is the smoothing factor for per-invocation cost, chosen like
+// TCP's RTT estimator: responsive but stable.
+const ewmaAlpha = 0.125
+
+// rateWindow is the horizon over which input/output rates are measured.
+const rateWindow = 5 * time.Second
+
+// Actor aggregates the runtime statistics of one actor. The zero value is
+// ready to use.
+type Actor struct {
+	// Invocations counts completed firings.
+	Invocations int64
+	// TotalCost is the summed firing cost.
+	TotalCost time.Duration
+	// EWMACost is the smoothed per-invocation cost.
+	EWMACost time.Duration
+	// InputEvents and OutputEvents are cumulative event counts.
+	InputEvents  int64
+	OutputEvents int64
+	// InputRate and OutputRate are recent events/second, measured over
+	// rateWindow.
+	InputRate  float64
+	OutputRate float64
+
+	// rate measurement state
+	winStart time.Time
+	winIn    int64
+	winOut   int64
+	rateInit bool
+}
+
+// AvgCost returns the cumulative mean cost per invocation.
+func (a Actor) AvgCost() time.Duration {
+	if a.Invocations == 0 {
+		return 0
+	}
+	return a.TotalCost / time.Duration(a.Invocations)
+}
+
+// Selectivity returns the actor's measured selectivity: output events per
+// input event. Actors that have consumed nothing report selectivity 1 (the
+// neutral assumption the Rate Based scheduler starts from).
+func (a Actor) Selectivity() float64 {
+	if a.InputEvents == 0 {
+		return 1
+	}
+	return float64(a.OutputEvents) / float64(a.InputEvents)
+}
+
+// Cost returns the actor's cost estimate in seconds, preferring the
+// smoothed value and falling back to the cumulative mean.
+func (a Actor) Cost() float64 {
+	c := a.EWMACost
+	if c == 0 {
+		c = a.AvgCost()
+	}
+	return c.Seconds()
+}
+
+// Registry holds statistics for all actors of a workflow. The zero value
+// is ready to use. It is safe for
+// concurrent use: the thread-based PNCWF director updates it from many
+// goroutines, the SCWF director from its dispatch loop.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*Actor
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Actor)}
+}
+
+func (r *Registry) get(name string) *Actor {
+	if r.m == nil {
+		r.m = make(map[string]*Actor)
+	}
+	a, ok := r.m[name]
+	if !ok {
+		a = &Actor{}
+		r.m[name] = a
+	}
+	return a
+}
+
+// RecordFiring records one completed invocation of the named actor: its
+// measured (or modelled) cost, how many events it consumed and how many it
+// produced, at engine time now.
+func (r *Registry) RecordFiring(name string, cost time.Duration, consumed, produced int, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.get(name)
+	a.Invocations++
+	a.TotalCost += cost
+	if a.EWMACost == 0 {
+		a.EWMACost = cost
+	} else {
+		a.EWMACost = time.Duration((1-ewmaAlpha)*float64(a.EWMACost) + ewmaAlpha*float64(cost))
+	}
+	a.InputEvents += int64(consumed)
+	a.OutputEvents += int64(produced)
+	a.roll(now)
+	a.winIn += int64(consumed)
+	a.winOut += int64(produced)
+}
+
+// RecordArrival records n events arriving at the named actor's queues; it
+// feeds the input-rate estimate independent of firings.
+func (r *Registry) RecordArrival(name string, n int, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.get(name)
+	a.roll(now)
+	a.winIn += int64(n)
+}
+
+// roll advances the rate-measurement window and folds the finished window
+// into the published rates.
+func (a *Actor) roll(now time.Time) {
+	if !a.rateInit {
+		a.rateInit = true
+		a.winStart = now
+		return
+	}
+	elapsed := now.Sub(a.winStart)
+	if elapsed < rateWindow {
+		return
+	}
+	sec := elapsed.Seconds()
+	a.InputRate = float64(a.winIn) / sec
+	a.OutputRate = float64(a.winOut) / sec
+	a.winIn, a.winOut = 0, 0
+	a.winStart = now
+}
+
+// Get returns a copy of the named actor's statistics.
+func (r *Registry) Get(name string) Actor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a, ok := r.m[name]; ok {
+		return *a
+	}
+	return Actor{}
+}
+
+// Snapshot returns a copy of all statistics keyed by actor name.
+func (r *Registry) Snapshot() map[string]Actor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Actor, len(r.m))
+	for k, v := range r.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// Names returns the recorded actor names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+func TestRecordFiringAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.RecordFiring("A", 10*time.Millisecond, 1, 2, at(0))
+	r.RecordFiring("A", 30*time.Millisecond, 1, 0, at(1))
+	a := r.Get("A")
+	if a.Invocations != 2 {
+		t.Errorf("Invocations = %d", a.Invocations)
+	}
+	if a.TotalCost != 40*time.Millisecond {
+		t.Errorf("TotalCost = %v", a.TotalCost)
+	}
+	if a.AvgCost() != 20*time.Millisecond {
+		t.Errorf("AvgCost = %v", a.AvgCost())
+	}
+	if a.InputEvents != 2 || a.OutputEvents != 2 {
+		t.Errorf("events in/out = %d/%d", a.InputEvents, a.OutputEvents)
+	}
+	if got := a.Selectivity(); got != 1 {
+		t.Errorf("Selectivity = %v", got)
+	}
+}
+
+func TestEWMACostConvergesAndSmooths(t *testing.T) {
+	r := NewRegistry()
+	// First sample seeds the EWMA directly.
+	r.RecordFiring("A", 100*time.Millisecond, 1, 1, at(0))
+	if got := r.Get("A").EWMACost; got != 100*time.Millisecond {
+		t.Fatalf("seed EWMA = %v", got)
+	}
+	// A single outlier moves the estimate only by alpha.
+	r.RecordFiring("A", 900*time.Millisecond, 1, 1, at(1))
+	got := r.Get("A").EWMACost
+	want := time.Duration(0.875*float64(100*time.Millisecond) + 0.125*float64(900*time.Millisecond))
+	if got != want {
+		t.Errorf("EWMA after outlier = %v, want %v", got, want)
+	}
+	// Repeated samples converge to the new level.
+	for i := 0; i < 200; i++ {
+		r.RecordFiring("A", 50*time.Millisecond, 1, 1, at(int64(2+i)))
+	}
+	if got := r.Get("A").EWMACost; got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Errorf("EWMA did not converge: %v", got)
+	}
+}
+
+func TestSelectivityNeutralWithoutInput(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Get("never").Selectivity(); got != 1 {
+		t.Errorf("untouched actor selectivity = %v, want 1", got)
+	}
+	r.RecordFiring("filter", time.Millisecond, 4, 1, at(0))
+	if got := r.Get("filter").Selectivity(); got != 0.25 {
+		t.Errorf("Selectivity = %v, want 0.25", got)
+	}
+}
+
+func TestRatesMeasuredOverWindow(t *testing.T) {
+	r := NewRegistry()
+	// 10 arrivals per second for 6 seconds: rate should read ~10/s once the
+	// first 5-second window rolls.
+	for sec := 0; sec < 6; sec++ {
+		for i := 0; i < 10; i++ {
+			r.RecordArrival("A", 1, at(int64(sec)))
+		}
+	}
+	a := r.Get("A")
+	if a.InputRate < 9 || a.InputRate > 13 {
+		t.Errorf("InputRate = %v, want ~10", a.InputRate)
+	}
+}
+
+func TestOutputRate(t *testing.T) {
+	r := NewRegistry()
+	for sec := 0; sec < 12; sec++ {
+		r.RecordFiring("A", time.Millisecond, 1, 3, at(int64(sec)))
+	}
+	a := r.Get("A")
+	if a.OutputRate < 2 || a.OutputRate > 4 {
+		t.Errorf("OutputRate = %v, want ~3", a.OutputRate)
+	}
+	if a.InputRate < 0.5 || a.InputRate > 1.5 {
+		t.Errorf("InputRate = %v, want ~1", a.InputRate)
+	}
+}
+
+func TestCostFallsBackToAverage(t *testing.T) {
+	a := Actor{Invocations: 2, TotalCost: 10 * time.Millisecond}
+	if got := a.Cost(); got != 0.005 {
+		t.Errorf("Cost fallback = %v, want 0.005", got)
+	}
+	a.EWMACost = 20 * time.Millisecond
+	if got := a.Cost(); got != 0.02 {
+		t.Errorf("Cost = %v, want 0.02", got)
+	}
+	var zero Actor
+	if zero.Cost() != 0 || zero.AvgCost() != 0 {
+		t.Error("zero actor should report zero cost")
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.RecordFiring("B", time.Millisecond, 1, 1, at(0))
+	r.RecordFiring("A", time.Millisecond, 1, 1, at(0))
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	// Mutating the snapshot must not affect the registry.
+	s := snap["A"]
+	s.Invocations = 999
+	if r.Get("A").Invocations != 1 {
+		t.Error("snapshot aliases registry state")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.RecordFiring("A", time.Microsecond, 1, 1, at(int64(i)))
+				r.RecordArrival("A", 1, at(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	a := r.Get("A")
+	if a.Invocations != 8000 {
+		t.Errorf("Invocations = %d, want 8000", a.Invocations)
+	}
+	if a.InputEvents != 8000 {
+		t.Errorf("InputEvents = %d, want 8000", a.InputEvents)
+	}
+}
+
+// Property: invariants hold under arbitrary sequences of recordings —
+// totals are sums, selectivity = out/in, EWMA stays within observed bounds.
+func TestStatsInvariantsProperty(t *testing.T) {
+	f := func(costsMs []uint8, produced []uint8) bool {
+		r := NewRegistry()
+		var total time.Duration
+		var in, out int64
+		minC, maxC := time.Duration(1<<62), time.Duration(0)
+		n := len(costsMs)
+		if len(produced) < n {
+			n = len(produced)
+		}
+		for i := 0; i < n; i++ {
+			c := time.Duration(int(costsMs[i])+1) * time.Millisecond
+			p := int(produced[i] % 5)
+			r.RecordFiring("A", c, 1, p, at(int64(i)))
+			total += c
+			in++
+			out += int64(p)
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		a := r.Get("A")
+		if a.TotalCost != total || a.InputEvents != in || a.OutputEvents != out {
+			return false
+		}
+		if in > 0 {
+			if a.Selectivity() != float64(out)/float64(in) {
+				return false
+			}
+			if a.EWMACost < minC || a.EWMACost > maxC {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Encode serializes a Value to a self-describing JSON document so that
+// Decode restores the exact kind (ints stay ints, floats stay floats) —
+// the wire format used when events cross node boundaries in distributed
+// workflows.
+func Encode(v Value) ([]byte, error) {
+	return json.Marshal(tag(v))
+}
+
+// tag converts a Value into the tagged wire representation.
+func tag(v Value) map[string]any {
+	switch t := v.(type) {
+	case nil, Nil:
+		return map[string]any{"t": "z"}
+	case Bool:
+		return map[string]any{"t": "b", "v": bool(t)}
+	case Int:
+		// Ints travel as strings: JSON numbers round-trip through float64
+		// and would lose precision beyond 2^53.
+		return map[string]any{"t": "i", "v": strconv.FormatInt(int64(t), 10)}
+	case Float:
+		return map[string]any{"t": "f", "v": float64(t)}
+	case Str:
+		return map[string]any{"t": "s", "v": string(t)}
+	case List:
+		items := make([]any, len(t))
+		for i, e := range t {
+			items[i] = tag(e)
+		}
+		return map[string]any{"t": "l", "v": items}
+	case Record:
+		fields := make([]any, 0, 2*t.Len())
+		for _, name := range t.Names() {
+			fields = append(fields, name, tag(t.Field(name)))
+		}
+		return map[string]any{"t": "r", "v": fields}
+	default:
+		return map[string]any{"t": "s", "v": v.String()}
+	}
+}
+
+// Decode restores a Value from Encode's output.
+func Decode(data []byte) (Value, error) {
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("value: decode: %w", err)
+	}
+	return untag(raw)
+}
+
+func untag(raw any) (Value, error) {
+	m, ok := raw.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("value: decode: not a tagged value: %T", raw)
+	}
+	kind, _ := m["t"].(string)
+	switch kind {
+	case "z":
+		return Nil{}, nil
+	case "b":
+		b, ok := m["v"].(bool)
+		if !ok {
+			return nil, fmt.Errorf("value: decode: bad bool payload")
+		}
+		return Bool(b), nil
+	case "i":
+		s, ok := m["v"].(string)
+		if !ok {
+			return nil, fmt.Errorf("value: decode: bad int payload")
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("value: decode: bad int %q", s)
+		}
+		return Int(n), nil
+	case "f":
+		f, ok := m["v"].(float64)
+		if !ok {
+			return nil, fmt.Errorf("value: decode: bad float payload")
+		}
+		return Float(f), nil
+	case "s":
+		s, ok := m["v"].(string)
+		if !ok {
+			return nil, fmt.Errorf("value: decode: bad string payload")
+		}
+		return Str(s), nil
+	case "l":
+		items, ok := m["v"].([]any)
+		if !ok {
+			return nil, fmt.Errorf("value: decode: bad list payload")
+		}
+		out := make(List, len(items))
+		for i, e := range items {
+			v, err := untag(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case "r":
+		fields, ok := m["v"].([]any)
+		if !ok || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("value: decode: bad record payload")
+		}
+		pairs := make([]any, 0, len(fields))
+		for i := 0; i < len(fields); i += 2 {
+			name, ok := fields[i].(string)
+			if !ok {
+				return nil, fmt.Errorf("value: decode: record field name is %T", fields[i])
+			}
+			v, err := untag(fields[i+1])
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, name, v)
+		}
+		return NewRecord(pairs...), nil
+	default:
+		return nil, fmt.Errorf("value: decode: unknown tag %q", kind)
+	}
+}

