@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: tier1 race vet bench build test
+
+# tier1 is the acceptance gate: everything builds and every test passes.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench reruns the hot-path microbenchmarks whose numbers are recorded in
+# BENCH_hotpath.json (see DESIGN.md, section "Hot path").
+bench:
+	$(GO) test ./internal/director/ -run xxx -bench . -benchtime 2s -count 1

@@ -22,14 +22,20 @@ import (
 // waiting thread itself — it waits only until the window-formation deadline
 // and then forces the receiver to produce the window.
 type BlockingReceiver struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	op     *window.Operator
+	mu   sync.Mutex
+	cond *sync.Cond
+	op   *window.Operator
+	// ready[head:] are the produced-but-unconsumed windows; consumed slots
+	// are nilled out so the backing array does not retain them, and the
+	// queue compacts when the dead prefix dominates.
 	ready  []*window.Window
+	head   int
 	closed bool
 	clk    clock.Clock
-	// pendingWindows counts produced-but-unconsumed windows for
-	// quiescence detection.
+	// timer is the reusable deadline timer that nudges cond at
+	// window-formation deadlines; allocated on first use.
+	timer *time.Timer
+	// arrivals counts delivered events for quiescence detection.
 	arrivals int64
 }
 
@@ -45,12 +51,51 @@ func (r *BlockingReceiver) Put(ev *event.Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.arrivals++
+	oldDL, hadDL := r.op.NextDeadline()
 	ws := r.op.Put(ev, r.clk.Now())
 	r.op.DrainExpired()
 	if len(ws) > 0 {
 		r.ready = append(r.ready, ws...)
 		r.cond.Broadcast()
+	} else if r.deadlineChangedLocked(oldDL, hadDL) {
+		r.cond.Broadcast()
 	}
+}
+
+// PutBatch implements model.BatchReceiver: a whole emission set is taken
+// under one lock acquisition, swept through the window operator once, and
+// waiting actor threads are woken with a single broadcast.
+func (r *BlockingReceiver) PutBatch(evs []*event.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.arrivals += int64(len(evs))
+	oldDL, hadDL := r.op.NextDeadline()
+	now := r.clk.Now()
+	produced := false
+	for _, ev := range evs {
+		if ws := r.op.Put(ev, now); len(ws) > 0 {
+			r.ready = append(r.ready, ws...)
+			produced = true
+		}
+	}
+	r.op.DrainExpired()
+	if produced || r.deadlineChangedLocked(oldDL, hadDL) {
+		r.cond.Broadcast()
+	}
+}
+
+// deadlineChangedLocked reports whether the operator's earliest
+// window-formation deadline appeared or moved. A put that creates or
+// advances a deadline without completing a window must still wake parked
+// readers: a reader that went to sleep when no deadline existed holds no
+// wake-up timer, so without this signal a timed window with no successor
+// event would never be forced out.
+func (r *BlockingReceiver) deadlineChangedLocked(oldDL time.Time, hadDL bool) bool {
+	newDL, hasDL := r.op.NextDeadline()
+	return hasDL && (!hadDL || !newDL.Equal(oldDL))
 }
 
 // Close wakes all blocked readers permanently; Get returns false once the
@@ -66,15 +111,20 @@ func (r *BlockingReceiver) Close() {
 func (r *BlockingReceiver) Pending() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.ready) > 0
+	return r.head < len(r.ready)
 }
 
 // HasDeadline reports whether a timed window could still be forced out.
 func (r *BlockingReceiver) HasDeadline() bool {
+	_, ok := r.NextDeadline()
+	return ok
+}
+
+// NextDeadline reports the earliest pending window-formation deadline.
+func (r *BlockingReceiver) NextDeadline() (time.Time, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.op.NextDeadline()
-	return ok
+	return r.op.NextDeadline()
 }
 
 // Get blocks until a window is available (or the receiver closes). The
@@ -84,10 +134,8 @@ func (r *BlockingReceiver) Get() (*window.Window, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
-		if len(r.ready) > 0 {
-			w := r.ready[0]
-			r.ready = r.ready[1:]
-			return w, true
+		if r.head < len(r.ready) {
+			return r.popLocked(), true
 		}
 		now := r.clk.Now()
 		if dl, ok := r.op.NextDeadline(); ok && !dl.After(now) {
@@ -104,22 +152,81 @@ func (r *BlockingReceiver) Get() (*window.Window, bool) {
 	}
 }
 
+// GetBatch blocks like Get until at least one window is available, then
+// pops up to max ready windows under the one lock acquisition, appending
+// them to buf (pass a reused buffer sliced to length 0). It returns false
+// when the receiver is closed and drained. Batching the pops lets an actor
+// thread amortize the lock, the deadline bookkeeping and — through the
+// batched broadcast — the downstream delivery over the whole run of
+// windows that piled up while it was firing.
+func (r *BlockingReceiver) GetBatch(buf []*window.Window, max int) ([]*window.Window, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.head < len(r.ready) {
+			for len(buf) < max && r.head < len(r.ready) {
+				buf = append(buf, r.popLocked())
+			}
+			return buf, true
+		}
+		now := r.clk.Now()
+		if dl, ok := r.op.NextDeadline(); ok && !dl.After(now) {
+			if ws := r.op.OnTime(now); len(ws) > 0 {
+				r.ready = append(r.ready, ws...)
+				r.op.DrainExpired()
+				continue
+			}
+		}
+		if r.closed {
+			return buf, false
+		}
+		r.waitLocked()
+	}
+}
+
+// popLocked removes and returns the head window. The vacated slot is
+// nilled so the consumed window becomes collectable immediately, and the
+// queue is compacted once the dead prefix outweighs the live tail.
+func (r *BlockingReceiver) popLocked() *window.Window {
+	w := r.ready[r.head]
+	r.ready[r.head] = nil
+	r.head++
+	switch {
+	case r.head == len(r.ready):
+		r.ready = r.ready[:0]
+		r.head = 0
+	case r.head >= 32 && r.head*2 >= len(r.ready):
+		n := copy(r.ready, r.ready[r.head:])
+		for i := n; i < len(r.ready); i++ {
+			r.ready[i] = nil
+		}
+		r.ready = r.ready[:n]
+		r.head = 0
+	}
+	return w
+}
+
 // waitLocked blocks until signalled or until the next window deadline.
 func (r *BlockingReceiver) waitLocked() {
 	if dl, ok := r.op.NextDeadline(); ok {
-		// Wake ourselves at the deadline: a real-time timer nudges the
-		// condition variable so the waiting thread can raise the timeout.
+		// Wake ourselves at the deadline: the receiver's reusable timer
+		// nudges the condition variable so the waiting thread can raise the
+		// timeout.
 		d := time.Until(dl)
 		if d < 0 {
 			d = 0
 		}
-		t := time.AfterFunc(d, func() {
-			r.mu.Lock()
-			r.cond.Broadcast()
-			r.mu.Unlock()
-		})
+		if r.timer == nil {
+			r.timer = time.AfterFunc(d, func() {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			})
+		} else {
+			r.timer.Reset(d)
+		}
 		r.cond.Wait()
-		t.Stop()
+		r.timer.Stop()
 		return
 	}
 	r.cond.Wait()

@@ -30,6 +30,16 @@ func (r *queueReceiver) Put(ev *event.Event) {
 	r.ready = append(r.ready, ws...)
 }
 
+// PutBatch implements model.BatchReceiver: one window-operator sweep and
+// one expired-queue drain for the whole emission set.
+func (r *queueReceiver) PutBatch(evs []*event.Event) {
+	now := r.clk.Now()
+	for _, ev := range evs {
+		r.ready = append(r.ready, r.op.Put(ev, now)...)
+	}
+	r.op.DrainExpired()
+}
+
 // inject delivers a pre-formed window (from the composite's external port).
 func (r *queueReceiver) inject(w *window.Window) { r.ready = append(r.ready, w) }
 
@@ -64,10 +74,11 @@ type InsideDirector interface {
 // and non-constant production rates (the paper uses it for the Linear Road
 // sub-workflows with fluid rates).
 type DDF struct {
-	wf    *model.Workflow
-	clk   clock.Clock
-	recvs map[*model.Port]*queueReceiver
-	ctxs  map[string]*model.FireContext
+	wf      *model.Workflow
+	clk     clock.Clock
+	recvs   map[*model.Port]*queueReceiver
+	ctxs    map[string]*model.FireContext
+	scratch []*event.Event
 }
 
 // NewDDF returns a fresh DDF inside-director.
@@ -153,12 +164,19 @@ func (d *DDF) fire(a model.Actor, p *model.Port, w *window.Window, hook EmitHook
 			return fmt.Errorf("director: DDF postfire %s: %w", a.Name(), err)
 		}
 	}
-	for _, em := range ctx.EndFiring() {
-		if hook != nil && hook(em) {
-			continue
+	emissions := ctx.EndFiring()
+	if hook != nil {
+		// Filter consumed emissions in place (the slice is ours until the
+		// next BeginFiring), then deliver the remainder batched.
+		keep := emissions[:0]
+		for _, em := range emissions {
+			if !hook(em) {
+				keep = append(keep, em)
+			}
 		}
-		em.Port.Broadcast(em.Ev)
+		emissions = keep
 	}
+	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
 	return nil
 }
 

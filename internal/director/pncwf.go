@@ -30,6 +30,14 @@ type PNCWF struct {
 	mu      sync.Mutex
 	firing  int // actors currently inside fire()
 	stopped bool
+	// liveSources counts source-controller goroutines still running; a
+	// source goroutine exits exactly when its source is exhausted (or the
+	// run ends), so the monitor never touches actor state concurrently.
+	liveSources int
+	// wake nudges the quiescence monitor whenever engine state changes
+	// (firing completed, source exhausted, stop requested), so the monitor
+	// sleeps instead of busy-ticking.
+	wake chan struct{}
 }
 
 // PNCWFOptions configures the thread-based director.
@@ -46,7 +54,7 @@ func NewPNCWF(opts PNCWFOptions) *PNCWF {
 	if opts.Stats == nil {
 		opts.Stats = stats.NewRegistry()
 	}
-	return &PNCWF{clk: clock.NewReal(), stats: opts.Stats}
+	return &PNCWF{clk: clock.NewReal(), stats: opts.Stats, wake: make(chan struct{}, 1)}
 }
 
 // Name implements model.Director.
@@ -100,8 +108,17 @@ func (d *PNCWF) Run(ctx context.Context) error {
 	for _, a := range d.wf.Actors() {
 		wg.Add(1)
 		if sources[a.Name()] {
+			d.mu.Lock()
+			d.liveSources++
+			d.mu.Unlock()
 			go func(a model.Actor) {
 				defer wg.Done()
+				defer func() {
+					d.mu.Lock()
+					d.liveSources--
+					d.mu.Unlock()
+					d.poke()
+				}()
 				if err := d.runSource(runCtx, a); err != nil {
 					errCh <- err
 					cancel()
@@ -110,6 +127,7 @@ func (d *PNCWF) Run(ctx context.Context) error {
 		} else {
 			go func(a model.Actor) {
 				defer wg.Done()
+				defer d.poke()
 				if err := d.runActor(runCtx, a); err != nil {
 					errCh <- err
 					cancel()
@@ -119,24 +137,14 @@ func (d *PNCWF) Run(ctx context.Context) error {
 	}
 
 	// Quiescence monitor: when the workflow can make no further progress,
-	// close the receivers so blocked actor threads drain and exit.
+	// close the receivers so blocked actor threads drain and exit. It is
+	// deadline-aware: it sleeps until poked by engine activity or until the
+	// earliest window-formation deadline (with a coarse safety tick), so an
+	// idle workflow does not burn a core busy-polling.
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
-		ticker := time.NewTicker(2 * time.Millisecond)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-runCtx.Done():
-				d.closeAll()
-				return
-			case <-ticker.C:
-				if d.quiescent() {
-					d.closeAll()
-					return
-				}
-			}
-		}
+		d.monitor(runCtx)
 	}()
 
 	wg.Wait()
@@ -153,6 +161,63 @@ func (d *PNCWF) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// monitor waits for quiescence, sleeping between checks until engine
+// activity (poke) or the next receiver deadline.
+func (d *PNCWF) monitor(ctx context.Context) {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		if d.quiescent() {
+			d.closeAll()
+			return
+		}
+		wait := 250 * time.Millisecond // safety tick when no deadline exists
+		if dl, ok := d.earliestDeadline(); ok {
+			if w := time.Until(dl) + time.Millisecond; w < wait {
+				wait = w
+			}
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-ctx.Done():
+			d.closeAll()
+			return
+		case <-d.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// poke nudges the quiescence monitor without blocking.
+func (d *PNCWF) poke() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// earliestDeadline scans receivers for the soonest window-formation
+// deadline.
+func (d *PNCWF) earliestDeadline() (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, r := range d.receivers {
+		if dl, ok := r.NextDeadline(); ok && (!found || dl.Before(best)) {
+			best, found = dl, true
+		}
+	}
+	return best, found
+}
+
 func (d *PNCWF) closeAll() {
 	for _, r := range d.receivers {
 		r.Close()
@@ -164,17 +229,17 @@ func (d *PNCWF) quiescent() bool {
 	d.mu.Lock()
 	firing := d.firing
 	stopped := d.stopped
+	live := d.liveSources
 	d.mu.Unlock()
 	if stopped {
 		return true
 	}
-	if firing > 0 {
+	// A source goroutine exits only once its source is exhausted; while any
+	// is alive, more external data can still arrive. (Checking the counter
+	// instead of the actors keeps the monitor off actor state, which the
+	// source goroutine mutates concurrently.)
+	if firing > 0 || live > 0 {
 		return false
-	}
-	for _, a := range d.wf.Sources() {
-		if sa, ok := a.(model.SourceActor); ok && !sa.Exhausted() {
-			return false
-		}
 	}
 	for _, r := range d.receivers {
 		if r.Pending() || r.HasDeadline() {
@@ -188,6 +253,8 @@ func (d *PNCWF) quiescent() bool {
 // external data is available, sleeping until the next event otherwise.
 func (d *PNCWF) runSource(ctx context.Context, a model.Actor) error {
 	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	entry := d.stats.Entry(a.Name())
+	var scratch []*event.Event
 	sa, _ := a.(model.SourceActor)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -199,7 +266,7 @@ func (d *PNCWF) runSource(ctx context.Context, a model.Actor) error {
 			return err
 		}
 		emissions := fctx.EndFiring()
-		d.broadcastAndRecord(a, emissions, start, 0)
+		scratch = d.broadcastAndRecord(entry, emissions, scratch, start, 0)
 		if fctx.Stopped() {
 			d.stop()
 			return nil
@@ -232,48 +299,81 @@ func (d *PNCWF) napUntilNextEvent(ctx context.Context, a model.Actor) {
 	}
 }
 
+// fireBatchMax bounds how many ready windows an actor thread consumes per
+// wake-up before broadcasting the combined emissions downstream. It trades
+// a bounded (sub-millisecond) delivery delay for amortizing the receiver
+// lock, the firing bookkeeping, the statistics update and — through
+// BroadcastBatch — the downstream receiver lock over the whole run.
+const fireBatchMax = 64
+
 // runActor is the thread controller for an internal actor: it blocks
-// reading from its input ports until a window or event is produced, then
-// transitions the actor through the iteration phases.
+// reading from its input ports until windows are produced, then fires the
+// actor once per ready window (up to fireBatchMax per wake-up) and delivers
+// the batch's combined emissions through the batched transport.
 func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	entry := d.stats.Entry(a.Name())
+	var scratch []*event.Event
+	var wbuf []*window.Window
+	var emitted []model.Emission
 	inputs := a.Inputs()
 	if len(inputs) == 0 {
 		return nil // nothing to consume; pure sources handled elsewhere
 	}
+	fctx.SetPuller(func(p *model.Port) (*window.Window, bool) {
+		if r, ok := d.receivers[p]; ok {
+			return r.Get()
+		}
+		return nil, false
+	})
+	// Block on the first input port; multi-input actors pull their other
+	// ports on demand through the context's puller.
+	recv := d.receivers[inputs[0]]
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		// Block on the first input port; multi-input actors pull their
-		// other ports on demand through the context's puller.
-		recv := d.receivers[inputs[0]]
-		w, ok := recv.Get()
+		ws, ok := recv.GetBatch(wbuf[:0], fireBatchMax)
 		if !ok {
 			return nil
 		}
-		var trigger *event.Event
-		if w.Len() > 0 {
-			trigger = w.Events[w.Len()-1]
-		}
-		fctx.BeginFiring(trigger)
-		fctx.Stage(inputs[0], w)
-		fctx.SetPuller(func(p *model.Port) (*window.Window, bool) {
-			if r, ok := d.receivers[p]; ok {
-				return r.Get()
-			}
-			return nil, false
-		})
+		wbuf = ws
 		d.enterFiring()
 		start := time.Now()
-		err := d.invoke(a, fctx)
-		emissions := fctx.EndFiring()
-		d.broadcastAndRecord(a, emissions, start, w.Len())
+		var err error
+		fired, consumed := 0, 0
+		emitted = emitted[:0]
+		stopped := false
+		for _, w := range ws {
+			var trigger *event.Event
+			if w.Len() > 0 {
+				trigger = w.Events[w.Len()-1]
+			}
+			fctx.BeginFiring(trigger)
+			fctx.Stage(inputs[0], w)
+			err = d.invoke(a, fctx)
+			// EndFiring's slice is only valid until the next BeginFiring, so
+			// the batch accumulates copies of the emission records (the event
+			// pointers themselves are stable).
+			emitted = append(emitted, fctx.EndFiring()...)
+			fired++
+			consumed += w.Len()
+			if err != nil {
+				break
+			}
+			if fctx.Stopped() {
+				stopped = true
+				break
+			}
+		}
+		scratch = model.BroadcastEmissions(emitted, scratch)
+		end := time.Now()
+		entry.RecordFirings(fired, end.Sub(start), consumed, len(emitted), end)
 		d.exitFiring()
 		if err != nil {
 			return err
 		}
-		if fctx.Stopped() {
+		if stopped {
 			d.stop()
 			return nil
 		}
@@ -290,12 +390,14 @@ func (d *PNCWF) exitFiring() {
 	d.mu.Lock()
 	d.firing--
 	d.mu.Unlock()
+	d.poke()
 }
 
 func (d *PNCWF) stop() {
 	d.mu.Lock()
 	d.stopped = true
 	d.mu.Unlock()
+	d.poke()
 }
 
 func (d *PNCWF) invoke(a model.Actor, fctx *model.FireContext) error {
@@ -315,9 +417,11 @@ func (d *PNCWF) invoke(a model.Actor, fctx *model.FireContext) error {
 	return nil
 }
 
-func (d *PNCWF) broadcastAndRecord(a model.Actor, emissions []model.Emission, start time.Time, consumed int) {
-	for _, em := range emissions {
-		em.Port.Broadcast(em.Ev)
-	}
-	d.stats.RecordFiring(a.Name(), time.Since(start), consumed, len(emissions), d.clk.Now())
+// broadcastAndRecord delivers a firing's emissions through the batched
+// transport and records the firing on the actor's statistics shard. It
+// returns the (possibly grown) scratch buffer for the next firing.
+func (d *PNCWF) broadcastAndRecord(entry *stats.Entry, emissions []model.Emission, scratch []*event.Event, start time.Time, consumed int) []*event.Event {
+	scratch = model.BroadcastEmissions(emissions, scratch)
+	entry.RecordFiring(time.Since(start), consumed, len(emissions), d.clk.Now())
+	return scratch
 }

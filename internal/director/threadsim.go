@@ -36,13 +36,15 @@ type ThreadSim struct {
 	// Cost models per-actor firing costs (required).
 	Cost stafilos.CostModel
 
-	clk   *clock.Virtual
-	stats *stats.Registry
-	wf    *model.Workflow
-	recvs []*stafilos.TMReceiver
-	ctxs  map[string]*model.FireContext
-	setup bool
-	stop  bool
+	clk     *clock.Virtual
+	stats   *stats.Registry
+	wf      *model.Workflow
+	recvs   []*stafilos.TMReceiver
+	ctxs    map[string]*model.FireContext
+	entries map[string]*stats.Entry
+	scratch []*event.Event
+	setup   bool
+	stop    bool
 
 	// simulation state
 	events   simHeap
@@ -150,9 +152,11 @@ func (d *ThreadSim) Setup(wf *model.Workflow) error {
 		d.recvs = append(d.recvs, r)
 	}
 	d.ctxs = make(map[string]*model.FireContext)
+	d.entries = make(map[string]*stats.Entry)
 	for _, a := range wf.Actors() {
 		ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
 		d.ctxs[a.Name()] = ctx
+		d.entries[a.Name()] = d.stats.Entry(a.Name())
 		if err := a.Initialize(ctx); err != nil {
 			return fmt.Errorf("director: initialize %s: %w", a.Name(), err)
 		}
@@ -291,10 +295,8 @@ func (d *ThreadSim) completeFiring(a model.Actor, item stafilos.ReadyItem, cost 
 		}
 	}
 	emissions := ctx.EndFiring()
-	for _, em := range emissions {
-		em.Port.Broadcast(em.Ev)
-	}
-	d.stats.RecordFiring(a.Name(), cost, item.Win.Len(), len(emissions), d.clk.Now())
+	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
+	d.entries[a.Name()].RecordFiring(cost, item.Win.Len(), len(emissions), d.clk.Now())
 	if ctx.Stopped() {
 		d.stop = true
 	}
@@ -344,10 +346,8 @@ func (d *ThreadSim) completeSource(a model.Actor, cost time.Duration) {
 		a.Fire(ctx)
 	}
 	emissions := ctx.EndFiring()
-	for _, em := range emissions {
-		em.Port.Broadcast(em.Ev)
-	}
-	d.stats.RecordFiring(a.Name(), cost, 0, len(emissions), d.clk.Now())
+	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
+	d.entries[a.Name()].RecordFiring(cost, 0, len(emissions), d.clk.Now())
 	if ctx.Stopped() {
 		d.stop = true
 	}

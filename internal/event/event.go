@@ -224,23 +224,47 @@ func (tk *Timekeeper) Stamp(tok value.Value, fallback time.Time) *Event {
 	return ev
 }
 
+// FinalizeFiring finalizes the wave-tags of the events stamped since
+// BeginFiring (1-based child indices, last-of-wave marker on the final
+// event) without copying: it reports how many events were stamped. This is
+// the allocation-free hot path for callers (like FireContext) that already
+// hold the stamped event pointers.
+func (tk *Timekeeper) FinalizeFiring() int {
+	if !tk.firing {
+		return 0
+	}
+	tk.firing = false
+	n := len(tk.produced)
+	if tk.current != nil && n > 0 {
+		// Stamp every child path out of one shared backing array instead of
+		// one allocation per event. Each path is sliced with a hard capacity
+		// so a later append on one tag cannot overwrite its neighbor.
+		parent := tk.current.Wave
+		depth := len(parent.Path) + 1
+		backing := make([]int, n*depth)
+		for i, ev := range tk.produced {
+			path := backing[i*depth : (i+1)*depth : (i+1)*depth]
+			copy(path, parent.Path)
+			path[depth-1] = i + 1
+			ev.Wave = WaveTag{Root: parent.Root, RootSeq: parent.RootSeq, Path: path, Last: i+1 == n}
+		}
+	}
+	tk.current = nil
+	return n
+}
+
 // EndFiring finalizes the wave-tags of the events stamped since BeginFiring
 // (1-based child indices, last-of-wave marker on the final event) and
-// returns them in production order.
+// returns them in production order. The returned slice is the caller's to
+// keep.
 func (tk *Timekeeper) EndFiring() []*Event {
 	if !tk.firing {
 		return nil
 	}
-	tk.firing = false
-	n := len(tk.produced)
-	out := make([]*Event, n)
-	copy(out, tk.produced)
-	if tk.current != nil {
-		for i, ev := range out {
-			ev.Wave = tk.current.Wave.Child(i+1, n)
-		}
-	}
-	tk.current = nil
+	firing := tk.produced
+	tk.FinalizeFiring()
+	out := make([]*Event, len(firing))
+	copy(out, firing)
 	tk.produced = tk.produced[:0]
 	return out
 }

@@ -16,6 +16,27 @@ type Emission struct {
 	Ev   *event.Event
 }
 
+// BroadcastEmissions delivers a firing's finalized emission set through the
+// batched transport: contiguous runs on the same output port become one
+// BroadcastBatch call. scratch is a reusable event buffer owned by the
+// caller (one per dispatch loop); the possibly-grown buffer is returned for
+// the next firing. Receivers do not retain it.
+func BroadcastEmissions(emissions []Emission, scratch []*event.Event) []*event.Event {
+	for i := 0; i < len(emissions); {
+		j := i + 1
+		for j < len(emissions) && emissions[j].Port == emissions[i].Port {
+			j++
+		}
+		scratch = scratch[:0]
+		for _, em := range emissions[i:j] {
+			scratch = append(scratch, em.Ev)
+		}
+		emissions[i].Port.BroadcastBatch(scratch)
+		i = j
+	}
+	return scratch
+}
+
 // FireContext carries everything an actor may touch during one lifecycle
 // call. Directors construct one per firing (or reuse one per actor), stage
 // the input window the firing consumes, and collect the emissions.
@@ -60,11 +81,13 @@ func (c *FireContext) BeginFiring(trigger *event.Event) {
 }
 
 // EndFiring finalizes wave-tags and returns the emissions of the firing.
+// The returned slice is valid until the next BeginFiring on this context:
+// the backing array is reused across firings to keep the hot path
+// allocation-free, so directors must deliver (or copy) the emissions before
+// starting the next firing.
 func (c *FireContext) EndFiring() []Emission {
-	c.tk.EndFiring()
-	out := make([]Emission, len(c.emissions))
-	copy(out, c.emissions)
-	c.emissions = c.emissions[:0]
+	c.tk.FinalizeFiring()
+	out := c.emissions
 	for p := range c.staged {
 		delete(c.staged, p)
 	}

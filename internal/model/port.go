@@ -45,6 +45,9 @@ type Port struct {
 
 	// recv is the director-installed receiver (input ports only).
 	recv Receiver
+	// batch is recv's batched fast path, cached at SetReceiver time so
+	// Broadcast does not repeat the type assertion per delivery.
+	batch BatchReceiver
 	// dests are the input ports this output port broadcasts to.
 	dests []*Port
 	// sources are the output ports feeding this input port (fan-in).
@@ -80,6 +83,7 @@ func (p *Port) SetReceiver(r Receiver) {
 		panic(fmt.Sprintf("model: SetReceiver on output port %s", p.FullName()))
 	}
 	p.recv = r
+	p.batch, _ = r.(BatchReceiver)
 }
 
 // Destinations returns the input ports connected to this output port.
@@ -103,12 +107,46 @@ func (p *Port) Broadcast(ev *event.Event) {
 	}
 }
 
+// BroadcastBatch delivers a firing's whole emission set for this port to
+// every connected receiver in one call per destination: batch-capable
+// receivers take the events under a single lock acquisition, plain
+// receivers fall back to per-event Put. Receivers must not retain evs — the
+// caller reuses the backing array across firings.
+func (p *Port) BroadcastBatch(evs []*event.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	for _, d := range p.dests {
+		switch {
+		case d.batch != nil:
+			d.batch.PutBatch(evs)
+		case d.recv != nil:
+			for _, ev := range evs {
+				d.recv.Put(ev)
+			}
+		}
+	}
+}
+
 // Receiver controls the communication between two actors: every input port
 // has one, and the director — not the actor — decides its behavior
 // (blocking, windowed, scheduler-mediated, …).
 type Receiver interface {
 	// Put hands an event to the receiving end of the channel.
 	Put(ev *event.Event)
+}
+
+// BatchReceiver is the batched fast path of the event transport: receivers
+// that implement it take a whole emission set per call, paying the lock,
+// window-sweep and bookkeeping costs once per batch instead of once per
+// event. Receivers that only implement Put still work — BroadcastBatch
+// degrades to the per-event path for them.
+type BatchReceiver interface {
+	Receiver
+	// PutBatch hands a firing's events, in production order, to the
+	// receiving end of the channel. Implementations must not retain the
+	// slice after returning.
+	PutBatch(evs []*event.Event)
 }
 
 // Channel is a directed connection from an output port to an input port.

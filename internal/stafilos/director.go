@@ -55,6 +55,8 @@ type Director struct {
 	wf        *model.Workflow
 	receivers []*TMReceiver
 	ctxs      map[string]*model.FireContext
+	entries   map[string]*stats.Entry
+	scratch   []*event.Event
 	setup     bool
 	stopped   bool
 }
@@ -130,10 +132,12 @@ func (d *Director) Setup(wf *model.Workflow) error {
 		sources[s.Name()] = true
 	}
 	d.ctxs = make(map[string]*model.FireContext, len(wf.Actors()))
+	d.entries = make(map[string]*stats.Entry, len(wf.Actors()))
 	for _, a := range wf.Actors() {
 		d.sched.Register(a, sources[a.Name()])
 		ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
 		d.ctxs[a.Name()] = ctx
+		d.entries[a.Name()] = d.stats.Entry(a.Name())
 		if err := a.Initialize(ctx); err != nil {
 			return fmt.Errorf("stafilos: initialize %s: %w", a.Name(), err)
 		}
@@ -198,7 +202,7 @@ func (d *Director) fireEntry(e *Entry) (bool, error) {
 	}
 	cost := d.charge(a, start, item.Win.Len(), len(emissions))
 	d.deliver(emissions)
-	d.stats.RecordFiring(a.Name(), cost, item.Win.Len(), len(emissions), d.clk.Now())
+	d.entries[a.Name()].RecordFiring(cost, item.Win.Len(), len(emissions), d.clk.Now())
 	d.sched.ActorFired(e, cost, len(emissions))
 	if ctx.Stopped() {
 		d.stopped = true
@@ -225,7 +229,7 @@ func (d *Director) fireSource(e *Entry) (bool, error) {
 	}
 	cost := d.charge(a, start, 0, len(emissions))
 	d.deliver(emissions)
-	d.stats.RecordFiring(a.Name(), cost, 0, len(emissions), d.clk.Now())
+	d.entries[a.Name()].RecordFiring(cost, 0, len(emissions), d.clk.Now())
 	d.sched.ActorFired(e, cost, len(emissions))
 	if ctx.Stopped() {
 		d.stopped = true
@@ -263,12 +267,11 @@ func (d *Director) charge(a model.Actor, start time.Time, consumed, produced int
 	return cost
 }
 
-// deliver broadcasts the finalized emissions; TM receivers evaluate window
-// semantics and enqueue produced windows at the scheduler.
+// deliver broadcasts the finalized emissions through the batched transport;
+// TM receivers evaluate window semantics and enqueue produced windows at
+// the scheduler, one batch per destination port.
 func (d *Director) deliver(emissions []model.Emission) {
-	for _, em := range emissions {
-		em.Port.Broadcast(em.Ev)
-	}
+	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
 }
 
 // pollTimeouts fires window-formation timeouts that are due.
@@ -359,9 +362,7 @@ func (d *Director) RouteExpired(from, to *model.Port) error {
 		return fmt.Errorf("stafilos: no receiver on %s", to.FullName())
 	}
 	src.SetExpiredHandler(func(evs []*event.Event) {
-		for _, ev := range evs {
-			dst.Put(ev)
-		}
+		dst.PutBatch(evs)
 	})
 	return nil
 }

@@ -36,6 +36,8 @@ type ParallelDirector struct {
 	cond      *sync.Cond
 	wf        *model.Workflow
 	receivers []*TMReceiver
+	entries   map[string]*stats.Entry
+	scratch   []*event.Event // delivery buffer, guarded by mu
 	running   map[string]bool // actors currently firing
 	inFlight  int
 	setup     bool
@@ -112,8 +114,10 @@ func (d *ParallelDirector) Setup(wf *model.Workflow) error {
 	for _, s := range wf.Sources() {
 		sources[s.Name()] = true
 	}
+	d.entries = make(map[string]*stats.Entry, len(wf.Actors()))
 	for _, a := range wf.Actors() {
 		d.sched.Register(a, sources[a.Name()])
+		d.entries[a.Name()] = d.stats.Entry(a.Name())
 		ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
 		if err := a.Initialize(ctx); err != nil {
 			return fmt.Errorf("stafilos: initialize %s: %w", a.Name(), err)
@@ -332,10 +336,10 @@ func (d *ParallelDirector) execute(t task) error {
 	cost := time.Since(start)
 
 	d.mu.Lock()
-	for _, em := range emissions {
-		em.Port.Broadcast(em.Ev) // receivers enqueue under the engine lock
-	}
-	d.stats.RecordFiring(a.Name(), cost, consumed, len(emissions), d.clk.Now())
+	// Receivers enqueue under the engine lock; batching keeps the lock's
+	// critical section to one pass per destination port.
+	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
+	d.entries[a.Name()].RecordFiring(cost, consumed, len(emissions), d.clk.Now())
 	d.sched.ActorFired(t.entry, cost, len(emissions))
 	d.running[a.Name()] = false
 	d.inFlight--

@@ -24,6 +24,9 @@ type TMReceiver struct {
 	op      *window.Operator
 	clk     clock.Clock
 	stats   *stats.Registry
+	// entry is the owning actor's statistics shard, resolved once at
+	// construction so hot-path arrivals skip the registry lookup.
+	entry   *stats.Entry
 	enqueue func(ReadyItem)
 	// expireTo optionally receives expired events (the expired-items queue
 	// wired to another activity).
@@ -33,13 +36,17 @@ type TMReceiver struct {
 // NewTMReceiver builds a receiver for port applying the port's window spec.
 // enqueue delivers produced windows to the scheduler.
 func NewTMReceiver(port *model.Port, clk clock.Clock, st *stats.Registry, enqueue func(ReadyItem)) *TMReceiver {
-	return &TMReceiver{
+	r := &TMReceiver{
 		port:    port,
 		op:      window.New(port.Spec()),
 		clk:     clk,
 		stats:   st,
 		enqueue: enqueue,
 	}
+	if st != nil && port.Owner() != nil {
+		r.entry = st.Entry(port.Owner().Name())
+	}
+	return r
 }
 
 // Port returns the input port the receiver serves.
@@ -56,11 +63,30 @@ func (r *TMReceiver) SetExpiredHandler(f func([]*event.Event)) { r.expireTo = f 
 // any produced window at the scheduler.
 func (r *TMReceiver) Put(ev *event.Event) {
 	now := r.clk.Now()
-	if r.stats != nil {
-		r.stats.RecordArrival(r.port.Owner().Name(), 1, now)
+	if r.entry != nil {
+		r.entry.RecordArrival(1, now)
 	}
 	for _, w := range r.op.Put(ev, now) {
 		r.enqueue(NewItem(r.port.Owner(), r.port, w))
+	}
+	r.flushExpired()
+}
+
+// PutBatch implements model.BatchReceiver: the whole emission set records
+// one arrival update and one expired-queue flush, with a single
+// scheduler-enqueue pass over the produced windows.
+func (r *TMReceiver) PutBatch(evs []*event.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	now := r.clk.Now()
+	if r.entry != nil {
+		r.entry.RecordArrival(len(evs), now)
+	}
+	for _, ev := range evs {
+		for _, w := range r.op.Put(ev, now) {
+			r.enqueue(NewItem(r.port.Owner(), r.port, w))
+		}
 	}
 	r.flushExpired()
 }

@@ -5,6 +5,11 @@
 // exposed to every scheduler implemented within the framework, so that
 // policies can make smart resource-allocation decisions (e.g. the Rate
 // Based scheduler's Pr(A) = S_A / C_A).
+//
+// The registry is sharded per actor: each actor's statistics live in an
+// Entry with its own lock, resolved once (receivers and directors cache the
+// handle), so concurrent actor goroutines never serialize on a global
+// mutex on the hot path.
 package stats
 
 import (
@@ -32,6 +37,9 @@ type Actor struct {
 	// InputEvents and OutputEvents are cumulative event counts.
 	InputEvents  int64
 	OutputEvents int64
+	// Arrivals is the cumulative count of events delivered to the actor's
+	// input queues (recorded by receivers, independent of firings).
+	Arrivals int64
 	// InputRate and OutputRate are recent events/second, measured over
 	// rateWindow.
 	InputRate  float64
@@ -72,45 +80,39 @@ func (a Actor) Cost() float64 {
 	return c.Seconds()
 }
 
-// Registry holds statistics for all actors of a workflow. The zero value
-// is ready to use. It is safe for
-// concurrent use: the thread-based PNCWF director updates it from many
-// goroutines, the SCWF director from its dispatch loop.
-type Registry struct {
+// Entry is one actor's statistics shard: a handle resolved once per
+// actor/receiver so hot-path updates take only the actor's own lock.
+type Entry struct {
 	mu sync.Mutex
-	m  map[string]*Actor
+	a  Actor
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*Actor)}
+// RecordFiring records one completed invocation: its measured (or
+// modelled) cost, how many events it consumed and how many it produced, at
+// engine time now.
+func (e *Entry) RecordFiring(cost time.Duration, consumed, produced int, now time.Time) {
+	e.RecordFirings(1, cost, consumed, produced, now)
 }
 
-func (r *Registry) get(name string) *Actor {
-	if r.m == nil {
-		r.m = make(map[string]*Actor)
+// RecordFirings records n completed invocations in one update: cost is the
+// aggregate cost of the whole run of firings, consumed/produced the
+// aggregate event counts. Thread-based directors that fire an actor over a
+// batch of windows record the batch with one lock acquisition and two clock
+// reads instead of n of each; the EWMA is fed the mean per-firing cost.
+func (e *Entry) RecordFirings(n int, cost time.Duration, consumed, produced int, now time.Time) {
+	if n <= 0 {
+		return
 	}
-	a, ok := r.m[name]
-	if !ok {
-		a = &Actor{}
-		r.m[name] = a
-	}
-	return a
-}
-
-// RecordFiring records one completed invocation of the named actor: its
-// measured (or modelled) cost, how many events it consumed and how many it
-// produced, at engine time now.
-func (r *Registry) RecordFiring(name string, cost time.Duration, consumed, produced int, now time.Time) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	a := r.get(name)
-	a.Invocations++
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := &e.a
+	a.Invocations += int64(n)
 	a.TotalCost += cost
+	mean := cost / time.Duration(n)
 	if a.EWMACost == 0 {
-		a.EWMACost = cost
+		a.EWMACost = mean
 	} else {
-		a.EWMACost = time.Duration((1-ewmaAlpha)*float64(a.EWMACost) + ewmaAlpha*float64(cost))
+		a.EWMACost = time.Duration((1-ewmaAlpha)*float64(a.EWMACost) + ewmaAlpha*float64(mean))
 	}
 	a.InputEvents += int64(consumed)
 	a.OutputEvents += int64(produced)
@@ -119,14 +121,60 @@ func (r *Registry) RecordFiring(name string, cost time.Duration, consumed, produ
 	a.winOut += int64(produced)
 }
 
-// RecordArrival records n events arriving at the named actor's queues; it
-// feeds the input-rate estimate independent of firings.
+// RecordArrival records n events arriving at the actor's queues; it feeds
+// the input-rate estimate independent of firings. Batched deliveries record
+// the whole batch in one call.
+func (e *Entry) RecordArrival(n int, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.a.Arrivals += int64(n)
+	e.a.roll(now)
+	e.a.winIn += int64(n)
+}
+
+// Get returns a copy of the entry's statistics.
+func (e *Entry) Get() Actor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.a
+}
+
+// Registry holds statistics for all actors of a workflow, sharded per
+// actor. The zero value is ready to use. It is safe for concurrent use:
+// the thread-based PNCWF director updates it from many goroutines, the
+// SCWF director from its dispatch loop — each through a per-actor Entry,
+// so updates for different actors never contend.
+type Registry struct {
+	// m maps actor name -> *Entry. Entries are created at most once per
+	// actor and never removed, so the hot path is a lock-free Load.
+	m sync.Map
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Entry resolves the named actor's statistics shard, creating it on first
+// use. Receivers and directors resolve it once and keep the handle.
+func (r *Registry) Entry(name string) *Entry {
+	if e, ok := r.m.Load(name); ok {
+		return e.(*Entry)
+	}
+	e, _ := r.m.LoadOrStore(name, &Entry{})
+	return e.(*Entry)
+}
+
+// RecordFiring records one completed invocation of the named actor. Hot
+// loops should resolve the actor's Entry once instead.
+func (r *Registry) RecordFiring(name string, cost time.Duration, consumed, produced int, now time.Time) {
+	r.Entry(name).RecordFiring(cost, consumed, produced, now)
+}
+
+// RecordArrival records n events arriving at the named actor's queues. Hot
+// loops should resolve the actor's Entry once instead.
 func (r *Registry) RecordArrival(name string, n int, now time.Time) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	a := r.get(name)
-	a.roll(now)
-	a.winIn += int64(n)
+	r.Entry(name).RecordArrival(n, now)
 }
 
 // roll advances the rate-measurement window and folds the finished window
@@ -150,33 +198,29 @@ func (a *Actor) roll(now time.Time) {
 
 // Get returns a copy of the named actor's statistics.
 func (r *Registry) Get(name string) Actor {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if a, ok := r.m[name]; ok {
-		return *a
+	if e, ok := r.m.Load(name); ok {
+		return e.(*Entry).Get()
 	}
 	return Actor{}
 }
 
 // Snapshot returns a copy of all statistics keyed by actor name.
 func (r *Registry) Snapshot() map[string]Actor {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]Actor, len(r.m))
-	for k, v := range r.m {
-		out[k] = *v
-	}
+	out := make(map[string]Actor)
+	r.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Entry).Get()
+		return true
+	})
 	return out
 }
 
 // Names returns the recorded actor names, sorted.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.m))
-	for k := range r.m {
-		out = append(out, k)
-	}
+	var out []string
+	r.m.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
