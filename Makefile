@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet bench build test
+.PHONY: tier1 race vet bench bench-parallel build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -19,6 +19,17 @@ vet:
 	$(GO) vet ./...
 
 # bench reruns the hot-path microbenchmarks whose numbers are recorded in
-# BENCH_hotpath.json (see DESIGN.md, section "Hot path").
+# BENCH_hotpath.json (see DESIGN.md, section "Hot path"), plus the
+# event-layer and scheduler-policy microbenchmarks.
 bench:
 	$(GO) test ./internal/director/ -run xxx -bench . -benchtime 2s -count 1
+	$(GO) test ./internal/event/ -run xxx -bench . -benchtime 2s -count 1
+	$(GO) test ./internal/sched/ -run xxx -bench . -benchtime 2s -count 1
+
+# bench-parallel reruns the multi-worker scaling benchmarks whose numbers
+# are recorded in BENCH_parallel.json (see DESIGN.md, section "Parallel
+# SCWF"). The Linear Road runs take ~10 wall seconds each (fixed
+# window-timeout tail), so everything runs once.
+bench-parallel:
+	$(GO) test ./internal/stafilos/ -run xxx -bench BenchmarkParallelPipeline -benchtime 3x -count 1
+	$(GO) test ./internal/lr/ -run xxx -bench BenchmarkLinearRoadParallel -benchtime 1x -count 1

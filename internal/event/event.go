@@ -268,3 +268,13 @@ func (tk *Timekeeper) EndFiring() []*Event {
 	tk.produced = tk.produced[:0]
 	return out
 }
+
+// Reset abandons any in-progress firing and returns the timekeeper to a
+// like-new state (keeping the produced buffer's capacity). Pooled fire
+// contexts call it before reuse, so a firing torn down by a panic cannot
+// leak a half-open wave into the next firing.
+func (tk *Timekeeper) Reset() {
+	tk.current = nil
+	tk.produced = tk.produced[:0]
+	tk.firing = false
+}

@@ -1,0 +1,72 @@
+package lr
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+)
+
+// BenchmarkLinearRoadParallel runs the full Linear Road workflow in real
+// time (back-dated feed, so the engine drains flat out) under the
+// sequential SCWF director and the parallel director at 1, 2 and 4
+// workers, reporting positions_per_sec over the whole run. The run
+// includes the fixed ~5 s minute-window timeout tail, which is identical
+// across configurations; on a single-core host the workload is CPU-bound,
+// so this benchmark records parallel overhead rather than speedup (see
+// BENCH_parallel.json for the recorded numbers and the latency-bound
+// pipeline benchmark for the scaling regime).
+func BenchmarkLinearRoadParallel(b *testing.B) {
+	points := []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 0},
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+	}
+	for _, p := range points {
+		b.Run(p.name, func(b *testing.B) {
+			b.ResetTimer()
+			var total time.Duration
+			var positions int
+			for i := 0; i < b.N; i++ {
+				w := Generate(GenConfig{Seed: 23, Duration: 120 * time.Second})
+				positions = len(w.Reports)
+				epoch := time.Now().Add(-120*time.Second - 70*time.Second)
+				db := NewDB()
+				wf, probes, err := Build(db, w.Feed(epoch), epoch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := stafilos.Options{Priorities: Priorities(), SourceInterval: 5}
+				start := time.Now()
+				if p.workers == 0 {
+					dir := stafilos.NewDirector(sched.NewQBS(0), opts)
+					if err := dir.Setup(wf); err != nil {
+						b.Fatal(err)
+					}
+					if err := dir.Run(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					dir := stafilos.NewParallelDirector(sched.NewQBS(0), opts, p.workers)
+					if err := dir.Setup(wf); err != nil {
+						b.Fatal(err)
+					}
+					if err := dir.Run(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				total += time.Since(start)
+				if probes.Toll.Count() == 0 {
+					b.Fatal("run produced no toll notifications")
+				}
+			}
+			b.ReportMetric(float64(positions)*float64(b.N)/total.Seconds(), "positions_per_sec")
+		})
+	}
+}

@@ -57,6 +57,44 @@ func TestLinearRoadRealTimePNCWF(t *testing.T) {
 	}
 }
 
+// TestLinearRoadRealTimeParallelSCWF runs the full two-level Linear Road
+// workflow under the sharded parallel SCWF director with 4 workers: the
+// complete benchmark is the most lock-diverse workload in the repo
+// (receivers with timed windows, the relational store, probe taps, QBS
+// source pacing), so it doubles as an integration check that the
+// decomposed locks still produce a working pipeline end to end.
+func TestLinearRoadRealTimeParallelSCWF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run with timeout tails; skipped in -short")
+	}
+	w := Generate(GenConfig{Seed: 23, Duration: 120 * time.Second})
+	epoch := time.Now().Add(-120*time.Second - 70*time.Second)
+	db := NewDB()
+	wf, probes, err := Build(db, w.Feed(epoch), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stafilos.NewParallelDirector(sched.NewQBS(0), stafilos.Options{
+		Priorities:     Priorities(),
+		SourceInterval: 5,
+	}, 4)
+	if err := d.Setup(wf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if probes.Toll.Count() == 0 {
+		t.Error("parallel SCWF produced no toll notifications")
+	}
+	if st := d.Stats().Get("TollCalculation"); st.Invocations == 0 || st.EWMACost <= 0 {
+		t.Errorf("parallel stats not measured: %+v", st)
+	}
+	t.Logf("tolls: %d, peak concurrency: %d", probes.Toll.Count(), d.PeakConcurrency())
+}
+
 // TestLinearRoadRealTimeSCWF does the same under the sequential SCWF
 // director with a real clock and measured (not modelled) costs.
 func TestLinearRoadRealTimeSCWF(t *testing.T) {

@@ -59,6 +59,21 @@ func NewFireContext(clk clock.Clock, tk *event.Timekeeper) *FireContext {
 	return &FireContext{clk: clk, tk: tk, staged: make(map[*Port]*window.Window)}
 }
 
+// Reset returns the context to a like-new state so it can be pooled and
+// reused across firings of different actors: staged windows, pending
+// emissions, the pull hook and the stop latch are cleared, and the
+// timekeeper abandons any half-open firing (a panicked Fire may have left
+// one).
+func (c *FireContext) Reset() {
+	c.tk.Reset()
+	for p := range c.staged {
+		delete(c.staged, p)
+	}
+	c.emissions = c.emissions[:0]
+	c.puller = nil
+	c.stopped = false
+}
+
 // Clock returns the engine clock.
 func (c *FireContext) Clock() clock.Clock { return c.clk }
 

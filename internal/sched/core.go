@@ -1,8 +1,13 @@
 // Package sched provides the scheduling policies implemented within the
 // STAFiLOS framework: the paper's three case studies — the Quantum Priority
 // Based scheduler (QBS), the Round-Robin scheduler (RR) and the Rate Based
-// scheduler (RB) — plus FIFO and EDF policies that further exercise the
-// framework's pluggability.
+// scheduler (RB) — plus FIFO, LQF and EDF policies that further exercise
+// the framework's pluggability.
+//
+// Every policy satisfies the framework's scheduler concurrency contract
+// (stafilos.ConcurrentScheduler): the exported Scheduler methods take the
+// policy lock internally, so parallel workers call Enqueue, Claim and
+// ActorFired directly — no engine-wide lock exists around the scheduler.
 package sched
 
 import (
@@ -16,6 +21,10 @@ import (
 // the active/waiting queue swap at re-quantification, and interval-based
 // source scheduling. The two policies differ only in their comparator
 // (priority vs. FIFO) and their quantum assignment.
+//
+// Locking: the exported Scheduler methods take Base.Mu and delegate to the
+// unexported *Locked layer; everything below the exported surface assumes
+// the lock is held.
 type quantumCore struct {
 	*stafilos.Base
 	name string
@@ -40,17 +49,26 @@ func (s *quantumCore) Init(env *stafilos.Env) error { return s.Base.Init(env) }
 
 // Register implements stafilos.Scheduler, granting the initial quantum.
 func (s *quantumCore) Register(a model.Actor, source bool) *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.registerLocked(a, source)
+}
+
+func (s *quantumCore) registerLocked(a model.Actor, source bool) *stafilos.Entry {
 	e := s.Base.Register(a, source)
 	e.Quantum = s.quantumFor(e)
 	return e
 }
 
 // Enqueue implements stafilos.Scheduler: push the window to the actor's
-// sorted event queue and re-evaluate its state per Table 2.
+// sorted event queue and re-evaluate its state per Table 2. Receivers call
+// it from any worker; the policy lock serializes the state update.
 func (s *quantumCore) Enqueue(item stafilos.ReadyItem) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	e := s.Entry(item.Actor)
 	if e == nil {
-		e = s.Register(item.Actor, false)
+		e = s.registerLocked(item.Actor, false)
 	}
 	wasInactive := e.State == stafilos.Inactive
 	e.Push(item)
@@ -61,7 +79,7 @@ func (s *quantumCore) Enqueue(item stafilos.ReadyItem) {
 }
 
 // reevaluate applies the QBS/RR state conditions of Table 2 to a non-source
-// actor.
+// actor. Called with the policy lock held.
 func (s *quantumCore) reevaluate(e *stafilos.Entry) {
 	if e.Source {
 		s.reevaluateSource(e)
@@ -100,6 +118,12 @@ func (s *quantumCore) reevaluateSource(e *stafilos.Entry) {
 // priority queue runs. When no internal actor is runnable, an eligible
 // source runs so input keeps flowing.
 func (s *quantumCore) NextActor() *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.nextActorLocked()
+}
+
+func (s *quantumCore) nextActorLocked() *stafilos.Entry {
 	if s.sourceDue() {
 		if e := s.eligibleSource(); e != nil {
 			return e
@@ -122,14 +146,26 @@ func (s *quantumCore) NextActor() *stafilos.Entry {
 	}
 }
 
+// Claim implements stafilos.ConcurrentScheduler: the shared skip-busy claim
+// over this policy's NextActor order.
+func (s *quantumCore) Claim() *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.ClaimRunnable(s.nextActorLocked)
+}
+
 func (s *quantumCore) sourceDue() bool {
 	return s.Env != nil && s.Env.SourceInterval > 0 &&
 		s.InternalSinceSource >= s.Env.SourceInterval
 }
 
+// eligibleSource returns a source that may run now. Sources live outside
+// the active queue, so the claim loop cannot park a busy one — skip
+// mid-firing sources here instead (no-op under sequential execution, where
+// nothing is ever marked firing).
 func (s *quantumCore) eligibleSource() *stafilos.Entry {
 	for _, e := range s.Sources {
-		if e.Quantum > 0 && !e.FiredThisIteration {
+		if e.Quantum > 0 && !e.FiredThisIteration && !e.Firing() {
 			return e
 		}
 	}
@@ -139,6 +175,8 @@ func (s *quantumCore) eligibleSource() *stafilos.Entry {
 // ActorFired implements stafilos.Scheduler: charge the quantum and apply
 // the state transition rules.
 func (s *quantumCore) ActorFired(e *stafilos.Entry, cost time.Duration, produced int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	e.Quantum -= cost
 	if e.Source {
 		e.FiredThisIteration = true
@@ -153,6 +191,8 @@ func (s *quantumCore) ActorFired(e *stafilos.Entry, cost time.Duration, produced
 // IterationBegin implements stafilos.Scheduler: sources become eligible
 // again for the new director iteration.
 func (s *quantumCore) IterationBegin() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	for _, e := range s.Sources {
 		e.FiredThisIteration = false
 		s.reevaluateSource(e)
@@ -165,6 +205,8 @@ func (s *quantumCore) IterationBegin() {
 // allowance remains — and swap the queues. Entries whose quantum is still
 // not positive stay in the waiting queue.
 func (s *quantumCore) IterationEnd() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	for _, e := range s.WaitingQ.Drain() {
 		s.requantify(e)
 	}

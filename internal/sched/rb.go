@@ -27,6 +27,9 @@ const minCostSeconds = 1e-6
 // wait in a next-period buffer. Sources are not specially scheduled: each
 // fires once per period, so input tokens wait longer to enter the workflow
 // — the behavior the paper identifies as RB's response-time weakness.
+//
+// Like the other policies, RB locks Base.Mu internally in every exported
+// Scheduler method and so satisfies stafilos.ConcurrentScheduler.
 type RB struct {
 	*stafilos.Base
 	// prioritizeSources, when set, schedules sources in regular intervals
@@ -59,6 +62,12 @@ func (s *RB) Name() string { return "RB" }
 
 // Register implements stafilos.Scheduler.
 func (s *RB) Register(a model.Actor, source bool) *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.registerLocked(a, source)
+}
+
+func (s *RB) registerLocked(a model.Actor, source bool) *stafilos.Entry {
 	e := s.Base.Register(a, source)
 	e.DynPriority = 1 // neutral until statistics exist
 	return e
@@ -67,15 +76,18 @@ func (s *RB) Register(a model.Actor, source bool) *stafilos.Entry {
 // Enqueue implements stafilos.Scheduler: events produced during the current
 // period are parked in the next-period buffer.
 func (s *RB) Enqueue(item stafilos.ReadyItem) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	e := s.Entry(item.Actor)
 	if e == nil {
-		e = s.Register(item.Actor, false)
+		e = s.registerLocked(item.Actor, false)
 	}
 	e.Buffer(item)
 	s.reevaluate(e)
 }
 
-// reevaluate applies the RB column of Table 2.
+// reevaluate applies the RB column of Table 2. Called with the policy lock
+// held.
 func (s *RB) reevaluate(e *stafilos.Entry) {
 	if e.Source {
 		if e.FiredThisIteration {
@@ -99,9 +111,18 @@ func (s *RB) reevaluate(e *stafilos.Entry) {
 // The period (director iteration) ends when no actor has events from the
 // previous period left and every source has fired once.
 func (s *RB) NextActor() *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.nextActorLocked()
+}
+
+func (s *RB) nextActorLocked() *stafilos.Entry {
 	if s.prioritizeSources && s.Env != nil && s.Env.SourceInterval > 0 &&
 		s.internalFirings >= s.Env.SourceInterval {
 		for _, e := range s.Sources {
+			if e.Firing() {
+				continue // busy on a worker; interval sourcing retries later
+			}
 			s.internalFirings = 0
 			e.FiredThisIteration = false // interval scheduling, not once-per-period
 			return e
@@ -127,8 +148,19 @@ func (s *RB) NextActor() *stafilos.Entry {
 	}
 }
 
+// Claim implements stafilos.ConcurrentScheduler: the shared skip-busy claim
+// over RB's highest-rate order. RB keeps sources inside the active queue, so
+// ClaimRunnable's parking covers them too.
+func (s *RB) Claim() *stafilos.Entry {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.ClaimRunnable(s.nextActorLocked)
+}
+
 // ActorFired implements stafilos.Scheduler.
 func (s *RB) ActorFired(e *stafilos.Entry, cost time.Duration, produced int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	if e.Source {
 		e.FiredThisIteration = true
 	} else {
@@ -140,6 +172,8 @@ func (s *RB) ActorFired(e *stafilos.Entry, cost time.Duration, produced int) {
 // IterationBegin implements stafilos.Scheduler: a new period starts and
 // sources become eligible again.
 func (s *RB) IterationBegin() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	for _, e := range s.Sources {
 		e.FiredThisIteration = false
 		s.reevaluate(e)
@@ -150,6 +184,8 @@ func (s *RB) IterationBegin() {
 // next-period buffers into the actors' queues and re-evaluate the dynamic
 // priorities from the runtime statistics.
 func (s *RB) IterationEnd() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
 	for _, e := range s.Entries {
 		e.ReleaseBuffer()
 	}

@@ -1,6 +1,7 @@
 package stafilos
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,14 @@ func (e *Env) Priority(name string) int {
 //
 // Enqueue is called whenever a TM Windowed Receiver produces a window,
 // which can happen in the middle of a firing.
+//
+// Concurrency contract: implementations shipped in internal/sched are safe
+// for concurrent use — Enqueue, NextActor, ActorFired, HasWork and the
+// iteration hooks may be called from parallel workers without any engine
+// lock; each policy serializes its own bookkeeping internally (the Base
+// mutex) with critical sections limited to heap and state updates. Policies
+// that additionally implement ConcurrentScheduler support the parallel
+// director's direct worker claiming.
 type Scheduler interface {
 	// Name identifies the policy ("QBS", "RR", "RB", …).
 	Name() string
@@ -74,6 +83,102 @@ type Scheduler interface {
 	HasWork() bool
 }
 
+// ConcurrentScheduler extends Scheduler with the atomic claim operation the
+// parallel SCWF director's workers use to pull their next firing directly,
+// without a dispatcher round-trip. Claim combines NextActor with the
+// firing-exclusivity check under the policy's own lock, so concurrent
+// workers can never claim the same actor twice and the policy still decides
+// order.
+type ConcurrentScheduler interface {
+	Scheduler
+	// Claim selects the next runnable actor in policy order, skipping (and
+	// parking, where the policy keeps a ready queue) entries currently
+	// firing on another worker, and marks the returned entry as firing via
+	// TryFire. It returns nil when nothing is claimable right now — either
+	// there is no work, or all work sits behind mid-firing actors.
+	Claim() *Entry
+}
+
+// Synchronize adapts a plain single-threaded Scheduler to the concurrent
+// contract with one wrapping lock and a conservative claim that does not
+// look past a busy policy head. The five shipped policies implement
+// ConcurrentScheduler natively; this adapter exists so user-supplied
+// policies keep working under the parallel director.
+func Synchronize(s Scheduler) ConcurrentScheduler {
+	if cs, ok := s.(ConcurrentScheduler); ok {
+		return cs
+	}
+	return &syncedScheduler{s: s}
+}
+
+// syncedScheduler serializes every call into a foreign policy.
+type syncedScheduler struct {
+	mu sync.Mutex
+	s  Scheduler
+}
+
+func (w *syncedScheduler) Name() string { return w.s.Name() }
+
+func (w *syncedScheduler) Init(env *Env) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Init(env)
+}
+
+func (w *syncedScheduler) Register(a model.Actor, source bool) *Entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Register(a, source)
+}
+
+func (w *syncedScheduler) Enqueue(item ReadyItem) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.Enqueue(item)
+}
+
+func (w *syncedScheduler) NextActor() *Entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.NextActor()
+}
+
+func (w *syncedScheduler) ActorFired(e *Entry, cost time.Duration, produced int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.ActorFired(e, cost, produced)
+}
+
+func (w *syncedScheduler) IterationBegin() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.IterationBegin()
+}
+
+func (w *syncedScheduler) IterationEnd() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.IterationEnd()
+}
+
+func (w *syncedScheduler) HasWork() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.HasWork()
+}
+
+// Claim takes the policy's head; without queue access it cannot park a
+// busy head, so it conservatively reports nothing claimable instead.
+func (w *syncedScheduler) Claim() *Entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e := w.s.NextActor()
+	if e == nil || !e.TryFire() {
+		return nil
+	}
+	return e
+}
+
 var itemSeq atomic.Uint64
 
 // NewItem builds a ReadyItem with a fresh arrival sequence number.
@@ -87,7 +192,18 @@ func NewItem(a model.Actor, p *model.Port, w *window.Window) ReadyItem {
 // Comparator. Concrete schedulers embed *Base and provide the policy:
 // state-transition rules, comparators, quantum accounting and source
 // treatment.
+//
+// Concurrency: Mu is the policy lock. Concrete schedulers take it in every
+// exported Scheduler method and call the unexported/helper layer with it
+// held; Base helpers (SetState, SwapQueues, ClaimRunnable, Register, …)
+// assume the caller holds Mu. HasWork and TotalQueued lock Mu themselves —
+// they are called by directors, never from inside a policy.
 type Base struct {
+	// Mu serializes all scheduler bookkeeping: queue membership, entry
+	// states, quanta and priorities. Critical sections stay small (heap and
+	// state updates only) so workers contend briefly even on hot paths.
+	Mu sync.Mutex
+
 	Env     *Env
 	Entries []*Entry
 	Sources []*Entry
@@ -120,7 +236,9 @@ func (b *Base) Init(env *Env) error {
 }
 
 // Register implements Scheduler.Register: it creates the entry, records the
-// designer priority and classifies sources.
+// designer priority and classifies sources. Concrete schedulers wrap it in
+// their locked Register; during a parallel run it must be called with Mu
+// held.
 func (b *Base) Register(a model.Actor, source bool) *Entry {
 	if e, ok := b.byActor[a.Name()]; ok {
 		return e
@@ -196,14 +314,50 @@ func (b *Base) SwapQueues() {
 	}
 }
 
-// Queues exposes the active and waiting priority queues, letting the
-// parallel director park a mid-firing head entry and look deeper into the
-// queue for co-schedulable actors.
+// Queues exposes the active and waiting priority queues (tests and
+// diagnostics). Callers must hold Mu when a parallel run is in progress.
 func (b *Base) Queues() (active, waiting *EntryQueue) { return b.ActiveQ, b.WaitingQ }
+
+// ClaimRunnable is the shared skip-busy claim loop behind every policy's
+// Claim: it repeatedly asks next (the policy's NextActor logic) for the
+// head entry, claims the first one not already firing, and parks busy heads
+// out of the active queue meanwhile so independent actors deeper in the
+// queue can still be co-scheduled. Parked entries are re-inserted before
+// returning — their enqueue sequence is untouched, so policy order is
+// preserved. Must be called with Mu held.
+func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
+	var parked []*Entry
+	var claimed *Entry
+	for {
+		e := next()
+		if e == nil {
+			break
+		}
+		if e.TryFire() {
+			claimed = e
+			break
+		}
+		// The head is mid-firing on another worker; data dependencies
+		// forbid co-scheduling the same actor. Park it and look deeper,
+		// unless the policy produced it outside the active queue (then
+		// there is nothing to scan past).
+		if !b.ActiveQ.Contains(e) {
+			break
+		}
+		b.ActiveQ.Remove(e)
+		parked = append(parked, e)
+	}
+	for _, p := range parked {
+		b.ActiveQ.Push(p)
+	}
+	return claimed
+}
 
 // HasWork reports whether any entry holds ready or buffered events, or a
 // source is mid-iteration.
 func (b *Base) HasWork() bool {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
 	for _, e := range b.Entries {
 		if e.HasEvents() || e.BufferLen() > 0 {
 			return true
@@ -215,6 +369,8 @@ func (b *Base) HasWork() bool {
 // TotalQueued returns the total ready items across entries (diagnostics
 // and backlog metrics).
 func (b *Base) TotalQueued() int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
 	n := 0
 	for _, e := range b.Entries {
 		n += e.QueueLen() + e.BufferLen()

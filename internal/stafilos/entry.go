@@ -8,6 +8,8 @@ package stafilos
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -54,6 +56,13 @@ type ReadyItem struct {
 // Entry is the scheduler's bookkeeping for one actor: its ready-event
 // queue (sorted by timestamp), its state, and the policy fields the
 // implemented schedulers use (static priority, quantum, dynamic priority).
+//
+// Concurrency: the per-actor firing state is sharded onto the entry itself
+// so parallel workers never need a global engine lock. The ready queue and
+// next-period buffer are guarded by the entry's own mutex (qmu); the firing
+// flag is an atomic claimed via TryFire/EndFire. The scheduler-owned fields
+// (State, Quantum, DynPriority, FiredThisIteration, queue positions) are
+// guarded by the owning scheduler's lock.
 type Entry struct {
 	Actor  model.Actor
 	Source bool
@@ -69,6 +78,15 @@ type Entry struct {
 	// director iteration / period.
 	FiredThisIteration bool
 
+	// firing marks the actor as currently executing on a worker. It is the
+	// model invariant "an actor never fires concurrently with itself": a
+	// worker owns the actor's windows and state from a successful TryFire
+	// until EndFire.
+	firing atomic.Bool
+
+	// qmu guards queue and buffer: receivers push ready windows from any
+	// worker while the claiming worker pops.
+	qmu sync.Mutex
 	// queue holds the actor's ready items ordered by window timestamp.
 	queue itemHeap
 	// buffer holds items deferred to the next period (RB).
@@ -82,20 +100,49 @@ type Entry struct {
 	enqueueSeq uint64
 }
 
+// TryFire claims the actor for one firing; it fails if the actor is
+// already firing on another worker.
+func (e *Entry) TryFire() bool { return e.firing.CompareAndSwap(false, true) }
+
+// EndFire releases the firing claim. Callers release only after the
+// firing's emissions are delivered and its bookkeeping recorded.
+func (e *Entry) EndFire() { e.firing.Store(false) }
+
+// Firing reports whether the actor is currently executing on a worker.
+func (e *Entry) Firing() bool { return e.firing.Load() }
+
 // QueueLen returns the number of ready items waiting for the actor.
-func (e *Entry) QueueLen() int { return len(e.queue) }
+func (e *Entry) QueueLen() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.queue)
+}
 
 // BufferLen returns the number of items parked for the next period.
-func (e *Entry) BufferLen() int { return len(e.buffer) }
+func (e *Entry) BufferLen() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.buffer)
+}
 
 // HasEvents reports whether the actor has ready items in its queue.
-func (e *Entry) HasEvents() bool { return len(e.queue) > 0 }
+func (e *Entry) HasEvents() bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.queue) > 0
+}
 
 // Push adds a ready item to the actor's sorted event queue.
-func (e *Entry) Push(item ReadyItem) { heap.Push(&e.queue, item) }
+func (e *Entry) Push(item ReadyItem) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	heap.Push(&e.queue, item)
+}
 
 // Pop removes and returns the oldest ready item.
 func (e *Entry) Pop() (ReadyItem, bool) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
 	if len(e.queue) == 0 {
 		return ReadyItem{}, false
 	}
@@ -104,6 +151,8 @@ func (e *Entry) Pop() (ReadyItem, bool) {
 
 // Peek returns the oldest ready item without removing it.
 func (e *Entry) Peek() (ReadyItem, bool) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
 	if len(e.queue) == 0 {
 		return ReadyItem{}, false
 	}
@@ -111,11 +160,17 @@ func (e *Entry) Peek() (ReadyItem, bool) {
 }
 
 // Buffer parks an item for the next period (RB's next-period buffer).
-func (e *Entry) Buffer(item ReadyItem) { e.buffer = append(e.buffer, item) }
+func (e *Entry) Buffer(item ReadyItem) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.buffer = append(e.buffer, item)
+}
 
 // ReleaseBuffer moves every buffered item into the ready queue and returns
 // how many moved.
 func (e *Entry) ReleaseBuffer() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
 	n := len(e.buffer)
 	for _, it := range e.buffer {
 		heap.Push(&e.queue, it)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -17,40 +18,84 @@ import (
 // (Section 5): an SCWF director aware of the machine's cores, balancing the
 // ready-actors queue across workers while respecting data dependencies.
 //
-// The scheduling policy still decides *order*: a single dispatcher asks the
-// scheduler for the next actor exactly as the sequential director does, but
-// hands the firing to a worker pool. Two constraints preserve the model's
-// semantics: an actor never fires concurrently with itself (its windows and
-// state are sequential), and all scheduler/receiver bookkeeping happens
-// under one engine lock — only the actor's Fire work runs in parallel.
+// There is no engine lock and no dispatcher. The engine state is sharded:
+//   - the scheduler serializes its own bookkeeping behind the policy lock
+//     (the ConcurrentScheduler contract), with critical sections limited to
+//     heap and state updates;
+//   - each actor entry carries its own ready-queue lock and an atomic
+//     firing flag, so a worker owns an actor's windows from a successful
+//     Claim until EndFire;
+//   - each input port's receiver guards its window operator with its own
+//     mutex;
+//   - per-actor statistics live in per-entry shards (internal/stats).
+//
+// A worker that finishes a firing delivers its emissions straight through
+// BroadcastEmissions (receivers lock themselves and enqueue produced
+// windows at the scheduler) and claims its next actor directly from the
+// policy — the only serialization left on the hot path is the policy lock
+// and the locks of the ports actually touched.
+//
+// Two invariants of the model are preserved: an actor never fires
+// concurrently with itself (the per-entry firing flag, claimed atomically
+// under the policy lock), and the scheduling policy still decides order
+// (workers claim through Claim, which walks the policy's own NextActor
+// order and only skips actors that are mid-firing on another worker).
 // It always runs in real time (parallel firings have no single virtual
 // timeline).
 type ParallelDirector struct {
-	sched   Scheduler
+	sched   ConcurrentScheduler
 	clk     clock.Clock
 	stats   *stats.Registry
 	env     *Env
 	workers int
 
-	mu        sync.Mutex
-	cond      *sync.Cond
 	wf        *model.Workflow
 	receivers []*TMReceiver
 	entries   map[string]*stats.Entry
-	scratch   []*event.Event // delivery buffer, guarded by mu
-	running   map[string]bool // actors currently firing
-	inFlight  int
 	setup     bool
-	stopped   bool
-	// gen increments on every completed firing; the dispatcher waits on it
-	// when the policy has nothing co-schedulable right now.
-	gen uint64
-	// peak tracks the maximum observed concurrent firings (tests).
-	peak int
+
+	// pool recycles per-firing contexts (timekeeper, staged windows,
+	// emission buffer) and broadcast scratch buffers across workers.
+	pool sync.Pool
+
+	// inFlight counts claim attempts and claimed-but-unfinished firings; a
+	// worker increments it before asking the scheduler, so a zero reading
+	// with no queued work means no firing can still produce events.
+	inFlight atomic.Int64
+	// executing gauges concurrent firings; its high-watermark is the
+	// director's peak concurrency.
+	executing stats.PeakGauge
+	// stopped is latched by StopWorkflow.
+	stopped atomic.Bool
+
+	// wakeMu guards the worker wake/terminate channel state below.
+	wakeMu   sync.Mutex
+	wakeCond *sync.Cond
+	// wakeGen increments whenever new work may exist: a firing completed,
+	// or the coordinator ticked (timeouts fired, paced sources advanced).
+	wakeGen uint64
+	// quit is set by the worker that detects completion.
+	quit bool
+	// err is the first firing error; it halts the run.
+	err error
+
+	// iterMu serializes scheduler iteration maintenance; lastMaint is the
+	// wake generation at which maintenance last ran, so idle workers do not
+	// spin re-running IterationEnd when nothing changed.
+	iterMu    sync.Mutex
+	lastMaint uint64
+}
+
+// firingScratch is the pooled per-firing workspace.
+type firingScratch struct {
+	ctx     *model.FireContext
+	scratch []*event.Event
 }
 
 // NewParallelDirector builds a parallel SCWF director with the given worker
-// count (0 = GOMAXPROCS).
+// count (0 = GOMAXPROCS). Policies from internal/sched satisfy the
+// concurrent-scheduler contract natively; any other Scheduler is adapted
+// with a wrapping lock (Synchronize).
 func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDirector {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -59,11 +104,10 @@ func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDi
 		opts.Stats = stats.NewRegistry()
 	}
 	d := &ParallelDirector{
-		sched:   sched,
+		sched:   Synchronize(sched),
 		clk:     clock.NewReal(), // parallel execution is real-time only
 		stats:   opts.Stats,
 		workers: workers,
-		running: make(map[string]bool),
 		env: &Env{
 			Clock:          clock.NewReal(),
 			Stats:          opts.Stats,
@@ -71,7 +115,10 @@ func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDi
 			SourceInterval: opts.SourceInterval,
 		},
 	}
-	d.cond = sync.NewCond(&d.mu)
+	d.wakeCond = sync.NewCond(&d.wakeMu)
+	d.pool.New = func() any {
+		return &firingScratch{ctx: model.NewFireContext(d.clk, event.NewTimekeeper())}
+	}
 	return d
 }
 
@@ -83,11 +130,13 @@ func (d *ParallelDirector) Name() string {
 // Stats returns the runtime statistics registry.
 func (d *ParallelDirector) Stats() *stats.Registry { return d.stats }
 
-// PeakConcurrency reports the maximum number of simultaneous firings seen.
+// Workers returns the configured worker count.
+func (d *ParallelDirector) Workers() int { return d.workers }
+
+// PeakConcurrency reports the maximum number of simultaneous firings
+// observed so far. It is safe to call at any time, including after Run.
 func (d *ParallelDirector) PeakConcurrency() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.peak
+	return int(d.executing.Peak())
 }
 
 // Setup implements model.Director.
@@ -104,8 +153,6 @@ func (d *ParallelDirector) Setup(wf *model.Workflow) error {
 		return err
 	}
 	for _, p := range wf.InputPorts() {
-		// Enqueues happen with d.mu held (see deliver), keeping the
-		// scheduler single-threaded.
 		r := NewTMReceiver(p, d.clk, d.stats, d.sched.Enqueue)
 		p.SetReceiver(r)
 		d.receivers = append(d.receivers, r)
@@ -127,14 +174,9 @@ func (d *ParallelDirector) Setup(wf *model.Workflow) error {
 	return nil
 }
 
-// task is one dispatched firing.
-type task struct {
-	entry   *Entry
-	item    ReadyItem
-	hasItem bool
-}
-
-// Run implements model.Director.
+// Run implements model.Director: it starts the worker pool and a timer
+// coordinator and blocks until the workflow stops, everything drains, a
+// firing fails, or ctx is cancelled.
 func (d *ParallelDirector) Run(ctx context.Context) error {
 	if !d.setup {
 		return model.ErrNotSetup
@@ -145,177 +187,142 @@ func (d *ParallelDirector) Run(ctx context.Context) error {
 		}
 	}()
 
-	tasks := make(chan task)
-	errCh := make(chan error, d.workers)
-	var wg sync.WaitGroup
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	d.sched.IterationBegin()
+
+	var workers sync.WaitGroup
 	for i := 0; i < d.workers; i++ {
-		wg.Add(1)
+		workers.Add(1)
 		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				if err := d.execute(t); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-				}
-			}
+			defer workers.Done()
+			d.worker(runCtx)
 		}()
 	}
-	err := d.dispatchLoop(ctx, tasks, errCh)
-	close(tasks)
-	wg.Wait()
-	select {
-	case werr := <-errCh:
-		if err == nil {
-			err = werr
-		}
-	default:
-	}
-	return err
-}
-
-// dispatchLoop is the single-threaded scheduler driver.
-func (d *ParallelDirector) dispatchLoop(ctx context.Context, tasks chan<- task, errCh <-chan error) error {
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		select {
-		case err := <-errCh:
-			return err
-		default:
-		}
-		d.mu.Lock()
-		if d.stopped {
-			d.mu.Unlock()
-			return nil
-		}
-		d.pollTimeoutsLocked()
-		d.sched.IterationBegin()
-		dispatched := 0
-		for {
-			t, ok := d.takeLocked()
-			if !ok {
-				break
-			}
-			d.mu.Unlock()
-			select {
-			case tasks <- t:
-			case <-ctx.Done():
-				d.finish(t.entry)
-				return ctx.Err()
-			}
-			dispatched++
-			d.mu.Lock()
-		}
-		d.sched.IterationEnd()
-		busy := d.inFlight
-		hasWork := d.sched.HasWork()
-		d.mu.Unlock()
-
-		if dispatched > 0 {
-			continue
-		}
-		if busy > 0 {
-			// Nothing co-schedulable right now: sleep until a firing
-			// completes (it may free the actor or produce new events).
-			d.mu.Lock()
-			gen := d.gen
-			for d.gen == gen && d.inFlight > 0 && !d.stopped {
-				d.cond.Wait()
-			}
-			d.mu.Unlock()
-			continue
-		}
-		if hasWork {
-			continue
-		}
-		if d.sourcesExhausted() {
-			return nil
-		}
-		// Idle: real-time sources may produce later.
-		time.Sleep(500 * time.Microsecond)
-	}
-}
-
-// queueAccess is implemented by Base-backed schedulers; it lets the
-// dispatcher park a busy head entry and keep scanning the active queue.
-type queueAccess interface {
-	Queues() (active, waiting *EntryQueue)
-}
-
-// takeLocked asks the policy for the next runnable, not-already-firing
-// actor and claims it, parking mid-firing heads so independent actors
-// deeper in the queue can still be co-scheduled. Called with d.mu held.
-func (d *ParallelDirector) takeLocked() (task, bool) {
-	var parked []*Entry
-	var active *EntryQueue
-	if qa, ok := d.sched.(queueAccess); ok {
-		active, _ = qa.Queues()
-	}
-	defer func() {
-		for _, p := range parked {
-			active.Push(p)
-		}
+	var coord sync.WaitGroup
+	coord.Add(1)
+	go func() {
+		defer coord.Done()
+		d.coordinate(runCtx)
 	}()
 
-	var e *Entry
-	for {
-		e = d.sched.NextActor()
-		if e == nil {
-			return task{}, false
-		}
-		if !d.running[e.Actor.Name()] {
-			break
-		}
-		// The policy's head is mid-firing on another core; data
-		// dependencies forbid co-scheduling the same actor. Park it and
-		// look deeper, unless the policy gives no queue access.
-		if active == nil || !active.Contains(e) {
-			return task{}, false
-		}
-		active.Remove(e)
-		parked = append(parked, e)
+	workers.Wait()
+	cancel()
+	coord.Wait()
+
+	d.wakeMu.Lock()
+	err := d.err
+	d.wakeMu.Unlock()
+	if err != nil {
+		return err
 	}
-	t := task{entry: e}
-	if e.Source {
-		if ps, ok := e.Actor.(PushSource); ok && !ps.Available(d.clk.Now()) {
-			// Nothing to ingest yet: count the slot so the policy moves
-			// on, but dispatch no work.
-			d.sched.ActorFired(e, 0, 0)
-			return task{}, false
-		}
-	} else {
-		item, ok := e.Pop()
-		if !ok {
-			d.sched.ActorFired(e, 0, 0)
-			return task{}, false
-		}
-		t.item = item
-		t.hasItem = true
-	}
-	d.running[e.Actor.Name()] = true
-	d.inFlight++
-	if d.inFlight > d.peak {
-		d.peak = d.inFlight
-	}
-	return t, true
+	return ctx.Err()
 }
 
-// execute runs one firing on a worker.
-func (d *ParallelDirector) execute(t task) error {
-	a := t.entry.Actor
-	ctx := model.NewFireContext(d.clk, event.NewTimekeeper())
-	var consumed int
-	if t.hasItem {
+// worker is the self-claiming execution loop: claim the next actor from
+// the policy, fire it, deliver its emissions, repeat. When nothing is
+// claimable the worker runs the scheduler's iteration maintenance once per
+// wake generation, then either detects completion or sleeps until a firing
+// completes or the coordinator ticks.
+func (d *ParallelDirector) worker(ctx context.Context) {
+	for {
+		if ctx.Err() != nil || d.halted() {
+			return
+		}
+		e := d.claim()
+		if e == nil {
+			e = d.maintainAndClaim()
+		}
+		if e == nil {
+			if d.drained() {
+				d.announceQuit()
+				return
+			}
+			d.waitForWork(ctx)
+			continue
+		}
+		d.fire(e)
+	}
+}
+
+// claim pulls the next runnable actor from the policy. inFlight brackets
+// the attempt so completion detection never races a concurrent claim.
+func (d *ParallelDirector) claim() *Entry {
+	d.inFlight.Add(1)
+	e := d.sched.Claim()
+	if e == nil {
+		d.inFlight.Add(-1)
+	}
+	return e
+}
+
+// maintainAndClaim runs the scheduler's end-of-iteration maintenance
+// (re-quantification, queue swaps, period rollover) followed by the start
+// of the next iteration, then retries the claim. The director iteration
+// boundary is "nothing claimable right now" — the parallel analogue of the
+// sequential director's NextActor returning nil. Maintenance is gated to
+// once per wake generation so idle workers do not spin re-quantifying.
+func (d *ParallelDirector) maintainAndClaim() *Entry {
+	d.wakeMu.Lock()
+	cur := d.wakeGen
+	d.wakeMu.Unlock()
+	d.iterMu.Lock()
+	if d.lastMaint != cur {
+		d.lastMaint = cur
+		d.sched.IterationEnd()
+		d.sched.IterationBegin()
+	}
+	d.iterMu.Unlock()
+	return d.claim()
+}
+
+// fire runs one claimed firing on the calling worker: stage the input
+// window, drive the prefire/fire/postfire lifecycle, broadcast the
+// emissions (receivers enqueue follow-up work at the scheduler), record
+// statistics, report the firing to the policy, and only then release the
+// actor's firing claim.
+func (d *ParallelDirector) fire(e *Entry) {
+	defer d.inFlight.Add(-1)
+	a := e.Actor
+
+	if e.Source {
+		if ps, ok := a.(PushSource); ok && !ps.Available(d.clk.Now()) {
+			// Nothing to ingest yet: count the slot so the policy moves on,
+			// but do no work. No wakeup — the coordinator's tick retries
+			// paced sources.
+			d.sched.ActorFired(e, 0, 0)
+			e.EndFire()
+			return
+		}
+	}
+	var item ReadyItem
+	hasItem := false
+	if !e.Source {
+		it, ok := e.Pop()
+		if !ok {
+			// Stale ACTIVE state; let the policy fix it.
+			d.sched.ActorFired(e, 0, 0)
+			e.EndFire()
+			return
+		}
+		item, hasItem = it, true
+	}
+
+	fs := d.pool.Get().(*firingScratch)
+	ctx := fs.ctx
+	ctx.Reset()
+	d.executing.Inc()
+
+	consumed := 0
+	if hasItem {
 		var trigger *event.Event
-		if n := t.item.Win.Len(); n > 0 {
-			trigger = t.item.Win.Events[n-1]
+		if n := item.Win.Len(); n > 0 {
+			trigger = item.Win.Events[n-1]
 		}
 		ctx.BeginFiring(trigger)
-		ctx.Stage(t.item.Port, t.item.Win)
-		consumed = t.item.Win.Len()
+		ctx.Stage(item.Port, item.Win)
+		consumed = item.Win.Len()
 	} else {
 		ctx.BeginFiring(nil)
 	}
@@ -335,34 +342,117 @@ func (d *ParallelDirector) execute(t task) error {
 	emissions := ctx.EndFiring()
 	cost := time.Since(start)
 
-	d.mu.Lock()
-	// Receivers enqueue under the engine lock; batching keeps the lock's
-	// critical section to one pass per destination port.
-	d.scratch = model.BroadcastEmissions(emissions, d.scratch)
+	// Deliver before reporting the firing: once ActorFired runs and the
+	// claim is released, the policy may schedule downstream work, which must
+	// already see these events.
+	fs.scratch = model.BroadcastEmissions(emissions, fs.scratch)
 	d.entries[a.Name()].RecordFiring(cost, consumed, len(emissions), d.clk.Now())
-	d.sched.ActorFired(t.entry, cost, len(emissions))
-	d.running[a.Name()] = false
-	d.inFlight--
-	d.gen++
+	d.sched.ActorFired(e, cost, len(emissions))
 	if ctx.Stopped() {
-		d.stopped = true
+		d.stopped.Store(true)
 	}
-	d.cond.Broadcast()
-	d.mu.Unlock()
-	return fireErr
+	d.executing.Dec()
+	e.EndFire()
+	d.pool.Put(fs)
+
+	if fireErr != nil {
+		d.fail(fireErr)
+		return
+	}
+	d.kick()
 }
 
-// finish releases a claimed entry without firing (cancellation path).
-func (d *ParallelDirector) finish(e *Entry) {
-	d.mu.Lock()
-	d.running[e.Actor.Name()] = false
-	d.inFlight--
-	d.gen++
-	d.cond.Broadcast()
-	d.mu.Unlock()
+// coordinate is the light housekeeping goroutine: it fires due window
+// timeouts and wakes the workers on a short tick, which also serves as the
+// polling cadence for real-time paced sources. It does no scheduling.
+func (d *ParallelDirector) coordinate(ctx context.Context) {
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			d.kick()
+			return
+		case <-ticker.C:
+			d.pollTimeouts()
+			d.kick()
+		}
+	}
 }
 
-func (d *ParallelDirector) pollTimeoutsLocked() {
+// kick bumps the wake generation and wakes every waiting worker.
+func (d *ParallelDirector) kick() {
+	d.wakeMu.Lock()
+	d.wakeGen++
+	d.wakeCond.Broadcast()
+	d.wakeMu.Unlock()
+}
+
+// waitForWork blocks until the wake generation changes or the run halts.
+// The coordinator ticks a few times per millisecond, bounding the wait.
+func (d *ParallelDirector) waitForWork(ctx context.Context) {
+	d.wakeMu.Lock()
+	seen := d.wakeGen
+	for d.wakeGen == seen && !d.quit && d.err == nil &&
+		ctx.Err() == nil && !d.stopped.Load() {
+		d.wakeCond.Wait()
+	}
+	d.wakeMu.Unlock()
+}
+
+// halted reports whether the run should stop claiming work.
+func (d *ParallelDirector) halted() bool {
+	if d.stopped.Load() {
+		return true
+	}
+	d.wakeMu.Lock()
+	defer d.wakeMu.Unlock()
+	return d.quit || d.err != nil
+}
+
+// drained reports whether execution is complete: every source exhausted,
+// no queued or buffered events, no firing in flight that could still
+// produce events, and no pending window-timeout deadline that could still
+// release one. inFlight is read before the work probes: claims increment
+// it before consulting the scheduler, so a zero here with empty queues
+// cannot hide an in-progress firing.
+func (d *ParallelDirector) drained() bool {
+	if d.inFlight.Load() != 0 {
+		return false
+	}
+	if d.sched.HasWork() {
+		return false
+	}
+	if !d.sourcesExhausted() {
+		return false
+	}
+	for _, r := range d.receivers {
+		if _, ok := r.NextDeadline(); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// announceQuit latches completion and wakes everyone so the pool unwinds.
+func (d *ParallelDirector) announceQuit() {
+	d.wakeMu.Lock()
+	d.quit = true
+	d.wakeCond.Broadcast()
+	d.wakeMu.Unlock()
+}
+
+// fail records the first firing error and halts the run.
+func (d *ParallelDirector) fail(err error) {
+	d.wakeMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.wakeCond.Broadcast()
+	d.wakeMu.Unlock()
+}
+
+func (d *ParallelDirector) pollTimeouts() {
 	now := d.clk.Now()
 	for _, r := range d.receivers {
 		if dl, ok := r.NextDeadline(); ok && !dl.After(now) {

@@ -1,0 +1,120 @@
+package stafilos_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// buildBenchPipeline assembles the 4-stage scaling pipeline: a back-dated
+// source feeding three sequential stages into a collecting sink. Each stage
+// holds its worker for stageDelay per firing — zero models a cheap CPU
+// actor, a positive delay models a stage that waits on something external
+// (a store query, a network call), which is where pipeline parallelism
+// pays off even on a single core.
+func buildBenchPipeline(events int, stageDelay time.Duration) (*model.Workflow, *actors.Collect) {
+	wf := model.NewWorkflow("scaling")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Hour), time.Millisecond, events,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	stage := func(name string) *actors.Func {
+		return actors.NewFunc(name, window.Passthrough(),
+			func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+				if stageDelay > 0 {
+					time.Sleep(stageDelay)
+				}
+				for _, tok := range w.Tokens() {
+					emit(tok)
+				}
+				return nil
+			})
+	}
+	s1, s2, s3 := stage("stage1"), stage("stage2"), stage("stage3")
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, s1, s2, s3, sink)
+	wf.MustConnect(src.Out(), s1.In())
+	wf.MustConnect(s1.Out(), s2.In())
+	wf.MustConnect(s2.Out(), s3.In())
+	wf.MustConnect(s3.Out(), sink.In())
+	return wf, sink
+}
+
+// benchPipeline times full pipeline runs and reports events_per_sec.
+// workers == 0 selects the sequential Director as the baseline.
+func benchPipeline(b *testing.B, workers, events int, stageDelay time.Duration) {
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		wf, sink := buildBenchPipeline(events, stageDelay)
+		var d model.Director
+		if workers == 0 {
+			d = stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{SourceInterval: 5})
+		} else {
+			d = stafilos.NewParallelDirector(sched.NewFIFO(), stafilos.Options{SourceInterval: 5}, workers)
+		}
+		if err := d.Setup(wf); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := d.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(start)
+		if len(sink.Tokens) != events {
+			b.Fatalf("sink got %d events, want %d", len(sink.Tokens), events)
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/total.Seconds(), "events_per_sec")
+}
+
+// workerPoints is the scaling matrix recorded in BENCH_parallel.json:
+// the sequential Director baseline, then 1, 2, 4 and GOMAXPROCS workers.
+func workerPoints() []struct {
+	name    string
+	workers int
+} {
+	return []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 0},
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	}
+}
+
+// BenchmarkParallelPipelineLatencyBound is the headline scaling benchmark:
+// every stage waits 200µs per firing (an external store/network wait), so
+// throughput is bounded by latency, not CPU — the regime where a worker
+// pool pays off regardless of core count, because workers overlap the
+// stages' waits. This is the pipeline number recorded in
+// BENCH_parallel.json.
+func BenchmarkParallelPipelineLatencyBound(b *testing.B) {
+	for _, p := range workerPoints() {
+		b.Run(p.name, func(b *testing.B) {
+			benchPipeline(b, p.workers, 200, 200*time.Microsecond)
+		})
+	}
+}
+
+// BenchmarkParallelPipelineCheapActors measures pure engine overhead: the
+// stages do no work, so all time is scheduling, claiming, and delivery.
+// This is the regime the sharded executor targets — with the old single
+// engine lock, workers>1 was sequential plus contention.
+func BenchmarkParallelPipelineCheapActors(b *testing.B) {
+	for _, p := range workerPoints() {
+		b.Run(p.name, func(b *testing.B) {
+			benchPipeline(b, p.workers, 5000, 0)
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package stafilos
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -19,7 +20,16 @@ import (
 // register window-timeout deadlines, which the director polls so a timed
 // window is produced even before an event from the next window arrives to
 // close it.
+//
+// Concurrency: the receiver's own mutex guards the window operator, so
+// parallel workers can deliver emissions to the same input port without any
+// engine lock. Lock order is receiver → scheduler (enqueue runs under the
+// receiver lock); expired events are handed to the expired-items consumer
+// outside the lock, since that consumer is typically another receiver.
 type TMReceiver struct {
+	// mu guards op. Each port has its own receiver, so two workers only
+	// contend when they deliver to the same input port.
+	mu      sync.Mutex
 	port    *model.Port
 	op      *window.Operator
 	clk     clock.Clock
@@ -66,10 +76,13 @@ func (r *TMReceiver) Put(ev *event.Event) {
 	if r.entry != nil {
 		r.entry.RecordArrival(1, now)
 	}
+	r.mu.Lock()
 	for _, w := range r.op.Put(ev, now) {
 		r.enqueue(NewItem(r.port.Owner(), r.port, w))
 	}
-	r.flushExpired()
+	exp := r.takeExpired()
+	r.mu.Unlock()
+	r.deliverExpired(exp)
 }
 
 // PutBatch implements model.BatchReceiver: the whole emission set records
@@ -83,36 +96,54 @@ func (r *TMReceiver) PutBatch(evs []*event.Event) {
 	if r.entry != nil {
 		r.entry.RecordArrival(len(evs), now)
 	}
+	r.mu.Lock()
 	for _, ev := range evs {
 		for _, w := range r.op.Put(ev, now) {
 			r.enqueue(NewItem(r.port.Owner(), r.port, w))
 		}
 	}
-	r.flushExpired()
+	exp := r.takeExpired()
+	r.mu.Unlock()
+	r.deliverExpired(exp)
 }
 
 // OnTime forces out windows whose formation timeout passed and returns how
 // many were produced.
 func (r *TMReceiver) OnTime(now time.Time) int {
+	r.mu.Lock()
 	ws := r.op.OnTime(now)
 	for _, w := range ws {
 		r.enqueue(NewItem(r.port.Owner(), r.port, w))
 	}
-	r.flushExpired()
+	exp := r.takeExpired()
+	r.mu.Unlock()
+	r.deliverExpired(exp)
 	return len(ws)
 }
 
 // NextDeadline reports the earliest pending window-timeout deadline.
-func (r *TMReceiver) NextDeadline() (time.Time, bool) { return r.op.NextDeadline() }
+func (r *TMReceiver) NextDeadline() (time.Time, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.op.NextDeadline()
+}
 
-func (r *TMReceiver) flushExpired() {
-	if r.expireTo == nil {
-		// Drop expired items when nothing consumes them, keeping memory
-		// bounded.
-		r.op.DrainExpired()
-		return
+// takeExpired drains the operator's expired-items queue under r.mu and
+// returns what must be delivered (nil when nothing consumes expired items —
+// they are dropped to keep memory bounded).
+func (r *TMReceiver) takeExpired() []*event.Event {
+	exp := r.op.DrainExpired()
+	if r.expireTo == nil || len(exp) == 0 {
+		return nil
 	}
-	if exp := r.op.DrainExpired(); len(exp) > 0 {
+	return exp
+}
+
+// deliverExpired hands expired events to the expired-items consumer. It runs
+// outside r.mu: the consumer is typically another receiver (the expired-items
+// queue wired to another activity), and receiver locks must never nest.
+func (r *TMReceiver) deliverExpired(exp []*event.Event) {
+	if len(exp) > 0 {
 		r.expireTo(exp)
 	}
 }

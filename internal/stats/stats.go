@@ -15,6 +15,7 @@ package stats
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -195,6 +196,36 @@ func (a *Actor) roll(now time.Time) {
 	a.winIn, a.winOut = 0, 0
 	a.winStart = now
 }
+
+// PeakGauge is an atomic level gauge with a high-watermark: Inc/Dec track a
+// current level (e.g. firings in flight) while Peak remembers the highest
+// level ever observed. The zero value is ready to use; all methods are safe
+// for concurrent use and lock-free.
+type PeakGauge struct {
+	level atomic.Int64
+	peak  atomic.Int64
+}
+
+// Inc raises the level by one and returns the new level, updating the peak
+// high-watermark if exceeded.
+func (g *PeakGauge) Inc() int64 {
+	n := g.level.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return n
+		}
+	}
+}
+
+// Dec lowers the level by one.
+func (g *PeakGauge) Dec() { g.level.Add(-1) }
+
+// Level returns the current level.
+func (g *PeakGauge) Level() int64 { return g.level.Load() }
+
+// Peak returns the highest level ever observed.
+func (g *PeakGauge) Peak() int64 { return g.peak.Load() }
 
 // Get returns a copy of the named actor's statistics.
 func (r *Registry) Get(name string) Actor {

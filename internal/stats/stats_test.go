@@ -196,3 +196,51 @@ func TestStatsInvariantsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeakGaugeHighWatermark(t *testing.T) {
+	var g PeakGauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Inc()
+	if g.Level() != 2 {
+		t.Fatalf("Level() = %d, want 2", g.Level())
+	}
+	if g.Peak() != 2 {
+		t.Fatalf("Peak() = %d, want 2", g.Peak())
+	}
+	g.Dec()
+	g.Dec()
+	if g.Level() != 0 {
+		t.Fatalf("Level() after drain = %d, want 0", g.Level())
+	}
+	if g.Peak() != 2 {
+		t.Fatalf("Peak() must not decay on Dec, got %d", g.Peak())
+	}
+}
+
+func TestPeakGaugeConcurrent(t *testing.T) {
+	var g PeakGauge
+	const goroutines = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if g.Level() != 0 {
+		t.Fatalf("Level() after balanced Inc/Dec = %d, want 0", g.Level())
+	}
+	if p := g.Peak(); p < 1 || p > goroutines {
+		t.Fatalf("Peak() = %d, want in [1, %d]", p, goroutines)
+	}
+}
