@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet bench bench-parallel build test
+.PHONY: tier1 race vet bench bench-parallel bench-obs race-obs build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -33,3 +33,14 @@ bench:
 bench-parallel:
 	$(GO) test ./internal/stafilos/ -run xxx -bench BenchmarkParallelPipeline -benchtime 3x -count 1
 	$(GO) test ./internal/lr/ -run xxx -bench BenchmarkLinearRoadParallel -benchtime 1x -count 1
+
+# bench-obs reruns the observability overhead matrix (no engine vs attached
+# engine with tracing disabled vs 1% vs 100% wave sampling) whose numbers are
+# recorded in BENCH_obs.json (see DESIGN.md, section "Observability").
+bench-obs:
+	$(GO) test ./internal/obs/ -run xxx -bench BenchmarkObsOverhead -benchtime 2s -count 1
+
+# race-obs runs the introspection-layer tests (trace-ring stress under an
+# 8-worker parallel executor, live-server smoke) under the race detector.
+race-obs:
+	$(GO) test -race ./internal/obs/

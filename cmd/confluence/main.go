@@ -13,6 +13,12 @@
 //	    start multi-workflow mode: a global scheduler plus the
 //	    ConnectionController listening for LIST/STATUS/PAUSE/RESUME/STOP/
 //	    ADD/REMOVE commands (Figure 9 of the paper).
+//
+// demo, run and serve accept -obs addr to serve the engine introspection
+// layer (/metrics in Prometheus format, /debug/pprof/, /workflows,
+// /trace/{wavetag}) while the workflow runs; -sample sets the fraction of
+// waves traced. demo additionally accepts -shed maxLag to insert a
+// load-shedding actor after the source and report its drop counters.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	confluence "repro"
+	"repro/internal/actors"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -60,6 +67,33 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: confluence <taxonomy|demo|run|types|serve> [flags]")
 }
 
+// startObs starts the introspection server when addr is non-empty and
+// returns the observer (nil when off).
+func startObs(addr string, sample float64) (*confluence.Observer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	o, err := confluence.Observe(addr, confluence.ObserveOptions{SampleRate: sample})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /debug/pprof/)\n", o.Addr())
+	return o, nil
+}
+
+// lingerObs keeps the introspection server up after the workflow completes
+// so its final state can still be scraped; interrupt (ctrl-C) exits.
+func lingerObs(o *confluence.Observer) {
+	if o == nil {
+		return
+	}
+	fmt.Printf("introspection: workflow done, still serving on http://%s/ — interrupt to exit\n", o.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	o.Close()
+}
+
 // taxonomy prints Table 1.
 func taxonomy() error {
 	fmt.Println("Table 1: Taxonomy of Directors found in Kepler (first group) and PtolemyII")
@@ -78,6 +112,8 @@ func taxonomy() error {
 func runSpec(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	override := fs.String("scheduler", "", "override the spec's scheduling policy")
+	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
+	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +138,10 @@ func runSpec(args []string) error {
 		policy = *override
 	}
 	st := stats.NewRegistry()
+	observer, err := startObs(*obsAddr, *sample)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	err = confluence.Run(context.Background(), wf, confluence.RunOptions{
 		Scheduler:      policy,
@@ -109,16 +149,17 @@ func runSpec(args []string) error {
 		Priorities:     s.Scheduler.Priorities,
 		SourceInterval: s.Scheduler.SourceInterval,
 		Stats:          st,
+		Observer:       observer,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("workflow %s completed in %v\n", s.Name, time.Since(start).Round(time.Millisecond))
-	for _, name := range st.Names() {
-		a := st.Get(name)
+	for _, na := range st.SnapshotSorted() {
 		fmt.Printf("  %-14s invocations=%-6d avgCost=%-10v in=%-6d out=%d\n",
-			name, a.Invocations, a.AvgCost().Round(time.Microsecond), a.InputEvents, a.OutputEvents)
+			na.Name, na.Invocations, na.AvgCost().Round(time.Microsecond), na.InputEvents, na.OutputEvents)
 	}
+	lingerObs(observer)
 	return nil
 }
 
@@ -135,6 +176,9 @@ func demo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	scheduler := fs.String("scheduler", "QBS", "QBS, RR, RB, FIFO, EDF or PNCWF")
 	n := fs.Int("n", 1000, "events to generate")
+	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
+	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
+	shed := fs.Duration("shed", 0, "insert a load shedder dropping readings staler than this lag")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,25 +202,42 @@ func demo(args []string) error {
 	})
 	sink := confluence.NewCollect("sink")
 	wf.MustAdd(src, avg, sink)
-	wf.MustConnect(src.Out(), avg.In())
+	var shedder *actors.Shedder
+	if *shed > 0 {
+		shedder = confluence.NewShedder("shedder", *shed)
+		wf.MustAdd(shedder)
+		wf.MustConnect(src.Out(), shedder.In())
+		wf.MustConnect(shedder.Out(), avg.In())
+	} else {
+		wf.MustConnect(src.Out(), avg.In())
+	}
 	wf.MustConnect(avg.Out(), sink.In())
 
 	st := stats.NewRegistry()
+	observer, err := startObs(*obsAddr, *sample)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	err := confluence.Run(context.Background(), wf, confluence.RunOptions{
+	err = confluence.Run(context.Background(), wf, confluence.RunOptions{
 		Scheduler: *scheduler,
 		Stats:     st,
+		Observer:  observer,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("demo: %d readings -> %d window averages under %s in %v\n",
 		*n, len(sink.Tokens), *scheduler, time.Since(start).Round(time.Millisecond))
-	for _, name := range st.Names() {
-		a := st.Get(name)
-		fmt.Printf("  %-10s invocations=%-6d avgCost=%-10v selectivity=%.2f\n",
-			name, a.Invocations, a.AvgCost().Round(time.Microsecond), a.Selectivity())
+	if shedder != nil {
+		fmt.Printf("  shedder: dropped=%d passed=%d (maxLag=%v)\n",
+			shedder.Dropped(), shedder.Passed(), shedder.MaxLag())
 	}
+	for _, na := range st.SnapshotSorted() {
+		fmt.Printf("  %-10s invocations=%-6d avgCost=%-10v selectivity=%.2f\n",
+			na.Name, na.Invocations, na.AvgCost().Round(time.Microsecond), na.Selectivity())
+	}
+	lingerObs(observer)
 	return nil
 }
 
@@ -184,10 +245,17 @@ func demo(args []string) error {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "controller listen address")
+	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
+	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	observer, err := startObs(*obsAddr, *sample)
+	if err != nil {
+		return err
+	}
+	defer observer.Close()
 	global := confluence.NewGlobal()
 	ctrl, err := confluence.NewConnectionController(global, *addr)
 	if err != nil {
@@ -203,7 +271,10 @@ func serve(args []string) error {
 		sink := confluence.NewCollect("sink")
 		wf.MustAdd(src, sink)
 		wf.MustConnect(src.Out(), sink.In())
-		dir, err := confluence.NewDirector(confluence.RunOptions{Scheduler: "RR"})
+		dir, err := confluence.NewDirector(confluence.RunOptions{Scheduler: "RR", Observer: observer})
+		if err == nil {
+			observer.Watch(wf.Name(), wf, nil, dir)
+		}
 		return wf, dir, err
 	})
 

@@ -10,16 +10,19 @@
 //	lrbench -fig 5
 //	lrbench -fig 8 [-seed 42] [-duration 600s] [-rb-prioritize-sources]
 //	lrbench -all
+//	lrbench -fig 8 -json          # machine-readable per-run summaries
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/lr"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stafilos"
 )
@@ -36,6 +39,7 @@ func main() {
 		rbSources  = flag.Bool("rb-prioritize-sources", false,
 			"ablation: schedule RB sources in regular intervals (DESIGN.md D2)")
 	)
+	flag.BoolVar(&jsonOut, "json", false, "emit per-run summaries as JSON lines (durations as seconds)")
 	flag.Parse()
 
 	setup := lr.DefaultSetup()
@@ -163,7 +167,14 @@ func runFigure(setup lr.Setup, fig int, seed int64, rbSources bool) error {
 	return fmt.Errorf("unknown figure %d (want 5-8)", fig)
 }
 
+// jsonOut switches report to machine-readable JSON lines.
+var jsonOut bool
+
 func report(r *lr.Result) {
+	if jsonOut {
+		reportJSON(r)
+		return
+	}
 	thrash := "never"
 	if r.ThrashAt >= 0 {
 		thrash = fmt.Sprintf("%.0fs", r.ThrashAt)
@@ -172,4 +183,37 @@ func report(r *lr.Result) {
 		r.Label, r.Reports, r.TollCount, r.AlertCount,
 		r.Toll.Mean.Round(time.Millisecond), r.Toll.P95.Round(time.Millisecond),
 		100*r.Toll.WithinDeadline, thrash, r.WallTime.Round(time.Millisecond))
+}
+
+// reportJSON emits one run as a JSON line, with the response-time summaries
+// serialized through metrics.Summary.MarshalJSON — the same shape the
+// introspection server's /workflows endpoint uses.
+func reportJSON(r *lr.Result) {
+	out := struct {
+		Scheduler       string          `json:"scheduler"`
+		Label           string          `json:"label"`
+		Reports         int             `json:"reports"`
+		TollCount       int             `json:"toll_count"`
+		AlertCount      int             `json:"alert_count"`
+		Toll            metrics.Summary `json:"toll"`
+		Accident        metrics.Summary `json:"accident"`
+		ThrashAtSeconds float64         `json:"thrash_at_seconds"`
+		WallSeconds     float64         `json:"wall_seconds"`
+	}{
+		Scheduler:       r.Scheduler,
+		Label:           r.Label,
+		Reports:         r.Reports,
+		TollCount:       r.TollCount,
+		AlertCount:      r.AlertCount,
+		Toll:            r.Toll,
+		Accident:        r.Accident,
+		ThrashAtSeconds: r.ThrashAt,
+		WallSeconds:     r.WallTime.Seconds(),
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrbench: json: %v\n", err)
+		return
+	}
+	fmt.Println(string(b))
 }

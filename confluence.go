@@ -40,6 +40,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/multiwf"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stafilos"
 	"repro/internal/stats"
@@ -263,6 +264,10 @@ type RunOptions struct {
 	// the policy still orders firings, a worker pool executes them on
 	// multiple cores (the paper's Section 5 single-node scaling).
 	Workers int
+	// Observer, when set, receives the engine's introspection hooks (firing
+	// spans, scheduler decisions) and watches the workflow for scrape-time
+	// series. Build one with NewObserver or Observe.
+	Observer *Observer
 }
 
 // Run executes a workflow to completion under the selected director.
@@ -274,6 +279,7 @@ func Run(ctx context.Context, wf *Workflow, opts RunOptions) error {
 	if err := dir.Setup(wf); err != nil {
 		return err
 	}
+	opts.Observer.Watch(wf.Name(), wf, opts.Stats, dir)
 	return dir.Run(ctx)
 }
 
@@ -301,6 +307,7 @@ func NewDirector(opts RunOptions) (Director, error) {
 		Priorities:     opts.Priorities,
 		SourceInterval: interval,
 		Stats:          opts.Stats,
+		Obs:            opts.Observer,
 	}
 	if opts.Workers > 1 {
 		if opts.Virtual {
@@ -320,6 +327,34 @@ func NewDirector(opts RunOptions) (Director, error) {
 
 // NewStats returns an empty runtime-statistics registry.
 func NewStats() *Stats { return stats.NewRegistry() }
+
+// Observability.
+type (
+	// Observer is the engine introspection hub: a telemetry registry
+	// exported at /metrics, a wave-tag trace ring behind /trace/, and the
+	// director hooks feeding both. A nil *Observer is valid everywhere and
+	// means observability off.
+	Observer = obs.Engine
+	// ObserveOptions configures tracing (ring capacity, per-wave sampling
+	// rate).
+	ObserveOptions = obs.Options
+)
+
+// NewObserver builds an introspection engine without serving HTTP; pass it
+// in RunOptions.Observer and mount Handler() yourself, or call Serve later.
+func NewObserver(opts ObserveOptions) *Observer { return obs.NewEngine(opts) }
+
+// Observe builds an introspection engine and serves /metrics,
+// /debug/pprof/, /workflows and /trace/ on addr (host:port; port 0 picks a
+// free port). Wire the returned observer into RunOptions.Observer, and
+// Close it when done.
+func Observe(addr string, opts ObserveOptions) (*Observer, error) {
+	e := obs.NewEngine(opts)
+	if _, err := e.Serve(addr); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
 
 // UniformCost returns a cost model charging the same cost per firing.
 func UniformCost(cost, dispatch time.Duration) CostModel {

@@ -38,7 +38,12 @@ func (s *Shedder) In() *model.Port { return s.in }
 // Out returns the output port.
 func (s *Shedder) Out() *model.Port { return s.out }
 
-// Dropped returns how many tokens were shed.
+// MaxLag returns the configured maximum event-time lag.
+func (s *Shedder) MaxLag() time.Duration { return s.maxLag }
+
+// Dropped returns how many tokens were shed. Together with Passed it forms
+// the interface the introspection layer scrapes into the
+// confluence_shed_dropped_total / confluence_shed_passed_total series.
 func (s *Shedder) Dropped() int64 { return s.dropped.Load() }
 
 // Passed returns how many tokens were forwarded.

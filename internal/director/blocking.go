@@ -114,6 +114,14 @@ func (r *BlockingReceiver) Pending() bool {
 	return r.head < len(r.ready)
 }
 
+// Depth implements model.DepthReporter: produced-but-unconsumed windows
+// plus events buffered in open windows.
+func (r *BlockingReceiver) Depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return (len(r.ready) - r.head) + r.op.Pending()
+}
+
 // HasDeadline reports whether a timed window could still be forced out.
 func (r *BlockingReceiver) HasDeadline() bool {
 	_, ok := r.NextDeadline()

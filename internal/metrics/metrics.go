@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"sync"
@@ -32,6 +33,32 @@ type Summary struct {
 	P50, P95, P99  time.Duration
 	WithinDeadline float64 // fraction of results within the deadline target
 	Deadline       time.Duration
+}
+
+// MarshalJSON renders the summary with every duration as seconds, the one
+// serialization shared by cmd/lrbench -json and the introspection server's
+// /workflows view (time.Duration would otherwise marshal as opaque
+// nanosecond integers).
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count          int     `json:"count"`
+		MeanSeconds    float64 `json:"mean_seconds"`
+		MaxSeconds     float64 `json:"max_seconds"`
+		P50Seconds     float64 `json:"p50_seconds"`
+		P95Seconds     float64 `json:"p95_seconds"`
+		P99Seconds     float64 `json:"p99_seconds"`
+		WithinDeadline float64 `json:"within_deadline"`
+		DeadlineSecs   float64 `json:"deadline_seconds"`
+	}{
+		Count:          s.Count,
+		MeanSeconds:    s.Mean.Seconds(),
+		MaxSeconds:     s.Max.Seconds(),
+		P50Seconds:     s.P50.Seconds(),
+		P95Seconds:     s.P95.Seconds(),
+		P99Seconds:     s.P99.Seconds(),
+		WithinDeadline: s.WithinDeadline,
+		DeadlineSecs:   s.Deadline.Seconds(),
+	})
 }
 
 // ResponseCollector accumulates response-time samples for one output actor.

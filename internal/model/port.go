@@ -149,6 +149,14 @@ type BatchReceiver interface {
 	PutBatch(evs []*event.Event)
 }
 
+// DepthReporter is implemented by receivers that can report how many
+// pending events they hold; the introspection layer scrapes it into the
+// per-port queue-depth gauge.
+type DepthReporter interface {
+	// Depth returns the number of events buffered in the receiver.
+	Depth() int
+}
+
 // Channel is a directed connection from an output port to an input port.
 type Channel struct {
 	From *Port

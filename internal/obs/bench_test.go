@@ -1,0 +1,60 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/stafilos"
+)
+
+// benchObsPipeline runs the cheap-actor pipeline (no stage work, so all time
+// is engine overhead) under the sequential FIFO director with the given
+// introspection engine attached, and reports events_per_sec. Modes:
+//
+//	off       — no engine at all: the hot path pays one nil check per hook
+//	disabled  — engine attached, tracing off: histograms/counters only
+//	sample*   — engine attached, waves traced at the given rate
+//
+// BENCH_obs.json records these; the acceptance bar is <2% off->disabled
+// regression.
+func benchObsPipeline(b *testing.B, eng *obs.Engine, events int) {
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		wf, sink := buildObsPipeline(events, 0)
+		d := stafilos.NewDirector(sched.NewFIFO(), stafilos.Options{SourceInterval: 5, Obs: eng})
+		if err := d.Setup(wf); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := d.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(start)
+		if len(sink.Tokens) != events {
+			b.Fatalf("sink got %d events, want %d", len(sink.Tokens), events)
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/total.Seconds(), "events_per_sec")
+}
+
+// BenchmarkObsOverhead is the observability overhead matrix recorded in
+// BENCH_obs.json (make bench-obs).
+func BenchmarkObsOverhead(b *testing.B) {
+	const events = 5000
+	b.Run("off", func(b *testing.B) {
+		benchObsPipeline(b, nil, events)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		benchObsPipeline(b, obs.NewEngine(obs.Options{SampleRate: 0}), events)
+	})
+	b.Run("sample1pct", func(b *testing.B) {
+		benchObsPipeline(b, obs.NewEngine(obs.Options{SampleRate: 0.01}), events)
+	})
+	b.Run("sample100pct", func(b *testing.B) {
+		benchObsPipeline(b, obs.NewEngine(obs.Options{SampleRate: 1}), events)
+	})
+}

@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// TraceCapacity is the total span capacity of the wave-tag trace ring
+	// (0 = DefaultTraceCapacity).
+	TraceCapacity int
+	// SampleRate is the fraction of waves traced (0 disables tracing, 1
+	// traces every wave). Sampling is deterministic per wave, so a traced
+	// wave's lineage is always complete.
+	SampleRate float64
+}
+
+// shedReporter is what a load-shedding actor exposes for scraping;
+// actors.Shedder implements it.
+type shedReporter interface {
+	Dropped() int64
+	Passed() int64
+}
+
+// queueReporter is what a scheduler-backed director exposes for scraping
+// per-actor ready-queue depths; the STAFiLOS directors implement it.
+type queueReporter interface {
+	ActorQueueDepths(yield func(actor string, ready, buffered int))
+}
+
+// workerReporter is what a multi-worker director exposes; the parallel
+// STAFiLOS director implements it.
+type workerReporter interface {
+	Workers() int
+	Executing() int
+	PeakConcurrency() int
+}
+
+// statsProvider lets Watch resolve a director's own statistics registry when
+// the caller did not pass one; the PNCWF and ThreadSim directors implement it.
+type statsProvider interface {
+	Stats() *stats.Registry
+}
+
+// watch is one observed workflow: the handle set the scrape-time collectors
+// walk.
+type watch struct {
+	name  string
+	wf    *model.Workflow
+	stats *stats.Registry
+	dir   model.Director
+}
+
+// Engine is the introspection hub: it owns the telemetry registry and the
+// wave-tag tracer, receives the directors' hot-path hooks, and walks watched
+// workflows at scrape time for queue-depth, shed and per-actor series.
+//
+// Every hook is safe on a nil *Engine and returns immediately, so call sites
+// guard with a single pointer check and pay nothing when observability is
+// off.
+type Engine struct {
+	reg    *Registry
+	tracer *Tracer
+
+	// hot-path instruments, updated by the director hooks.
+	firingSeconds *HistogramVec // by actor
+	queueWait     *Histogram
+	claimSeconds  *Histogram
+	claims        *CounterVec // by result: picked | empty
+	picked        *CounterVec // by actor
+	parked        *CounterVec // by actor
+	spans         *Counter
+
+	mu        sync.Mutex
+	watches   []watch
+	responses []*metrics.ResponseCollector
+
+	srv *server
+}
+
+// NewEngine builds an introspection engine. The zero Options value means
+// tracing off, default ring capacity.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{
+		reg:    NewRegistry(),
+		tracer: NewTracer(opts.TraceCapacity, opts.SampleRate),
+	}
+	r := e.reg
+	e.firingSeconds = r.NewHistogramVec("confluence_firing_seconds",
+		"Firing latency by actor.", "actor")
+	e.queueWait = r.NewHistogram("confluence_queue_wait_seconds",
+		"Time ready windows waited in scheduler queues before firing.")
+	e.claimSeconds = r.NewHistogram("confluence_sched_claim_seconds",
+		"Latency of ConcurrentScheduler.Claim calls.")
+	e.claims = r.NewCounterVec("confluence_sched_claims_total",
+		"Claim outcomes: picked an entry or found the queue empty.", "result")
+	e.picked = r.NewCounterVec("confluence_sched_picked_total",
+		"Firings the scheduler granted, by actor.", "actor")
+	e.parked = r.NewCounterVec("confluence_sched_parked_total",
+		"Times the scheduler skipped an actor because a firing was in flight, by actor.", "actor")
+	e.spans = r.NewCounter("confluence_trace_spans_total",
+		"Trace spans recorded into the wave-tag ring.")
+	e.registerCollectors()
+	return e
+}
+
+// Registry returns the engine's telemetry registry, for callers that want to
+// add their own series.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Tracer returns the engine's wave-tag tracer.
+func (e *Engine) Tracer() *Tracer { return e.tracer }
+
+// Watch registers a workflow for scrape-time collection. st may be nil when
+// the director carries its own registry (PNCWF/ThreadSim); dir may be nil
+// for snapshot-only views. Safe to call while the workflow runs.
+func (e *Engine) Watch(name string, wf *model.Workflow, st *stats.Registry, dir model.Director) {
+	if e == nil {
+		return
+	}
+	if st == nil {
+		if sp, ok := dir.(statsProvider); ok {
+			st = sp.Stats()
+		}
+	}
+	e.mu.Lock()
+	e.watches = append(e.watches, watch{name: name, wf: wf, stats: st, dir: dir})
+	e.mu.Unlock()
+}
+
+// WatchResponses registers response-time collectors for the /workflows view.
+func (e *Engine) WatchResponses(cs ...*metrics.ResponseCollector) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.responses = append(e.responses, cs...)
+	e.mu.Unlock()
+}
+
+// snapshotWatches copies the watch set for lock-free iteration.
+func (e *Engine) snapshotWatches() []watch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]watch(nil), e.watches...)
+}
+
+// FiringObserved is the director hook for one completed firing: actor name,
+// the trigger event (nil for source firings), the firing's emissions (valid
+// only for the duration of the call), its start time, measured cost, how
+// long the consumed window waited ready, and the consumed event count.
+func (e *Engine) FiringObserved(actor string, trigger *event.Event, emissions []model.Emission,
+	start time.Time, cost, queueWait time.Duration, consumed int) {
+	if e == nil {
+		return
+	}
+	e.firingSeconds.With(actor).Observe(cost)
+	if trigger != nil {
+		e.queueWait.Observe(queueWait)
+	}
+	if !e.tracer.Enabled() {
+		return
+	}
+	if trigger != nil {
+		// Downstream firing: one span for the trigger's wave.
+		if !e.tracer.Sampled(trigger.Wave) {
+			return
+		}
+		s := Span{
+			Actor:     actor,
+			Root:      trigger.Wave.Root,
+			RootSeq:   trigger.Wave.RootSeq,
+			In:        trigger.Wave,
+			Start:     start,
+			QueueWait: queueWait,
+			Cost:      cost,
+			Consumed:  consumed,
+			Produced:  len(emissions),
+		}
+		if len(emissions) > 0 {
+			s.Out = emissions[0].Ev.Wave
+		}
+		e.tracer.Record(s)
+		e.spans.Inc()
+		return
+	}
+	// Source firing: every emission starts a wave; record one span per
+	// sampled wave (consecutive emissions of one wave collapse into it).
+	var lastRoot int64
+	var lastSeq uint64
+	recorded := false
+	for _, em := range emissions {
+		w := em.Ev.Wave
+		if recorded && w.Root == lastRoot && w.RootSeq == lastSeq {
+			continue
+		}
+		lastRoot, lastSeq, recorded = w.Root, w.RootSeq, true
+		if !e.tracer.Sampled(w) {
+			continue
+		}
+		e.tracer.Record(Span{
+			Actor:    actor,
+			Root:     w.Root,
+			RootSeq:  w.RootSeq,
+			Out:      w,
+			Start:    start,
+			Cost:     cost,
+			Produced: len(emissions),
+		})
+		e.spans.Inc()
+	}
+}
+
+// ClaimObserved is the scheduler hook for one ConcurrentScheduler.Claim
+// call: the picked actor ("" when the queue was empty) and the call latency.
+func (e *Engine) ClaimObserved(actor string, latency time.Duration) {
+	if e == nil {
+		return
+	}
+	e.claimSeconds.Observe(latency)
+	if actor == "" {
+		e.claims.With("empty").Inc()
+	} else {
+		e.claims.With("picked").Inc()
+	}
+}
+
+// PickObserved is the scheduler hook for a policy decision granting a
+// firing to an actor.
+func (e *Engine) PickObserved(actor string) {
+	if e == nil {
+		return
+	}
+	e.picked.With(actor).Inc()
+}
+
+// ParkObserved is the scheduler hook for a policy decision skipping an
+// actor whose firing flag is already taken (the head-of-queue park of
+// Base.ClaimRunnable and the RB/quantum source scans).
+func (e *Engine) ParkObserved(actor string) {
+	if e == nil {
+		return
+	}
+	e.parked.With(actor).Inc()
+}
+
+// registerCollectors wires the scrape-time families: series derived from
+// watched workflows' statistics registries, receiver queue depths, shed
+// counters, worker utilization and Go runtime state. They cost nothing
+// until /metrics is scraped.
+func (e *Engine) registerCollectors() {
+	r := e.reg
+
+	perActor := func(f func(name string, a stats.Actor) float64) func(emit func(string, float64)) {
+		return func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if w.stats == nil {
+					continue
+				}
+				for _, na := range w.stats.SnapshotSorted() {
+					emit(na.Name, f(na.Name, na.Actor))
+				}
+			}
+		}
+	}
+	r.RegisterCollector("confluence_actor_firings_total",
+		"Completed invocations by actor.", typeCounter, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return float64(a.Invocations) }))
+	r.RegisterCollector("confluence_actor_events_in_total",
+		"Events consumed by actor firings.", typeCounter, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return float64(a.InputEvents) }))
+	r.RegisterCollector("confluence_actor_events_out_total",
+		"Events produced by actor firings.", typeCounter, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return float64(a.OutputEvents) }))
+	r.RegisterCollector("confluence_actor_arrivals_total",
+		"Events delivered to actor input queues.", typeCounter, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return float64(a.Arrivals) }))
+	r.RegisterCollector("confluence_actor_cost_seconds",
+		"Smoothed per-invocation firing cost by actor.", typeGauge, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return a.Cost() }))
+	r.RegisterCollector("confluence_actor_input_rate",
+		"Recent input events/second by actor.", typeGauge, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return a.InputRate }))
+	r.RegisterCollector("confluence_actor_output_rate",
+		"Recent output events/second by actor.", typeGauge, "actor",
+		perActor(func(_ string, a stats.Actor) float64 { return a.OutputRate }))
+
+	r.RegisterCollector("confluence_queue_depth",
+		"Pending events per input port (receiver depth).", typeGauge, "port",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if w.wf == nil {
+					continue
+				}
+				for _, p := range w.wf.InputPorts() {
+					if d, ok := p.Receiver().(model.DepthReporter); ok {
+						emit(p.FullName(), float64(d.Depth()))
+					}
+				}
+			}
+		})
+	r.RegisterCollector("confluence_actor_ready_windows",
+		"Ready (fireable) windows per actor in the scheduler queues.", typeGauge, "actor",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if q, ok := w.dir.(queueReporter); ok {
+					q.ActorQueueDepths(func(actor string, ready, _ int) {
+						emit(actor, float64(ready))
+					})
+				}
+			}
+		})
+	r.RegisterCollector("confluence_actor_buffered_windows",
+		"Buffered (not yet ready) windows per actor in the scheduler queues.", typeGauge, "actor",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if q, ok := w.dir.(queueReporter); ok {
+					q.ActorQueueDepths(func(actor string, _, buffered int) {
+						emit(actor, float64(buffered))
+					})
+				}
+			}
+		})
+
+	r.RegisterCollector("confluence_shed_dropped_total",
+		"Events dropped by load-shedding actors.", typeCounter, "actor",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if w.wf == nil {
+					continue
+				}
+				for _, a := range w.wf.Actors() {
+					if s, ok := a.(shedReporter); ok {
+						emit(a.Name(), float64(s.Dropped()))
+					}
+				}
+			}
+		})
+	r.RegisterCollector("confluence_shed_passed_total",
+		"Events passed through by load-shedding actors.", typeCounter, "actor",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if w.wf == nil {
+					continue
+				}
+				for _, a := range w.wf.Actors() {
+					if s, ok := a.(shedReporter); ok {
+						emit(a.Name(), float64(s.Passed()))
+					}
+				}
+			}
+		})
+
+	r.RegisterCollector("confluence_workers",
+		"Configured worker count of the parallel executor.", typeGauge, "",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if wr, ok := w.dir.(workerReporter); ok {
+					emit("", float64(wr.Workers()))
+				}
+			}
+		})
+	r.RegisterCollector("confluence_executing_firings",
+		"Firings currently executing on the parallel executor.", typeGauge, "",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if wr, ok := w.dir.(workerReporter); ok {
+					emit("", float64(wr.Executing()))
+				}
+			}
+		})
+	r.RegisterCollector("confluence_peak_concurrency",
+		"Highest number of simultaneously executing firings observed.", typeGauge, "",
+		func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				if wr, ok := w.dir.(workerReporter); ok {
+					emit("", float64(wr.PeakConcurrency()))
+				}
+			}
+		})
+
+	r.RegisterCollector("confluence_goroutines",
+		"Current goroutine count.", typeGauge, "",
+		func(emit func(string, float64)) {
+			emit("", float64(runtime.NumGoroutine()))
+		})
+	r.RegisterCollector("confluence_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", typeGauge, "",
+		func(emit func(string, float64)) {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			emit("", float64(m.HeapAlloc))
+		})
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// server is the introspection HTTP server behind -obs / confluence.Observe.
+type server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the introspection mux: /metrics (Prometheus text
+// exposition), /debug/pprof/*, /workflows (JSON snapshot of watched
+// workflows) and /trace/ (wave-tag lineage views).
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/workflows", e.handleWorkflows)
+	mux.HandleFunc("/trace/", e.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr (host:port; port 0 picks a free port) and serves the
+// introspection handler until Close. It returns the bound address.
+func (e *Engine) Serve(addr string) (string, error) {
+	if e == nil {
+		return "", fmt.Errorf("obs: Serve on nil Engine")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &server{ln: ln, srv: &http.Server{Handler: e.Handler()}}
+	e.mu.Lock()
+	e.srv = s
+	e.mu.Unlock()
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address of the serving listener, or "".
+func (e *Engine) Addr() string {
+	if e == nil {
+		return ""
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.srv == nil {
+		return ""
+	}
+	return e.srv.ln.Addr().String()
+}
+
+// Close shuts the introspection server down, if one is serving.
+func (e *Engine) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	s := e.srv
+	e.srv = nil
+	e.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+}
+
+// workflowView is the /workflows JSON shape.
+type workflowView struct {
+	Name     string      `json:"name"`
+	Director string      `json:"director,omitempty"`
+	Actors   []actorView `json:"actors"`
+}
+
+type actorView struct {
+	Name        string  `json:"name"`
+	Invocations int64   `json:"invocations"`
+	EventsIn    int64   `json:"events_in"`
+	EventsOut   int64   `json:"events_out"`
+	Arrivals    int64   `json:"arrivals"`
+	CostSeconds float64 `json:"cost_seconds"`
+	Selectivity float64 `json:"selectivity"`
+	InputRate   float64 `json:"input_rate"`
+	OutputRate  float64 `json:"output_rate"`
+}
+
+type responseView struct {
+	Name    string `json:"name"`
+	Summary any    `json:"summary"`
+}
+
+func (e *Engine) handleWorkflows(w http.ResponseWriter, _ *http.Request) {
+	watches := e.snapshotWatches()
+	e.mu.Lock()
+	responses := []any{}
+	for _, c := range e.responses {
+		responses = append(responses, responseView{Name: c.Name(), Summary: c.Summary()})
+	}
+	e.mu.Unlock()
+
+	views := make([]workflowView, 0, len(watches))
+	for _, wa := range watches {
+		v := workflowView{Name: wa.name, Actors: []actorView{}}
+		if wa.dir != nil {
+			v.Director = wa.dir.Name()
+		}
+		if wa.stats != nil {
+			for _, na := range wa.stats.SnapshotSorted() {
+				a := na.Actor
+				v.Actors = append(v.Actors, actorView{
+					Name:        na.Name,
+					Invocations: a.Invocations,
+					EventsIn:    a.InputEvents,
+					EventsOut:   a.OutputEvents,
+					Arrivals:    a.Arrivals,
+					CostSeconds: a.Cost(),
+					Selectivity: a.Selectivity(),
+					InputRate:   a.InputRate,
+					OutputRate:  a.OutputRate,
+				})
+			}
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, map[string]any{"workflows": views, "responses": responses})
+}
+
+// spanView is the /trace/{wavetag} JSON shape: one hop of a wave's lineage.
+type spanView struct {
+	Actor            string  `json:"actor"`
+	In               string  `json:"in,omitempty"`
+	Out              string  `json:"out,omitempty"`
+	Start            string  `json:"start"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	CostSeconds      float64 `json:"cost_seconds"`
+	Consumed         int     `json:"consumed"`
+	Produced         int     `json:"produced"`
+}
+
+func spanViews(spans []Span) []spanView {
+	out := make([]spanView, 0, len(spans))
+	for _, s := range spans {
+		v := spanView{
+			Actor:            s.Actor,
+			Start:            s.Start.Format(time.RFC3339Nano),
+			QueueWaitSeconds: s.QueueWait.Seconds(),
+			CostSeconds:      s.Cost.Seconds(),
+			Consumed:         s.Consumed,
+			Produced:         s.Produced,
+		}
+		if s.In.Root != 0 || len(s.In.Path) > 0 {
+			v.In = s.In.String()
+		}
+		if s.Out.Root != 0 || len(s.Out.Path) > 0 {
+			v.Out = s.Out.String()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// handleTrace serves /trace/ (recent wave index) and /trace/{wavetag} (the
+// wave's full actor path with per-hop timings). The id accepts the
+// canonical "t<root>-<rootseq>" form and rendered wave-tag strings.
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" {
+		refs := e.tracer.Recent(100)
+		type waveRefView struct {
+			ID    string `json:"id"`
+			Spans int    `json:"spans"`
+		}
+		out := make([]waveRefView, 0, len(refs))
+		for _, ref := range refs {
+			out = append(out, waveRefView{ID: ref.ID(), Spans: ref.Spans})
+		}
+		writeJSON(w, map[string]any{
+			"enabled": e.tracer.Enabled(),
+			"waves":   out,
+		})
+		return
+	}
+	root, rootSeq, hasSeq, err := ParseWaveID(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	type waveView struct {
+		ID    string     `json:"id"`
+		Spans []spanView `json:"spans"`
+	}
+	var waves []waveView
+	if hasSeq {
+		if spans := e.tracer.Wave(root, rootSeq); len(spans) > 0 {
+			waves = append(waves, waveView{ID: FormatWaveID(root, rootSeq), Spans: spanViews(spans)})
+		}
+	} else {
+		for _, spans := range e.tracer.WavesByRoot(root) {
+			waves = append(waves, waveView{ID: spans[0].WaveID(), Spans: spanViews(spans)})
+		}
+	}
+	if len(waves) == 0 {
+		http.Error(w, "wave not traced (not sampled, or evicted from the ring)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"waves": waves})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-write
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+func TestParseWaveID(t *testing.T) {
+	cases := []struct {
+		in      string
+		root    int64
+		rootSeq uint64
+		hasSeq  bool
+		wantErr bool
+	}{
+		{"t123-4", 123, 4, true, false},
+		{"t123", 123, 0, false, false},
+		{"t123.0.2*", 123, 0, false, false}, // rendered wave-tag string
+		{"t123.1", 123, 0, false, false},
+		{"t-5", -5, 0, false, false}, // negative root (pre-epoch timestamp)
+		{"t-5-3", -5, 3, true, false},
+		{"123-4", 0, 0, false, true}, // missing t prefix
+		{"t12-abc", 0, 0, false, true},
+		{"tfoo", 0, 0, false, true},
+		{"t", 0, 0, false, true},
+	}
+	for _, tc := range cases {
+		root, rootSeq, hasSeq, err := ParseWaveID(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseWaveID(%q): want error, got (%d,%d,%v)", tc.in, root, rootSeq, hasSeq)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseWaveID(%q): %v", tc.in, err)
+			continue
+		}
+		if root != tc.root || rootSeq != tc.rootSeq || hasSeq != tc.hasSeq {
+			t.Errorf("ParseWaveID(%q) = (%d,%d,%v), want (%d,%d,%v)",
+				tc.in, root, rootSeq, hasSeq, tc.root, tc.rootSeq, tc.hasSeq)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, w := range []struct {
+		root int64
+		seq  uint64
+	}{{0, 0}, {1, 2}, {-7, 9}, {1_700_000_000_000_000_000, 3}} {
+		id := FormatWaveID(w.root, w.seq)
+		root, seq, hasSeq, err := ParseWaveID(id)
+		if err != nil || !hasSeq || root != w.root || seq != w.seq {
+			t.Errorf("round trip %q -> (%d,%d,%v,%v)", id, root, seq, hasSeq, err)
+		}
+	}
+}
+
+func TestSamplingDeterministicAndDisabled(t *testing.T) {
+	off := NewTracer(0, 0)
+	if off.Enabled() {
+		t.Error("rate 0 tracer reports Enabled")
+	}
+	if off.Sampled(event.WaveTag{Root: 1}) {
+		t.Error("disabled tracer sampled a wave")
+	}
+	var nilT *Tracer
+	if nilT.Enabled() || nilT.Sampled(event.WaveTag{Root: 1}) {
+		t.Error("nil tracer should be disabled")
+	}
+	if nilT.Wave(1, 0) != nil || nilT.WavesByRoot(1) != nil || nilT.Recent(5) != nil {
+		t.Error("nil tracer lookups should return nil")
+	}
+
+	all := NewTracer(0, 1)
+	for i := int64(0); i < 100; i++ {
+		if !all.Sampled(event.WaveTag{Root: i, RootSeq: uint64(i)}) {
+			t.Fatalf("rate 1 tracer skipped wave %d", i)
+		}
+	}
+
+	// A fractional rate must be deterministic per wave and land near the
+	// requested fraction.
+	tr := NewTracer(0, 0.01)
+	sampled := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		w := event.WaveTag{Root: int64(i) * 1_000_003, RootSeq: uint64(i % 7)}
+		first := tr.Sampled(w)
+		if tr.Sampled(w) != first {
+			t.Fatalf("sampling decision for wave %d not deterministic", i)
+		}
+		if first {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < 0.005 || frac > 0.02 {
+		t.Errorf("1%% sampling hit %.4f of waves", frac)
+	}
+}
+
+func TestRingWrapKeepsNewestSpans(t *testing.T) {
+	// Total capacity 32 across 16 stripes = 2 spans per stripe; all spans of
+	// one wave share a stripe, so the third record evicts the oldest.
+	tr := NewTracer(32, 1)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Actor: fmt.Sprintf("a%d", i), Root: 42, RootSeq: 1})
+	}
+	spans := tr.Wave(42, 1)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans after wrap, want 2", len(spans))
+	}
+	if spans[0].Actor != "a3" || spans[1].Actor != "a4" {
+		t.Errorf("wrap kept %s,%s; want a3,a4", spans[0].Actor, spans[1].Actor)
+	}
+}
+
+func TestWaveLookupOrderAndIsolation(t *testing.T) {
+	tr := NewTracer(0, 1)
+	tr.Record(Span{Actor: "src", Root: 7, RootSeq: 0})
+	tr.Record(Span{Actor: "other", Root: 8, RootSeq: 0})
+	tr.Record(Span{Actor: "stage", Root: 7, RootSeq: 0})
+	tr.Record(Span{Actor: "sink", Root: 7, RootSeq: 0})
+
+	spans := tr.Wave(7, 0)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, want := range []string{"src", "stage", "sink"} {
+		if spans[i].Actor != want {
+			t.Errorf("span[%d] = %s, want %s", i, spans[i].Actor, want)
+		}
+	}
+	if got := tr.Wave(9, 0); got != nil {
+		t.Errorf("unknown wave returned %d spans", len(got))
+	}
+}
+
+func TestWavesByRootGroupsRootSeq(t *testing.T) {
+	tr := NewTracer(0, 1)
+	// Two external events with the same timestamp: same Root, distinct RootSeq.
+	tr.Record(Span{Actor: "src", Root: 5, RootSeq: 1})
+	tr.Record(Span{Actor: "src", Root: 5, RootSeq: 0})
+	tr.Record(Span{Actor: "sink", Root: 5, RootSeq: 1})
+	waves := tr.WavesByRoot(5)
+	if len(waves) != 2 {
+		t.Fatalf("got %d waves, want 2", len(waves))
+	}
+	if waves[0][0].RootSeq != 0 || len(waves[0]) != 1 {
+		t.Errorf("first group = seq %d, %d spans; want seq 0 with 1 span", waves[0][0].RootSeq, len(waves[0]))
+	}
+	if waves[1][0].RootSeq != 1 || len(waves[1]) != 2 {
+		t.Errorf("second group = seq %d, %d spans; want seq 1 with 2 spans", waves[1][0].RootSeq, len(waves[1]))
+	}
+}
+
+func TestRecentOrdersByRecency(t *testing.T) {
+	tr := NewTracer(0, 1)
+	tr.Record(Span{Actor: "src", Root: 1, RootSeq: 0})
+	tr.Record(Span{Actor: "src", Root: 2, RootSeq: 0})
+	tr.Record(Span{Actor: "sink", Root: 1, RootSeq: 0}) // wave 1 touched last
+	refs := tr.Recent(10)
+	if len(refs) != 2 {
+		t.Fatalf("got %d waves, want 2", len(refs))
+	}
+	if refs[0].Root != 1 || refs[0].Spans != 2 {
+		t.Errorf("most recent = root %d with %d spans, want root 1 with 2", refs[0].Root, refs[0].Spans)
+	}
+	if refs[1].Root != 2 || refs[1].Spans != 1 {
+		t.Errorf("second = root %d with %d spans, want root 2 with 1", refs[1].Root, refs[1].Spans)
+	}
+	if got := tr.Recent(1); len(got) != 1 || got[0].Root != 1 {
+		t.Errorf("Recent(1) = %+v, want just root 1", got)
+	}
+}
+
+// TestEngineHooksNilSafe checks every director hook is a no-op on a nil
+// engine — the contract that lets call sites skip observability with one
+// pointer check.
+func TestEngineHooksNilSafe(t *testing.T) {
+	var e *Engine
+	e.FiringObserved("a", nil, nil, time.Time{}, 0, 0, 0)
+	e.ClaimObserved("a", 0)
+	e.PickObserved("a")
+	e.ParkObserved("a")
+	e.Watch("wf", nil, nil, nil)
+	e.WatchResponses()
+	if e.Addr() != "" {
+		t.Error("nil engine Addr() non-empty")
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("nil engine Close: %v", err)
+	}
+	if _, err := e.Serve("127.0.0.1:0"); err == nil {
+		t.Error("nil engine Serve should error")
+	}
+}
+
+// TestFiringObservedSourceRecordsPerWave checks a source firing that emits
+// several waves records one span per distinct wave.
+func TestFiringObservedSourceRecordsPerWave(t *testing.T) {
+	e := NewEngine(Options{SampleRate: 1})
+	waves := []struct {
+		root int64
+		seq  uint64
+	}{{10, 0}, {10, 0}, {11, 0}, {11, 1}}
+	emissions := make([]model.Emission, len(waves))
+	for i, w := range waves {
+		emissions[i] = model.Emission{Ev: &event.Event{Wave: event.WaveTag{Root: w.root, RootSeq: w.seq}}}
+	}
+	e.FiringObserved("src", nil, emissions, time.Now(), time.Millisecond, 0, 0)
+
+	if got := len(e.Tracer().Wave(10, 0)); got != 1 {
+		t.Errorf("wave t10-0: %d spans, want 1 (duplicate emissions collapsed)", got)
+	}
+	if got := len(e.Tracer().Wave(11, 0)); got != 1 {
+		t.Errorf("wave t11-0: %d spans, want 1", got)
+	}
+	if got := len(e.Tracer().Wave(11, 1)); got != 1 {
+		t.Errorf("wave t11-1: %d spans, want 1", got)
+	}
+	if got := e.spans.Value(); got != 3 {
+		t.Errorf("span counter = %d, want 3", got)
+	}
+}

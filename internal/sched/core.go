@@ -165,7 +165,11 @@ func (s *quantumCore) sourceDue() bool {
 // nothing is ever marked firing).
 func (s *quantumCore) eligibleSource() *stafilos.Entry {
 	for _, e := range s.Sources {
-		if e.Quantum > 0 && !e.FiredThisIteration && !e.Firing() {
+		if e.Quantum > 0 && !e.FiredThisIteration {
+			if e.Firing() {
+				s.Observer().ParkObserved(e.Actor.Name())
+				continue
+			}
 			return e
 		}
 	}

@@ -121,7 +121,9 @@ func (s *RB) nextActorLocked() *stafilos.Entry {
 		s.internalFirings >= s.Env.SourceInterval {
 		for _, e := range s.Sources {
 			if e.Firing() {
-				continue // busy on a worker; interval sourcing retries later
+				// Busy on a worker; interval sourcing retries later.
+				s.Observer().ParkObserved(e.Actor.Name())
+				continue
 			}
 			s.internalFirings = 0
 			e.FiredThisIteration = false // interval scheduling, not once-per-period

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/window"
 )
@@ -25,6 +26,9 @@ type Env struct {
 	// is scheduled after this many internal actor firings (QBS; Table 3
 	// uses 5).
 	SourceInterval int
+	// Obs is the optional introspection engine; nil means observability off
+	// (every hook is nil-safe, so policies call it unconditionally).
+	Obs *obs.Engine
 }
 
 // Priority returns the designer priority for an actor, defaulting to 20
@@ -186,6 +190,13 @@ func NewItem(a model.Actor, p *model.Port, w *window.Window) ReadyItem {
 	return ReadyItem{Actor: a, Port: p, Win: w, seq: itemSeq.Add(1)}
 }
 
+// NewItemAt builds a ReadyItem stamped with the engine time it became
+// ready, so the directors can report scheduler queue wait. Receivers that
+// already hold the clock reading use this instead of NewItem.
+func NewItemAt(a model.Actor, p *model.Port, w *window.Window, at time.Time) ReadyItem {
+	return ReadyItem{Actor: a, Port: p, Win: w, Enqueued: at, seq: itemSeq.Add(1)}
+}
+
 // Base implements the abstract scheduler of the paper: the actor list, the
 // per-actor event queues sorted by timestamp, the actor-state map, and the
 // two priority queues (active and waiting) sorted by a pluggable
@@ -326,6 +337,7 @@ func (b *Base) Queues() (active, waiting *EntryQueue) { return b.ActiveQ, b.Wait
 // returning — their enqueue sequence is untouched, so policy order is
 // preserved. Must be called with Mu held.
 func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
+	o := b.Observer()
 	var parked []*Entry
 	var claimed *Entry
 	for {
@@ -341,6 +353,7 @@ func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
 		// forbid co-scheduling the same actor. Park it and look deeper,
 		// unless the policy produced it outside the active queue (then
 		// there is nothing to scan past).
+		o.ParkObserved(e.Actor.Name())
 		if !b.ActiveQ.Contains(e) {
 			break
 		}
@@ -350,7 +363,32 @@ func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
 	for _, p := range parked {
 		b.ActiveQ.Push(p)
 	}
+	if claimed != nil {
+		o.PickObserved(claimed.Actor.Name())
+	}
 	return claimed
+}
+
+// Observer returns the environment's introspection engine, or nil. The
+// returned pointer is always safe to call hooks on.
+func (b *Base) Observer() *obs.Engine {
+	if b.Env == nil {
+		return nil
+	}
+	return b.Env.Obs
+}
+
+// ActorQueueDepths yields every registered actor's ready-queue and
+// next-period-buffer lengths; the introspection layer scrapes it into the
+// per-actor backlog gauges. Safe during a parallel run: it takes only the
+// per-entry queue locks, not the policy lock.
+func (b *Base) ActorQueueDepths(yield func(actor string, ready, buffered int)) {
+	b.Mu.Lock()
+	entries := append([]*Entry(nil), b.Entries...)
+	b.Mu.Unlock()
+	for _, e := range entries {
+		yield(e.Actor.Name(), e.QueueLen(), e.BufferLen())
+	}
 }
 
 // HasWork reports whether any entry holds ready or buffered events, or a

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/event"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,8 @@ type Options struct {
 	// (Table 3 uses 5). Zero disables interval-based source scheduling for
 	// policies that use it.
 	SourceInterval int
+	// Obs is the optional introspection engine (nil = observability off).
+	Obs *obs.Engine
 }
 
 // Director is the Scheduled CWF (SCWF) director: the schedule-independent
@@ -50,6 +53,7 @@ type Director struct {
 	clk   clock.Clock
 	stats *stats.Registry
 	cost  CostModel
+	obs   *obs.Engine
 	env   *Env
 
 	wf        *model.Workflow
@@ -74,11 +78,13 @@ func NewDirector(sched Scheduler, opts Options) *Director {
 		clk:   opts.Clock,
 		stats: opts.Stats,
 		cost:  opts.Cost,
+		obs:   opts.Obs,
 		env: &Env{
 			Clock:          opts.Clock,
 			Stats:          opts.Stats,
 			Priorities:     opts.Priorities,
 			SourceInterval: opts.SourceInterval,
+			Obs:            opts.Obs,
 		},
 	}
 }
@@ -195,6 +201,7 @@ func (d *Director) fireEntry(e *Entry) (bool, error) {
 	ctx.BeginFiring(trigger)
 	ctx.Stage(item.Port, item.Win)
 
+	fireAt := d.clk.Now()
 	start := time.Now()
 	emissions, err := d.invoke(a, ctx)
 	if err != nil {
@@ -204,6 +211,13 @@ func (d *Director) fireEntry(e *Entry) (bool, error) {
 	d.deliver(emissions)
 	d.entries[a.Name()].RecordFiring(cost, item.Win.Len(), len(emissions), d.clk.Now())
 	d.sched.ActorFired(e, cost, len(emissions))
+	if d.obs != nil {
+		var qw time.Duration
+		if !item.Enqueued.IsZero() {
+			qw = fireAt.Sub(item.Enqueued)
+		}
+		d.obs.FiringObserved(a.Name(), trigger, emissions, fireAt, cost, qw, item.Win.Len())
+	}
 	if ctx.Stopped() {
 		d.stopped = true
 	}
@@ -222,6 +236,7 @@ func (d *Director) fireSource(e *Entry) (bool, error) {
 	}
 	ctx := d.ctxs[a.Name()]
 	ctx.BeginFiring(nil)
+	fireAt := now
 	start := time.Now()
 	emissions, err := d.invoke(a, ctx)
 	if err != nil {
@@ -231,6 +246,9 @@ func (d *Director) fireSource(e *Entry) (bool, error) {
 	d.deliver(emissions)
 	d.entries[a.Name()].RecordFiring(cost, 0, len(emissions), d.clk.Now())
 	d.sched.ActorFired(e, cost, len(emissions))
+	if d.obs != nil {
+		d.obs.FiringObserved(a.Name(), nil, emissions, fireAt, cost, 0, 0)
+	}
 	if ctx.Stopped() {
 		d.stopped = true
 	}
@@ -392,6 +410,17 @@ func (d *Director) AdvanceIdle() bool {
 	}
 	d.advanceTo(next)
 	return true
+}
+
+// ActorQueueDepths yields per-actor scheduler backlog when the policy
+// exposes it (every internal/sched policy does, via stafilos.Base); the
+// introspection layer scrapes it.
+func (d *Director) ActorQueueDepths(yield func(actor string, ready, buffered int)) {
+	if q, ok := d.sched.(interface {
+		ActorQueueDepths(func(string, int, int))
+	}); ok {
+		q.ActorQueueDepths(yield)
+	}
 }
 
 // totalQueued reports the scheduler backlog when the policy exposes it.

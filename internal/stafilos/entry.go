@@ -50,7 +50,11 @@ type ReadyItem struct {
 	Actor model.Actor
 	Port  *model.Port
 	Win   *window.Window
-	seq   uint64
+	// Enqueued is the engine time the window became ready (zero when the
+	// producer did not stamp it); the directors report the ready→firing gap
+	// as scheduler queue wait.
+	Enqueued time.Time
+	seq      uint64
 }
 
 // Entry is the scheduler's bookkeeping for one actor: its ready-event

@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/event"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -46,6 +47,7 @@ type ParallelDirector struct {
 	sched   ConcurrentScheduler
 	clk     clock.Clock
 	stats   *stats.Registry
+	obs     *obs.Engine
 	env     *Env
 	workers int
 
@@ -107,12 +109,14 @@ func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDi
 		sched:   Synchronize(sched),
 		clk:     clock.NewReal(), // parallel execution is real-time only
 		stats:   opts.Stats,
+		obs:     opts.Obs,
 		workers: workers,
 		env: &Env{
 			Clock:          clock.NewReal(),
 			Stats:          opts.Stats,
 			Priorities:     opts.Priorities,
 			SourceInterval: opts.SourceInterval,
+			Obs:            opts.Obs,
 		},
 	}
 	d.wakeCond = sync.NewCond(&d.wakeMu)
@@ -137,6 +141,22 @@ func (d *ParallelDirector) Workers() int { return d.workers }
 // observed so far. It is safe to call at any time, including after Run.
 func (d *ParallelDirector) PeakConcurrency() int {
 	return int(d.executing.Peak())
+}
+
+// Executing reports the number of firings running right now.
+func (d *ParallelDirector) Executing() int {
+	return int(d.executing.Level())
+}
+
+// ActorQueueDepths yields per-actor scheduler backlog when the policy
+// exposes it (every internal/sched policy does, via stafilos.Base); the
+// introspection layer scrapes it.
+func (d *ParallelDirector) ActorQueueDepths(yield func(actor string, ready, buffered int)) {
+	if q, ok := d.sched.(interface {
+		ActorQueueDepths(func(string, int, int))
+	}); ok {
+		q.ActorQueueDepths(yield)
+	}
 }
 
 // Setup implements model.Director.
@@ -250,7 +270,18 @@ func (d *ParallelDirector) worker(ctx context.Context) {
 // the attempt so completion detection never races a concurrent claim.
 func (d *ParallelDirector) claim() *Entry {
 	d.inFlight.Add(1)
-	e := d.sched.Claim()
+	var e *Entry
+	if d.obs != nil {
+		begin := time.Now()
+		e = d.sched.Claim()
+		name := ""
+		if e != nil {
+			name = e.Actor.Name()
+		}
+		d.obs.ClaimObserved(name, time.Since(begin))
+	} else {
+		e = d.sched.Claim()
+	}
 	if e == nil {
 		d.inFlight.Add(-1)
 	}
@@ -315,8 +346,8 @@ func (d *ParallelDirector) fire(e *Entry) {
 	d.executing.Inc()
 
 	consumed := 0
+	var trigger *event.Event
 	if hasItem {
-		var trigger *event.Event
 		if n := item.Win.Len(); n > 0 {
 			trigger = item.Win.Events[n-1]
 		}
@@ -327,6 +358,7 @@ func (d *ParallelDirector) fire(e *Entry) {
 		ctx.BeginFiring(nil)
 	}
 
+	fireAt := d.clk.Now()
 	start := time.Now()
 	var fireErr error
 	ready, err := a.Prefire(ctx)
@@ -342,6 +374,16 @@ func (d *ParallelDirector) fire(e *Entry) {
 	emissions := ctx.EndFiring()
 	cost := time.Since(start)
 
+	// Record the trace span before delivery: a downstream worker can fire
+	// the moment the broadcast lands, and a wave's spans must stay in actor-
+	// path order.
+	if d.obs != nil {
+		var qw time.Duration
+		if hasItem && !item.Enqueued.IsZero() {
+			qw = fireAt.Sub(item.Enqueued)
+		}
+		d.obs.FiringObserved(a.Name(), trigger, emissions, fireAt, cost, qw, consumed)
+	}
 	// Deliver before reporting the firing: once ActorFired runs and the
 	// claim is released, the policy may schedule downstream work, which must
 	// already see these events.

@@ -78,7 +78,7 @@ func (r *TMReceiver) Put(ev *event.Event) {
 	}
 	r.mu.Lock()
 	for _, w := range r.op.Put(ev, now) {
-		r.enqueue(NewItem(r.port.Owner(), r.port, w))
+		r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
 	}
 	exp := r.takeExpired()
 	r.mu.Unlock()
@@ -99,7 +99,7 @@ func (r *TMReceiver) PutBatch(evs []*event.Event) {
 	r.mu.Lock()
 	for _, ev := range evs {
 		for _, w := range r.op.Put(ev, now) {
-			r.enqueue(NewItem(r.port.Owner(), r.port, w))
+			r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
 		}
 	}
 	exp := r.takeExpired()
@@ -113,12 +113,20 @@ func (r *TMReceiver) OnTime(now time.Time) int {
 	r.mu.Lock()
 	ws := r.op.OnTime(now)
 	for _, w := range ws {
-		r.enqueue(NewItem(r.port.Owner(), r.port, w))
+		r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
 	}
 	exp := r.takeExpired()
 	r.mu.Unlock()
 	r.deliverExpired(exp)
 	return len(ws)
+}
+
+// Depth implements model.DepthReporter: the number of events currently
+// buffered in the receiver's open windows.
+func (r *TMReceiver) Depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.op.Pending()
 }
 
 // NextDeadline reports the earliest pending window-timeout deadline.

@@ -245,6 +245,25 @@ func (r *Registry) Snapshot() map[string]Actor {
 	return out
 }
 
+// NamedActor pairs an actor name with a copy of its statistics.
+type NamedActor struct {
+	Name string
+	Actor
+}
+
+// SnapshotSorted returns a copy of all statistics sorted by actor name, so
+// CLI tables and introspection views are deterministic across runs (the
+// Snapshot map iterates in random order).
+func (r *Registry) SnapshotSorted() []NamedActor {
+	var out []NamedActor
+	r.m.Range(func(k, v any) bool {
+		out = append(out, NamedActor{Name: k.(string), Actor: v.(*Entry).Get()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Names returns the recorded actor names, sorted.
 func (r *Registry) Names() []string {
 	var out []string
