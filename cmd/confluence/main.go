@@ -16,9 +16,11 @@
 //
 // demo, run and serve accept -obs addr to serve the engine introspection
 // layer (/metrics in Prometheus format, /debug/pprof/, /workflows,
-// /trace/{wavetag}) while the workflow runs; -sample sets the fraction of
-// waves traced. demo additionally accepts -shed maxLag to insert a
-// load-shedding actor after the source and report its drop counters.
+// /trace/{wavetag}, /healthz) while the workflow runs; -sample sets the
+// fraction of waves traced. demo additionally accepts -shed maxLag to insert
+// a load-shedding actor after the source and report its drop counters, and
+// -slo to attach the continuous QoS monitor (live latency quantiles and
+// burn-rate alerting on /slo, post-mortem dumps on /debug/flightrecorder).
 package main
 
 import (
@@ -77,7 +79,7 @@ func startObs(addr string, sample float64) (*confluence.Observer, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /debug/pprof/)\n", o.Addr())
+	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /healthz /debug/pprof/)\n", o.Addr())
 	return o, nil
 }
 
@@ -179,8 +181,12 @@ func demo(args []string) error {
 	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
 	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
 	shed := fs.Duration("shed", 0, "insert a load shedder dropping readings staler than this lag")
+	slo := fs.Bool("slo", false, "attach the continuous QoS monitor (/slo, /debug/flightrecorder; requires -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *slo && *obsAddr == "" {
+		return fmt.Errorf("demo: -slo requires -obs")
 	}
 
 	wf := confluence.NewWorkflow("demo")
@@ -217,6 +223,17 @@ func demo(args []string) error {
 	observer, err := startObs(*obsAddr, *sample)
 	if err != nil {
 		return err
+	}
+	if *slo {
+		qm := confluence.NewQoSMonitor(observer, confluence.QoSOptions{})
+		qm.SetPolicy(*scheduler)
+		qm.AddSLO(confluence.SLO{
+			Name:      "demo-latency",
+			Sink:      "sink",
+			Target:    0.99,
+			Threshold: 5 * time.Second,
+		})
+		fmt.Printf("qos: monitoring sink latency (http://%s/slo, /debug/flightrecorder)\n", observer.Addr())
 	}
 	start := time.Now()
 	err = confluence.Run(context.Background(), wf, confluence.RunOptions{

@@ -11,6 +11,8 @@
 //	lrbench -fig 8 [-seed 42] [-duration 600s] [-rb-prioritize-sources]
 //	lrbench -all
 //	lrbench -fig 8 -json          # machine-readable per-run summaries
+//	lrbench -fig 8 -obs 127.0.0.1:9090 -slo   # live QoS on /slo while runs execute
+//	lrbench -fig 8 -shed 5s       # insert a load shedder after the source
 package main
 
 import (
@@ -19,10 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/lr"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/qos"
 	"repro/internal/sched"
 	"repro/internal/stafilos"
 )
@@ -38,12 +43,39 @@ func main() {
 		duration   = flag.Duration("duration", 600*time.Second, "experiment duration")
 		rbSources  = flag.Bool("rb-prioritize-sources", false,
 			"ablation: schedule RB sources in regular intervals (DESIGN.md D2)")
+		obsAddr = flag.String("obs", "", "serve engine introspection on this address while runs execute")
+		sample  = flag.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
+		slo     = flag.Bool("slo", false, "attach the continuous QoS monitor with the toll-deadline SLO (requires -obs)")
+		shed    = flag.Duration("shed", 0, "insert a load shedder after the source dropping reports staler than this lag")
 	)
 	flag.BoolVar(&jsonOut, "json", false, "emit per-run summaries as JSON lines (durations as seconds)")
 	flag.Parse()
 
 	setup := lr.DefaultSetup()
 	setup.Duration = *duration
+	setup.ShedMaxLag = *shed
+
+	if *slo && *obsAddr == "" {
+		fmt.Fprintln(os.Stderr, "lrbench: -slo requires -obs")
+		os.Exit(2)
+	}
+	var observer *obs.Engine
+	if *obsAddr != "" {
+		observer = obs.NewEngine(obs.Options{SampleRate: *sample})
+		addr, err := observer.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# introspection: http://%s/ (/metrics /workflows /trace/ /healthz)\n", addr)
+		setup.Observer = observer
+		if *slo {
+			m := qos.NewMonitor(observer, qos.Options{})
+			m.AddSLO(lr.TollSLO())
+			setup.QoS = m
+			fmt.Printf("# qos: toll-deadline SLO live on http://%s/slo (dumps: /debug/flightrecorder)\n", addr)
+		}
+	}
 
 	if *printSetup || *all {
 		fmt.Println(setup.String())
@@ -69,6 +101,14 @@ func main() {
 	case !*printSetup:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if observer != nil {
+		fmt.Printf("# introspection: runs done, still serving on http://%s/ — interrupt to exit\n", observer.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		<-ctx.Done()
+		stop()
+		observer.Close()
 	}
 }
 
@@ -183,6 +223,10 @@ func report(r *lr.Result) {
 		r.Label, r.Reports, r.TollCount, r.AlertCount,
 		r.Toll.Mean.Round(time.Millisecond), r.Toll.P95.Round(time.Millisecond),
 		100*r.Toll.WithinDeadline, thrash, r.WallTime.Round(time.Millisecond))
+	for _, s := range r.Shed {
+		fmt.Printf("#   shed %-10s dropped=%d passed=%d maxLag=%v\n",
+			s.Actor, s.Dropped, s.Passed, s.MaxLag)
+	}
 }
 
 // reportJSON emits one run as a JSON line, with the response-time summaries
@@ -190,15 +234,16 @@ func report(r *lr.Result) {
 // introspection server's /workflows endpoint uses.
 func reportJSON(r *lr.Result) {
 	out := struct {
-		Scheduler       string          `json:"scheduler"`
-		Label           string          `json:"label"`
-		Reports         int             `json:"reports"`
-		TollCount       int             `json:"toll_count"`
-		AlertCount      int             `json:"alert_count"`
-		Toll            metrics.Summary `json:"toll"`
-		Accident        metrics.Summary `json:"accident"`
-		ThrashAtSeconds float64         `json:"thrash_at_seconds"`
-		WallSeconds     float64         `json:"wall_seconds"`
+		Scheduler       string              `json:"scheduler"`
+		Label           string              `json:"label"`
+		Reports         int                 `json:"reports"`
+		TollCount       int                 `json:"toll_count"`
+		AlertCount      int                 `json:"alert_count"`
+		Toll            metrics.Summary     `json:"toll"`
+		Accident        metrics.Summary     `json:"accident"`
+		Shed            []metrics.ShedStats `json:"shed,omitempty"`
+		ThrashAtSeconds float64             `json:"thrash_at_seconds"`
+		WallSeconds     float64             `json:"wall_seconds"`
 	}{
 		Scheduler:       r.Scheduler,
 		Label:           r.Label,
@@ -207,6 +252,7 @@ func reportJSON(r *lr.Result) {
 		AlertCount:      r.AlertCount,
 		Toll:            r.Toll,
 		Accident:        r.Accident,
+		Shed:            r.Shed,
 		ThrashAtSeconds: r.ThrashAt,
 		WallSeconds:     r.WallTime.Seconds(),
 	}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/multiwf"
 	"repro/internal/obs"
+	"repro/internal/obs/qos"
 	"repro/internal/sched"
 	"repro/internal/stafilos"
 	"repro/internal/stats"
@@ -354,6 +355,29 @@ func Observe(addr string, opts ObserveOptions) (*Observer, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// Continuous QoS monitoring.
+type (
+	// QoSMonitor subscribes to an Observer's hook stream and maintains
+	// sliding-window latency quantiles per sink, SLO burn-rate alerts, a
+	// live bottleneck watermark and an SLO-triggered flight recorder,
+	// served at /slo and /debug/flightrecorder on the observer.
+	QoSMonitor = qos.Monitor
+	// QoSOptions configures a QoSMonitor (window shape, recorder span,
+	// alert logger).
+	QoSOptions = qos.Options
+	// SLO is a declarative latency objective over one sink actor, e.g.
+	// "99% of tolls within 5s".
+	SLO = qos.SLO
+)
+
+// NewQoSMonitor attaches a continuous QoS monitor to an observer: it
+// registers the qos Prometheus series, mounts /slo and /debug/flightrecorder
+// and subscribes to the hook stream. Declare objectives with AddSLO, or
+// track latency without alerting via TrackSink.
+func NewQoSMonitor(o *Observer, opts QoSOptions) *QoSMonitor {
+	return qos.NewMonitor(o, opts)
 }
 
 // UniformCost returns a cost model charging the same cost per firing.

@@ -9,6 +9,8 @@ import (
 	"repro/internal/clock"
 	"repro/internal/director"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/qos"
 	"repro/internal/sched"
 	"repro/internal/stafilos"
 	"repro/internal/value"
@@ -25,6 +27,16 @@ type Setup struct {
 	Priorities        []int           // distinct priorities used
 	ThrashThreshold   time.Duration   // response time marking thrash
 	SeriesBucket      time.Duration   // figure time-axis bucket
+
+	// Observer, when non-nil, receives the STAFiLOS directors' hot-path
+	// hooks and watches each run's workflow (the thread-based PNCWF
+	// baseline is a simulation and carries no hooks).
+	Observer *obs.Engine
+	// QoS, when non-nil, is reset and policy-labelled per run so /slo
+	// follows the experiment live.
+	QoS *qos.Monitor
+	// ShedMaxLag > 0 builds the workflow WithShedder.
+	ShedMaxLag time.Duration
 }
 
 // DefaultSetup returns Table 3's values.
@@ -110,6 +122,8 @@ type Result struct {
 	// model.
 	TollRecords  []value.Record
 	AlertRecords []value.Record
+	// Shed reports the load-shedding counters when the run used a shedder.
+	Shed []metrics.ShedStats
 }
 
 // SchedulerSpec names a scheduler configuration for a run.
@@ -152,9 +166,19 @@ func (s Setup) Run(ctx context.Context, spec SchedulerSpec, seed int64) (*Result
 	workload := Generate(s.GenFor(seed))
 	epoch := time.Unix(0, 0).UTC()
 	db := NewDB()
-	wf, probes, err := Build(db, workload.Feed(epoch), epoch)
+	var buildOpts []BuildOption
+	if s.ShedMaxLag > 0 {
+		buildOpts = append(buildOpts, WithShedder(s.ShedMaxLag))
+	}
+	wf, probes, err := Build(db, workload.Feed(epoch), epoch, buildOpts...)
 	if err != nil {
 		return nil, err
+	}
+	if s.QoS != nil {
+		// Windows, alerts and recordings from the previous run would shadow
+		// this one (the virtual clock restarts at the epoch).
+		s.QoS.Reset()
+		s.QoS.SetPolicy(spec.Label)
 	}
 	res := &Result{Scheduler: spec.Label, Label: spec.Label}
 	probes.TollProbe.SetTap(func(tok value.Value) {
@@ -170,6 +194,8 @@ func (s Setup) Run(ctx context.Context, spec SchedulerSpec, seed int64) (*Result
 
 	start := time.Now()
 	if spec.Make == nil {
+		// The thread-based baseline is a simulation: it has no scheduler
+		// hot path, so it runs unobserved.
 		sim := director.NewThreadSim(ThreadCores, ThreadCtxSwitch, ThreadLockFraction, CostModel(), nil)
 		if err := sim.Setup(wf); err != nil {
 			return nil, err
@@ -183,9 +209,14 @@ func (s Setup) Run(ctx context.Context, spec SchedulerSpec, seed int64) (*Result
 			Cost:           CostModel(),
 			Priorities:     Priorities(),
 			SourceInterval: s.QBSSourceInterval,
+			Obs:            s.Observer,
 		})
 		if err := d.Setup(wf); err != nil {
 			return nil, err
+		}
+		if s.Observer != nil {
+			s.Observer.Watch("LinearRoad/"+spec.Label, wf, d.Stats(), d)
+			s.Observer.WatchResponses(probes.Toll, probes.Accident)
 		}
 		if err := d.Run(ctx); err != nil {
 			return nil, err
@@ -200,6 +231,7 @@ func (s Setup) Run(ctx context.Context, spec SchedulerSpec, seed int64) (*Result
 	res.TollCount = probes.Toll.Count()
 	res.AlertCount = probes.Accident.Count()
 	res.WallTime = time.Since(start)
+	res.Shed = metrics.ShedStatsOf(wf)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/director"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs/qos"
 	"repro/internal/value"
 	"repro/internal/window"
 )
@@ -21,6 +22,35 @@ type Probes struct {
 	// validators tap them to capture the emitted notifications.
 	TollProbe     *metrics.Probe
 	AccidentProbe *metrics.Probe
+	// Shedder is the load-shedding stage, non-nil when the workflow was
+	// built WithShedder.
+	Shedder *actors.Shedder
+}
+
+// BuildOption customizes Build.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	shedMaxLag time.Duration
+}
+
+// WithShedder inserts a load-shedding stage between the position-report
+// source and its consumers: reports whose event time lags the engine clock
+// by more than maxLag are dropped, bounding downstream response time under
+// overload at the cost of completeness.
+func WithShedder(maxLag time.Duration) BuildOption {
+	return func(c *buildConfig) { c.shedMaxLag = maxLag }
+}
+
+// TollSLO is the paper's toll-notification deadline as a declarative SLO:
+// 99% of toll notifications within NotificationDeadline end to end.
+func TollSLO() qos.SLO {
+	return qos.SLO{
+		Name:      "toll-deadline",
+		Sink:      "TollNotification",
+		Target:    0.99,
+		Threshold: NotificationDeadline,
+	}
 }
 
 // minuteFlushTimeout forces per-minute windows out shortly after the minute
@@ -34,7 +64,11 @@ const minuteFlushTimeout = 5 * time.Second
 // the caller chooses (a STAFiLOS-based one or the thread-based PNCWF);
 // the second level uses SDF sub-workflows where rates are constant and DDF
 // where they are fluid.
-func Build(db *DB, feed actors.Feed, epoch time.Time) (*model.Workflow, *Probes, error) {
+func Build(db *DB, feed actors.Feed, epoch time.Time, opts ...BuildOption) (*model.Workflow, *Probes, error) {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	wf := model.NewWorkflow("LinearRoad")
 	probes := &Probes{
 		Toll:     metrics.NewResponseCollector("TollNotification", epoch, NotificationDeadline),
@@ -288,20 +322,34 @@ func Build(db *DB, feed actors.Feed, epoch time.Time) (*model.Workflow, *Probes,
 	wf.MustAdd(src, stopped, accident, insertAccident, accNotify, accNotifyOut,
 		avgsv, avgs, updateLAV, cars, updateCount, tollCalc, tollNotify)
 
-	for _, c := range []struct{ from, to *model.Port }{
-		{src.Out(), stoppedIn},
+	// With shedding enabled the source feeds the shedder, and everything
+	// downstream reads the shed stream instead.
+	feedOut := src.Out()
+	conns := []struct{ from, to *model.Port }{}
+	if cfg.shedMaxLag > 0 {
+		shed := actors.NewShedder("ShedReports", cfg.shedMaxLag)
+		probes.Shedder = shed
+		wf.MustAdd(shed)
+		conns = append(conns, struct{ from, to *model.Port }{src.Out(), shed.In()})
+		feedOut = shed.Out()
+	}
+
+	conns = append(conns, []struct{ from, to *model.Port }{
+		{feedOut, stoppedIn},
 		{stoppedOut, accidentIn},
 		{accidentOut, insertAccident.In()},
-		{src.Out(), accNotify.In()},
+		{feedOut, accNotify.In()},
 		{accNotify.Out(), accNotifyOut.In()},
-		{src.Out(), avgsvIn},
+		{feedOut, avgsvIn},
 		{avgsvOut, avgsIn},
 		{avgsOut, updateLAV.In()},
-		{src.Out(), carsIn},
+		{feedOut, carsIn},
 		{carsOut, updateCount.In()},
-		{src.Out(), tollCalc.In()},
+		{feedOut, tollCalc.In()},
 		{tollCalc.Out(), tollNotify.In()},
-	} {
+	}...)
+
+	for _, c := range conns {
 		if err := wf.Connect(c.from, c.to); err != nil {
 			return nil, nil, err
 		}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/model"
 )
 
 // Point is one time-series sample: the bucket's position on the experiment
@@ -59,6 +61,60 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		WithinDeadline: s.WithinDeadline,
 		DeadlineSecs:   s.Deadline.Seconds(),
 	})
+}
+
+// ShedStats reports one load-shedding actor's drop/pass counters and its
+// configured maximum event-time lag. actors.Shedder satisfies the scan in
+// ShedStatsOf.
+type ShedStats struct {
+	Actor   string
+	Dropped int64
+	Passed  int64
+	MaxLag  time.Duration
+}
+
+// MarshalJSON renders MaxLag as seconds, matching the Summary convention.
+func (s ShedStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Actor         string  `json:"actor"`
+		Dropped       int64   `json:"dropped"`
+		Passed        int64   `json:"passed"`
+		MaxLagSeconds float64 `json:"max_lag_seconds"`
+	}{
+		Actor:         s.Actor,
+		Dropped:       s.Dropped,
+		Passed:        s.Passed,
+		MaxLagSeconds: s.MaxLag.Seconds(),
+	})
+}
+
+// shedReporter is the counter surface a load-shedding actor exposes;
+// actors.Shedder implements it (declared locally to avoid importing the
+// actors package here).
+type shedReporter interface {
+	Dropped() int64
+	Passed() int64
+	MaxLag() time.Duration
+}
+
+// ShedStatsOf scans a workflow for load-shedding actors and returns their
+// counters, for the lrbench -json report and the /workflows view.
+func ShedStatsOf(wf *model.Workflow) []ShedStats {
+	if wf == nil {
+		return nil
+	}
+	var out []ShedStats
+	for _, a := range wf.Actors() {
+		if s, ok := a.(shedReporter); ok {
+			out = append(out, ShedStats{
+				Actor:   a.Name(),
+				Dropped: s.Dropped(),
+				Passed:  s.Passed(),
+				MaxLag:  s.MaxLag(),
+			})
+		}
+	}
+	return out
 }
 
 // ResponseCollector accumulates response-time samples for one output actor.

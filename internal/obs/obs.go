@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
@@ -49,6 +51,55 @@ type statsProvider interface {
 	Stats() *stats.Registry
 }
 
+// pendingReporter is what a director exposes for liveness probing: whether
+// the run can still make progress. Both SCWF directors implement it.
+type pendingReporter interface {
+	HasPendingWork() bool
+}
+
+// DecisionKind classifies one scheduler decision forwarded to a QoS
+// subscriber (internal/obs/qos feeds its flight recorder from these).
+type DecisionKind uint8
+
+const (
+	// DecisionPick: the policy granted a firing to an actor.
+	DecisionPick DecisionKind = iota
+	// DecisionPark: the policy skipped an actor whose firing flag was taken.
+	DecisionPark
+	// DecisionClaimEmpty: a worker asked for work and the queues were empty.
+	DecisionClaimEmpty
+)
+
+// String returns the decision name used in flight-recorder dumps.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionPick:
+		return "pick"
+	case DecisionPark:
+		return "park"
+	case DecisionClaimEmpty:
+		return "claim-empty"
+	default:
+		return "unknown"
+	}
+}
+
+// QoSHooks is the subscription interface of the continuous QoS layer: the
+// Engine forwards its hot-path hooks to one registered subscriber
+// (internal/obs/qos.Monitor). eventTime is the trigger event's external
+// timestamp (hasEventTime false for source firings), fireAt the engine time
+// the firing began — their difference at a sink actor is the wave's
+// end-to-end latency.
+type QoSHooks interface {
+	QoSFiring(actor string, eventTime time.Time, hasEventTime bool,
+		fireAt time.Time, cost, queueWait time.Duration)
+	QoSDecision(kind DecisionKind, actor string)
+}
+
+// qosHandle wraps the subscriber so it can live in an atomic.Pointer (an
+// interface value cannot).
+type qosHandle struct{ hooks QoSHooks }
+
 // watch is one observed workflow: the handle set the scrape-time collectors
 // walk.
 type watch struct {
@@ -78,9 +129,22 @@ type Engine struct {
 	parked        *CounterVec // by actor
 	spans         *Counter
 
+	// qos is the registered continuous QoS subscriber (nil = none); one
+	// atomic load per hook when unset.
+	qos atomic.Pointer[qosHandle]
+
+	// lastScrape is the unix-nano time of the last /metrics scrape (0 =
+	// never), reported by /healthz as scrape freshness.
+	lastScrape atomic.Int64
+
+	// liveMux is the currently-serving route table; Mount swaps in a rebuilt
+	// mux so routes can be added after Serve.
+	liveMux atomic.Pointer[http.ServeMux]
+
 	mu        sync.Mutex
 	watches   []watch
 	responses []*metrics.ResponseCollector
+	extra     map[string]http.Handler
 
 	srv *server
 }
@@ -114,6 +178,42 @@ func NewEngine(opts Options) *Engine {
 // Registry returns the engine's telemetry registry, for callers that want to
 // add their own series.
 func (e *Engine) Registry() *Registry { return e.reg }
+
+// SetQoS registers (or, with nil, removes) the continuous QoS subscriber.
+// The engine forwards every firing and scheduler decision to it; there is at
+// most one subscriber.
+func (e *Engine) SetQoS(h QoSHooks) {
+	if e == nil {
+		return
+	}
+	if h == nil {
+		e.qos.Store(nil)
+		return
+	}
+	e.qos.Store(&qosHandle{hooks: h})
+}
+
+// qosHooks returns the registered subscriber or nil.
+func (e *Engine) qosHooks() QoSHooks {
+	if h := e.qos.Load(); h != nil {
+		return h.hooks
+	}
+	return nil
+}
+
+// QueueDepths walks every watched director that reports scheduler queue
+// depths, yielding per-actor ready and buffered window counts. The QoS
+// bottleneck tracker samples this at snapshot time.
+func (e *Engine) QueueDepths(yield func(actor string, ready, buffered int)) {
+	if e == nil {
+		return
+	}
+	for _, w := range e.snapshotWatches() {
+		if q, ok := w.dir.(queueReporter); ok {
+			q.ActorQueueDepths(yield)
+		}
+	}
+}
 
 // Tracer returns the engine's wave-tag tracer.
 func (e *Engine) Tracer() *Tracer { return e.tracer }
@@ -164,6 +264,13 @@ func (e *Engine) FiringObserved(actor string, trigger *event.Event, emissions []
 	e.firingSeconds.With(actor).Observe(cost)
 	if trigger != nil {
 		e.queueWait.Observe(queueWait)
+	}
+	if h := e.qosHooks(); h != nil {
+		var eventTime time.Time
+		if trigger != nil {
+			eventTime = trigger.Time
+		}
+		h.QoSFiring(actor, eventTime, trigger != nil, start, cost, queueWait)
 	}
 	if !e.tracer.Enabled() {
 		return
@@ -227,6 +334,9 @@ func (e *Engine) ClaimObserved(actor string, latency time.Duration) {
 	e.claimSeconds.Observe(latency)
 	if actor == "" {
 		e.claims.With("empty").Inc()
+		if h := e.qosHooks(); h != nil {
+			h.QoSDecision(DecisionClaimEmpty, "")
+		}
 	} else {
 		e.claims.With("picked").Inc()
 	}
@@ -239,6 +349,9 @@ func (e *Engine) PickObserved(actor string) {
 		return
 	}
 	e.picked.With(actor).Inc()
+	if h := e.qosHooks(); h != nil {
+		h.QoSDecision(DecisionPick, actor)
+	}
 }
 
 // ParkObserved is the scheduler hook for a policy decision skipping an
@@ -249,6 +362,9 @@ func (e *Engine) ParkObserved(actor string) {
 		return
 	}
 	e.parked.With(actor).Inc()
+	if h := e.qosHooks(); h != nil {
+		h.QoSDecision(DecisionPark, actor)
+	}
 }
 
 // registerCollectors wires the scrape-time families: series derived from

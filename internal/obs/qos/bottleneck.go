@@ -1,0 +1,84 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// waitAlpha is the EWMA smoothing factor for per-actor queue wait.
+const waitAlpha = 0.2
+
+// actorTrack is the monitor's per-actor state: the optional sink latency
+// tracker (nil for non-sinks) plus bottleneck inputs, resolved with a
+// single map lookup per firing.
+type actorTrack struct {
+	// sink is non-nil when the actor is a tracked sink.
+	sink *sinkTracker
+	// slos are the SLOs judging this actor (subset of the monitor's set).
+	slos []*sloTracker
+
+	// waitEWMA holds float64 bits of the smoothed queue wait in seconds.
+	waitEWMA atomic.Uint64
+}
+
+// observeWait folds one queue-wait sample into the EWMA.
+func (t *actorTrack) observeWait(wait time.Duration) {
+	s := wait.Seconds()
+	for {
+		cur := t.waitEWMA.Load()
+		next := s // first sample seeds the average
+		if cur != 0 {
+			old := math.Float64frombits(cur)
+			next = old + waitAlpha*(s-old)
+		}
+		if t.waitEWMA.CompareAndSwap(cur, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// wait returns the smoothed queue wait in seconds.
+func (t *actorTrack) wait() float64 {
+	return math.Float64frombits(t.waitEWMA.Load())
+}
+
+// Bottleneck names the actor currently limiting the workflow: the one whose
+// ready-queue backlog, weighted by how long its windows wait to fire, is
+// largest. It is the continuous analogue of the paper's cost-model hotspot
+// analysis: depth alone flags bursty actors, wait alone flags starved ones;
+// their product flags where waves actually lose time.
+type Bottleneck struct {
+	// Actor is the bottleneck actor name ("" when no queue has weight).
+	Actor string `json:"actor"`
+	// Score is ready-depth x smoothed queue wait (window-seconds).
+	Score float64 `json:"score"`
+	// Ready is the actor's current ready-window depth.
+	Ready int `json:"ready"`
+	// QueueWaitSeconds is the actor's smoothed queue wait.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+}
+
+// bottleneckOf scans the per-actor tracks against a live queue-depth sample
+// and returns the heaviest actor.
+func bottleneckOf(tracks *sync.Map, depths func(yield func(actor string, ready, buffered int))) Bottleneck {
+	var best Bottleneck
+	if depths == nil {
+		return best
+	}
+	depths(func(actor string, ready, _ int) {
+		if ready == 0 {
+			return
+		}
+		wait := 0.0
+		if v, ok := tracks.Load(actor); ok {
+			wait = v.(*actorTrack).wait()
+		}
+		score := float64(ready) * wait
+		if score > best.Score {
+			best = Bottleneck{Actor: actor, Score: score, Ready: ready, QueueWaitSeconds: wait}
+		}
+	})
+	return best
+}

@@ -8,6 +8,8 @@ import (
 	"net/http/pprof"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // server is the introspection HTTP server behind -obs / confluence.Observe.
@@ -16,14 +18,41 @@ type server struct {
 	srv *http.Server
 }
 
-// Handler returns the introspection mux: /metrics (Prometheus text
+// Handler returns the introspection handler: /metrics (Prometheus text
 // exposition), /debug/pprof/*, /workflows (JSON snapshot of watched
-// workflows) and /trace/ (wave-tag lineage views).
+// workflows), /trace/ (wave-tag lineage views), /healthz (readiness) and any
+// routes added via Mount. Dispatch goes through an atomically-swapped mux so
+// Mount works while the server runs.
 func (e *Engine) Handler() http.Handler {
+	e.liveMux.Store(e.buildMux())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e.liveMux.Load().ServeHTTP(w, r)
+	})
+}
+
+// Mount adds an extra route to the introspection handler (e.g. the QoS
+// layer's /slo and /debug/flightrecorder). Safe before or after Serve; a
+// later Mount on the same pattern replaces the handler.
+func (e *Engine) Mount(pattern string, h http.Handler) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.extra == nil {
+		e.extra = map[string]http.Handler{}
+	}
+	e.extra[pattern] = h
+	e.mu.Unlock()
+	e.liveMux.Store(e.buildMux())
+}
+
+// buildMux assembles the route table: built-in views plus mounted extras.
+func (e *Engine) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.handleMetrics)
 	mux.HandleFunc("/workflows", e.handleWorkflows)
 	mux.HandleFunc("/trace/", e.handleTrace)
+	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -34,8 +63,13 @@ func (e *Engine) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /debug/pprof/\n")
+		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /healthz /debug/pprof/\n")
 	})
+	e.mu.Lock()
+	for pattern, h := range e.extra {
+		mux.Handle(pattern, h)
+	}
+	e.mu.Unlock()
 	return mux
 }
 
@@ -86,15 +120,53 @@ func (e *Engine) Close() error {
 }
 
 func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	e.lastScrape.Store(time.Now().UnixNano())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-write
 }
 
+// handleHealthz reports runtime state for readiness probes: "running" while
+// any watched director still has pending work, "quiesced" once all watched
+// directors drained, "idle" when nothing liveness-probing is watched; plus
+// configured worker count and the age of the last /metrics scrape (-1 =
+// never scraped).
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	watches := e.snapshotWatches()
+	state := "idle"
+	workers := 0
+	sawDirector := false
+	for _, wa := range watches {
+		if wr, ok := wa.dir.(workerReporter); ok {
+			workers += wr.Workers()
+		}
+		if pr, ok := wa.dir.(pendingReporter); ok {
+			sawDirector = true
+			if pr.HasPendingWork() {
+				state = "running"
+			}
+		}
+	}
+	if sawDirector && state == "idle" {
+		state = "quiesced"
+	}
+	scrapeAge := -1.0
+	if ns := e.lastScrape.Load(); ns != 0 {
+		scrapeAge = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	writeJSON(w, map[string]any{
+		"state":                   state,
+		"workflows":               len(watches),
+		"workers":                 workers,
+		"last_scrape_age_seconds": scrapeAge,
+	})
+}
+
 // workflowView is the /workflows JSON shape.
 type workflowView struct {
-	Name     string      `json:"name"`
-	Director string      `json:"director,omitempty"`
-	Actors   []actorView `json:"actors"`
+	Name     string              `json:"name"`
+	Director string              `json:"director,omitempty"`
+	Actors   []actorView         `json:"actors"`
+	Shed     []metrics.ShedStats `json:"shed,omitempty"`
 }
 
 type actorView struct {
@@ -128,6 +200,9 @@ func (e *Engine) handleWorkflows(w http.ResponseWriter, _ *http.Request) {
 		v := workflowView{Name: wa.name, Actors: []actorView{}}
 		if wa.dir != nil {
 			v.Director = wa.dir.Name()
+		}
+		if wa.wf != nil {
+			v.Shed = metrics.ShedStatsOf(wa.wf)
 		}
 		if wa.stats != nil {
 			for _, na := range wa.stats.SnapshotSorted() {

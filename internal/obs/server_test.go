@@ -121,7 +121,33 @@ func TestServerSmoke(t *testing.T) {
 		}
 	}
 
-	// /workflows: the watched workflow with per-actor statistics.
+	// /healthz: the run is complete, so the director reports quiesced; the
+	// /metrics scrapes above stamped a scrape age.
+	body, code = get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health struct {
+		State         string  `json:"state"`
+		Workflows     int     `json:"workflows"`
+		Workers       int     `json:"workers"`
+		LastScrapeAge float64 `json:"last_scrape_age_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz JSON: %v\n%s", err, body)
+	}
+	if health.State != "quiesced" {
+		t.Errorf("/healthz state %q after completion, want quiesced", health.State)
+	}
+	if health.Workers != 4 || health.Workflows != 1 {
+		t.Errorf("/healthz workers=%d workflows=%d, want 4/1", health.Workers, health.Workflows)
+	}
+	if health.LastScrapeAge < 0 {
+		t.Errorf("/healthz last_scrape_age_seconds = %v, want >= 0 after scraping", health.LastScrapeAge)
+	}
+
+	// /workflows: the watched workflow with per-actor statistics and the
+	// shedder's counters.
 	body, code = get(t, base+"/workflows")
 	if code != http.StatusOK {
 		t.Fatalf("/workflows status %d", code)
@@ -134,6 +160,12 @@ func TestServerSmoke(t *testing.T) {
 				Name        string `json:"name"`
 				Invocations int64  `json:"invocations"`
 			} `json:"actors"`
+			Shed []struct {
+				Actor         string  `json:"actor"`
+				Dropped       int64   `json:"dropped"`
+				Passed        int64   `json:"passed"`
+				MaxLagSeconds float64 `json:"max_lag_seconds"`
+			} `json:"shed"`
 		} `json:"workflows"`
 	}
 	if err := json.Unmarshal([]byte(body), &wfs); err != nil {
@@ -150,6 +182,12 @@ func TestServerSmoke(t *testing.T) {
 	}
 	if !srcSeen {
 		t.Errorf("/workflows missing src invocations: %s", body)
+	}
+	if len(wfs.Workflows[0].Shed) != 1 {
+		t.Fatalf("/workflows shed = %+v, want the shedder", wfs.Workflows[0].Shed)
+	}
+	if sh := wfs.Workflows[0].Shed[0]; sh.Actor != "shedder" || sh.Passed != events || sh.Dropped != 0 || sh.MaxLagSeconds != (24*time.Hour).Seconds() {
+		t.Errorf("/workflows shed = %+v", sh)
 	}
 
 	// /trace/ index, then one wave's lineage.
@@ -210,16 +248,25 @@ func TestServerSmoke(t *testing.T) {
 	}
 }
 
+// get fetches url, retrying transient dial errors (accept-queue churn on a
+// busy CI host) so the smoke test cannot flake on them.
 func get(t *testing.T, url string) (string, int) {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s read: %v", url, err)
+		}
+		return string(b), resp.StatusCode
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatalf("GET %s read: %v", url, err)
-	}
-	return string(b), resp.StatusCode
+	t.Fatalf("GET %s: %v", url, lastErr)
+	return "", 0
 }

@@ -190,6 +190,9 @@ func TestEngineHooksNilSafe(t *testing.T) {
 	e.ParkObserved("a")
 	e.Watch("wf", nil, nil, nil)
 	e.WatchResponses()
+	e.SetQoS(nil)
+	e.Mount("/x", nil)
+	e.QueueDepths(func(string, int, int) {})
 	if e.Addr() != "" {
 		t.Error("nil engine Addr() non-empty")
 	}

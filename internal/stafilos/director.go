@@ -168,6 +168,11 @@ func (d *Director) Step() (bool, error) {
 		if e == nil {
 			break
 		}
+		if d.obs != nil {
+			// The sequential path never goes through ClaimRunnable, so
+			// record the policy's pick decision here.
+			d.obs.PickObserved(e.Actor.Name())
+		}
 		w, err := d.fireEntry(e)
 		if err != nil {
 			return worked, err

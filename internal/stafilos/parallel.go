@@ -476,6 +476,16 @@ func (d *ParallelDirector) drained() bool {
 	return true
 }
 
+// HasPendingWork reports whether the run can still make progress: the
+// liveness probe behind the introspection server's /healthz. A stopped or
+// drained director is quiesced.
+func (d *ParallelDirector) HasPendingWork() bool {
+	if d.stopped.Load() {
+		return false
+	}
+	return !d.drained()
+}
+
 // announceQuit latches completion and wakes everyone so the pool unwinds.
 func (d *ParallelDirector) announceQuit() {
 	d.wakeMu.Lock()
