@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet bench bench-parallel bench-obs race-obs bench-qos qos-gate build test
+.PHONY: tier1 race vet lint bench bench-parallel bench-obs race-obs bench-qos qos-gate build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -9,7 +9,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # race runs the whole suite under the race detector.
 race:
@@ -17,6 +17,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the standard toolchain vet plus confvet, the repo's own
+# engine-invariant analyzers (see DESIGN.md, section "Static analysis").
+# Both must be clean for the tree to be mergeable.
+lint: vet
+	$(GO) run ./cmd/confvet ./...
 
 # bench reruns the hot-path microbenchmarks whose numbers are recorded in
 # BENCH_hotpath.json (see DESIGN.md, section "Hot path"), plus the

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +52,8 @@ func main() {
 		err = demo(os.Args[2:])
 	case "run":
 		err = runSpec(os.Args[2:])
+	case "vet":
+		err = vetSpecs(os.Args[2:])
 	case "types":
 		err = listTypes()
 	case "serve":
@@ -66,7 +69,102 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: confluence <taxonomy|demo|run|types|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: confluence <taxonomy|demo|run|vet|types|serve> [flags]")
+}
+
+// specDiagnostic is one vet finding attributed to its spec file.
+type specDiagnostic struct {
+	Spec string `json:"spec"`
+	confluence.ValidationDiagnostic
+}
+
+// vetSpecs statically validates workflow specifications without running
+// them: it builds each spec and applies confluence.Validate plus spec-level
+// checks (scheduler policy, priority references). Exit is nonzero only when
+// an error-severity diagnostic (or a build failure) is found.
+func vetSpecs(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: confluence vet [-json] <spec.json>...")
+	}
+	var all []specDiagnostic
+	failed := false
+	for _, path := range fs.Args() {
+		diags, err := vetOneSpec(path)
+		if err != nil {
+			failed = true
+			diags = append(diags, confluence.ValidationDiagnostic{
+				Severity: confluence.SevError, Rule: "build", Path: path, Message: err.Error(),
+			})
+		}
+		for _, d := range diags {
+			if d.Severity == confluence.SevError {
+				failed = true
+			}
+			all = append(all, specDiagnostic{Spec: path, ValidationDiagnostic: d})
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []specDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s: %s\n", d.Spec, d.ValidationDiagnostic)
+		}
+		if !failed {
+			fmt.Printf("%d spec(s) clean (%d non-error diagnostics)\n", fs.NArg(), len(all))
+		}
+	}
+	if failed {
+		return fmt.Errorf("validation failed")
+	}
+	return nil
+}
+
+// vetOneSpec builds one spec and returns its diagnostics.
+func vetOneSpec(path string) ([]confluence.ValidationDiagnostic, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := spec.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	wf, _, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	diags := confluence.Validate(wf)
+	// Spec-level checks the graph validator cannot see.
+	if p := s.Scheduler.Policy; p != "" && p != "PNCWF" {
+		if _, err := confluence.NewScheduler(p, 0); err != nil {
+			diags = append(diags, confluence.ValidationDiagnostic{
+				Severity: confluence.SevError, Rule: "scheduler-policy", Path: "scheduler",
+				Message: err.Error(),
+			})
+		}
+	}
+	for name := range s.Scheduler.Priorities {
+		if wf.Actor(name) == nil {
+			diags = append(diags, confluence.ValidationDiagnostic{
+				Severity: confluence.SevWarning, Rule: "priority-reference", Path: "scheduler.priorities." + name,
+				Message: "priority assigned to an actor the workflow does not declare",
+			})
+		}
+	}
+	return diags, nil
 }
 
 // startObs starts the introspection server when addr is non-empty and
@@ -134,6 +232,15 @@ func runSpec(args []string) error {
 	wf, _, err := s.Build()
 	if err != nil {
 		return err
+	}
+	// Continuous workflows run forever; reject ill-formed graphs up front
+	// and surface the risks the validator only warns about.
+	diags := confluence.Validate(wf)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "vet: %s\n", d)
+	}
+	if confluence.HasErrors(diags) {
+		return fmt.Errorf("spec %s failed validation; fix the errors above or inspect with confluence vet", fs.Arg(0))
 	}
 	policy := s.Scheduler.Policy
 	if *override != "" {

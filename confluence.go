@@ -400,3 +400,51 @@ func NewGlobal() *Global { return multiwf.NewGlobal() }
 func NewConnectionController(g *Global, addr string) (*ConnectionController, error) {
 	return multiwf.NewController(g, addr)
 }
+
+// Static workflow validation (tier B of confvet): pre-execution checks over
+// a composed workflow — channel type resolution, dangling and multiply-
+// driven ports, composite boundary bindings, undelayed cycles and the
+// Parks-style boundedness heuristic.
+type (
+	// ValidationDiagnostic is one validator finding, located by actor/port
+	// path and graded by severity.
+	ValidationDiagnostic = model.Diagnostic
+	// ValidationSeverity grades a diagnostic: info, warning or error.
+	ValidationSeverity = model.Severity
+)
+
+// Validation severities.
+const (
+	SevInfo    = model.SevInfo
+	SevWarning = model.SevWarning
+	SevError   = model.SevError
+)
+
+// Validate statically checks a composed workflow and returns diagnostics in
+// declaration order; an empty result means the graph is clean. Only
+// error-severity findings make the workflow invalid — see HasErrors.
+func Validate(wf *Workflow) []ValidationDiagnostic { return model.Vet(wf) }
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []ValidationDiagnostic) bool { return model.HasErrors(diags) }
+
+// TokenType is the set of value kinds a port accepts or emits; the zero
+// value (AnyType) is unconstrained, so typing is adoptable port by port.
+type TokenType = value.TypeSet
+
+// AnyType accepts or produces every kind.
+const AnyType = value.Any
+
+// Value kinds, for building TokenTypes with TypeOf.
+const (
+	KindNil    = value.KindNil
+	KindBool   = value.KindBool
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+	KindList   = value.KindList
+	KindRecord = value.KindRecord
+)
+
+// TypeOf builds the TokenType containing exactly the given kinds.
+func TypeOf(kinds ...value.Kind) TokenType { return value.TypeOf(kinds...) }

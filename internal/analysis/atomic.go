@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAnalyzer enforces atomic-consistency: a struct field that is accessed
+// through sync/atomic anywhere in the program must never be read or written
+// plainly elsewhere — a mixed regime is a data race the race detector only
+// catches when the interleaving actually happens. It also rejects wholesale
+// reassignment of typed-atomic fields (atomic.Bool, atomic.Pointer[T], …),
+// which silently drops the synchronized state.
+var AtomicAnalyzer = &Analyzer{
+	Name: "atomic",
+	Doc:  "struct fields accessed via sync/atomic must never be accessed plainly",
+	Mode: WholeProgram,
+	Run:  runAtomic,
+}
+
+func runAtomic(pass *Pass) error {
+	// Pass 1: collect every field reached through &field in a sync/atomic
+	// call, remembering one representative atomic-access site per field, and
+	// which selector nodes are themselves those sanctioned accesses.
+	atomicFields := map[*types.Var]token.Position{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcFor(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldOf(info, sel); v != nil {
+						if _, seen := atomicFields[v]; !seen {
+							atomicFields[v] = pass.Fset.Position(sel.Pos())
+						}
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a plain
+	// access; any assignment targeting a typed-atomic field replaces it.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if sanctioned[n] {
+						return true
+					}
+					v := fieldOf(info, n)
+					if v == nil {
+						return true
+					}
+					if at, ok := atomicFields[v]; ok {
+						pass.Reportf(n.Pos(),
+							"plain access of field %s, which is accessed atomically at %s:%d",
+							fieldDisplay(v), at.Filename, at.Line)
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						v := fieldOf(info, sel)
+						if v == nil || !namedAtomicType(v.Type()) {
+							continue
+						}
+						pass.Reportf(sel.Pos(),
+							"typed-atomic field %s must not be reassigned; use its Store/Swap methods",
+							fieldDisplay(v))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

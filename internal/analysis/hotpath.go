@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAnalyzer enforces hot-path hygiene: functions tagged
+// //confvet:hotpath (receiver Put/GetBatch, firing loops, sketch record
+// paths) must not make a clock syscall via time.Now and friends, must not
+// call allocation-heavy fmt helpers, and must not iterate maps (randomized
+// order plus a hash walk per firing). Only the tagged function's own body is
+// checked; helpers it calls earn their own tag when they share the path.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no time.Now, fmt, or map iteration in //confvet:hotpath functions",
+	Mode: PerPackage,
+	Run:  runHotPath,
+}
+
+// hotClockFuncs are the time functions that cost a clock read per call.
+var hotClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runHotPath(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveHotPath) {
+					continue
+				}
+				checkHotBody(pass, pkg.Info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := funcFor(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if hotClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "hot path %s calls time.%s; thread a clock or cache the reading", name, fn.Name())
+				}
+			case "fmt":
+				pass.Reportf(n.Pos(), "hot path %s calls fmt.%s, which allocates; move formatting off the hot path", name, fn.Name())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hot path %s iterates a map; order is randomized and the hash walk costs per firing", name)
+				}
+			}
+		}
+		return true
+	})
+}

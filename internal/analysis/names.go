@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// fieldDisplay renders a struct field as "pkgpath.Owner.field" by locating
+// the named struct type that declares it; it falls back to "pkgpath.field"
+// for fields of anonymous structs.
+func fieldDisplay(v *types.Var) string {
+	pkg := v.Pkg()
+	if pkg == nil {
+		return v.Name()
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return pkg.Path() + "." + tn.Name() + "." + v.Name()
+			}
+		}
+	}
+	return pkg.Path() + "." + v.Name()
+}
+
+// varDisplay renders a lock identity: struct fields as fieldDisplay, other
+// variables as "pkgpath.name" (or the bare name for locals).
+func varDisplay(v *types.Var) string {
+	if v.IsField() {
+		return fieldDisplay(v)
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// namedAtomicType reports whether t (possibly behind a pointer) is one of the
+// typed atomics from sync/atomic (Bool, Int64, Pointer[T], Value, …).
+func namedAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

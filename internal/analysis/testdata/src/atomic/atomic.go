@@ -1,0 +1,26 @@
+// Fixture for the atomic analyzer: count is accessed via sync/atomic in
+// Inc/OK, so the plain accesses in Read and Reset are violations, as is the
+// wholesale reassignment of the typed-atomic ptr field.
+package atomic
+
+import "sync/atomic"
+
+type Hooks struct {
+	ptr   atomic.Pointer[int]
+	count int64
+	plain int64
+}
+
+func (h *Hooks) Inc() { atomic.AddInt64(&h.count, 1) }
+
+func (h *Hooks) Read() int64 {
+	return h.count // plain read of an atomically-updated field
+}
+
+func (h *Hooks) Reset() {
+	h.count = 0                   // plain write of an atomically-updated field
+	h.ptr = atomic.Pointer[int]{} // wholesale reassignment of a typed atomic
+	h.plain = 0                   // fine: never accessed atomically
+}
+
+func (h *Hooks) OK() int64 { return atomic.LoadInt64(&h.count) }

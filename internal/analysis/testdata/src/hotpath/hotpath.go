@@ -1,0 +1,39 @@
+// Fixture for the hotpath analyzer: the tagged function trips all three
+// rules (clock read, fmt allocation, map iteration); the untagged twin is
+// ignored; the ignore-directive form suppresses a finding on its line.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type counts map[string]int
+
+//confvet:hotpath
+func record(m counts, k string) time.Time {
+	start := time.Now()
+	msg := fmt.Sprintf("k=%s", k)
+	_ = msg
+	for key := range m {
+		_ = key
+	}
+	return start
+}
+
+func slowPath(m counts, k string) {
+	_ = time.Now()
+	_ = fmt.Sprintf("k=%s", k)
+	for key := range m {
+		_ = key
+	}
+}
+
+//confvet:hotpath
+func recordIgnored() {
+	_ = time.Now() //confvet:ignore -- intentional coarse clock read
+}
+
+var _ = record
+var _ = slowPath
+var _ = recordIgnored

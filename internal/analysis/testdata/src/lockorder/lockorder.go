@@ -1,0 +1,71 @@
+// Fixture for the lockorder analyzer: two deliberate acquisition cycles
+// between receiver-style port locks and a scheduler lock, one reached
+// through interface dispatch (Recv.q.Enqueue) and one through an escaped
+// method value (FRecv.enqueue = s.Enqueue).
+package lockorder
+
+import "sync"
+
+type Queue interface{ Enqueue(int) }
+
+type Sched struct{ mu sync.Mutex }
+
+func (s *Sched) Enqueue(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Recv reaches the scheduler through interface dispatch.
+type Recv struct {
+	mu sync.Mutex
+	q  Queue
+}
+
+func (r *Recv) Put(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.q.Enqueue(v) // Recv.mu -> Sched.mu
+}
+
+func (s *Sched) Drain(r *Recv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Put(1) // Sched.mu -> Recv.mu: closes the cycle
+}
+
+// FRecv reaches the scheduler through an escaped method value.
+type FRecv struct {
+	mu      sync.Mutex
+	enqueue func(int)
+}
+
+func NewFRecv(s *Sched) *FRecv {
+	r := &FRecv{}
+	r.enqueue = s.Enqueue
+	return r
+}
+
+func (r *FRecv) Put(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enqueue(v) // FRecv.mu -> Sched.mu through the func value
+}
+
+func (s *Sched) DrainF(r *FRecv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Put(1) // Sched.mu -> FRecv.mu: closes the cycle
+}
+
+// Ordered is the clean pattern: lock A released before B is taken.
+type Ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (o *Ordered) Swap() {
+	o.a.Lock()
+	o.a.Unlock()
+	o.b.Lock()
+	o.b.Unlock()
+}

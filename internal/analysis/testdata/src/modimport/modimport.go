@@ -1,0 +1,7 @@
+// Fixture for the loader: a module-internal import must be resolved by
+// type-checking the imported package from source.
+package modimport
+
+import "repro/internal/value"
+
+func Mk() value.Value { return value.Int(1) }

@@ -47,6 +47,8 @@ func NewBlockingReceiver(spec window.Spec, clk clock.Clock) *BlockingReceiver {
 }
 
 // Put implements model.Receiver.
+//
+//confvet:hotpath
 func (r *BlockingReceiver) Put(ev *event.Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -65,6 +67,8 @@ func (r *BlockingReceiver) Put(ev *event.Event) {
 // PutBatch implements model.BatchReceiver: a whole emission set is taken
 // under one lock acquisition, swept through the window operator once, and
 // waiting actor threads are woken with a single broadcast.
+//
+//confvet:hotpath
 func (r *BlockingReceiver) PutBatch(evs []*event.Event) {
 	if len(evs) == 0 {
 		return
@@ -138,6 +142,8 @@ func (r *BlockingReceiver) NextDeadline() (time.Time, bool) {
 // Get blocks until a window is available (or the receiver closes). The
 // blocked thread wakes at window-formation deadlines to force timed
 // windows, exactly as the paper's PNCWF threads do.
+//
+//confvet:hotpath
 func (r *BlockingReceiver) Get() (*window.Window, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -167,6 +173,8 @@ func (r *BlockingReceiver) Get() (*window.Window, bool) {
 // thread amortize the lock, the deadline bookkeeping and — through the
 // batched broadcast — the downstream delivery over the whole run of
 // windows that piled up while it was firing.
+//
+//confvet:hotpath
 func (r *BlockingReceiver) GetBatch(buf []*window.Window, max int) ([]*window.Window, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -45,6 +45,23 @@ func (c *Composite) Inner() *model.Workflow { return c.inner }
 // InsideDirector returns the governing inside director.
 func (c *Composite) InsideDirector() InsideDirector { return c.dir }
 
+// BoundInputs implements model.OpaqueComposite: the inner input ports an
+// external input injects into.
+func (c *Composite) BoundInputs(ext *model.Port) []*model.Port { return c.inBind[ext] }
+
+// BoundOutput implements model.OpaqueComposite: the inner output port whose
+// emissions the external output forwards, or nil when unbound.
+func (c *Composite) BoundOutput(ext *model.Port) *model.Port {
+	for inner, e := range c.outBind {
+		if e == ext {
+			return inner
+		}
+	}
+	return nil
+}
+
+var _ model.OpaqueComposite = (*Composite)(nil)
+
 // AddInput declares an external input port with the given window semantics
 // and binds it to inner input ports; the consumed window is injected into
 // each of them pre-formed (inner specs on bound ports are bypassed).

@@ -310,6 +310,8 @@ const fireBatchMax = 64
 // reading from its input ports until windows are produced, then fires the
 // actor once per ready window (up to fireBatchMax per wake-up) and delivers
 // the batch's combined emissions through the batched transport.
+//
+//confvet:hotpath
 func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
 	entry := d.stats.Entry(a.Name())
@@ -339,7 +341,7 @@ func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 		}
 		wbuf = ws
 		d.enterFiring()
-		start := time.Now()
+		start := d.clk.Now()
 		var err error
 		fired, consumed := 0, 0
 		emitted = emitted[:0]
@@ -367,7 +369,7 @@ func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 			}
 		}
 		scratch = model.BroadcastEmissions(emitted, scratch)
-		end := time.Now()
+		end := d.clk.Now()
 		entry.RecordFirings(fired, end.Sub(start), consumed, len(emitted), end)
 		d.exitFiring()
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/event"
+	"repro/internal/value"
 	"repro/internal/window"
 )
 
@@ -42,6 +43,9 @@ type Port struct {
 	kind  PortKind
 	owner Actor
 	spec  window.Spec
+	// typ constrains the token kinds the port produces (output) or accepts
+	// (input) for static channel type resolution; zero means Any.
+	typ value.TypeSet
 
 	// recv is the director-installed receiver (input ports only).
 	recv Receiver
@@ -65,6 +69,17 @@ func (p *Port) Owner() Actor { return p.owner }
 
 // Spec returns the input port's window semantics (Passthrough by default).
 func (p *Port) Spec() window.Spec { return p.spec }
+
+// TokenType returns the port's declared token-kind set (Any by default).
+func (p *Port) TokenType() value.TypeSet { return p.typ }
+
+// SetTokenType declares the token kinds the port emits (output) or accepts
+// (input); Vet checks every channel for a non-empty intersection. It
+// returns the port for declaration chaining.
+func (p *Port) SetTokenType(t value.TypeSet) *Port {
+	p.typ = t
+	return p
+}
 
 // FullName renders "actor.port" for diagnostics.
 func (p *Port) FullName() string {

@@ -1,0 +1,332 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/window"
+)
+
+// This file implements the pre-execution workflow validator (tier B of
+// confvet): the analogue of PtolemyII's static type resolution and
+// director-specific consistency checks, run over a composed workflow before
+// any token flows. Continuous workflows run forever, so an ill-formed graph
+// is not a transient failure but a permanent one — Vet rejects it up front.
+
+// Severity grades a validator diagnostic. Only SevError makes a workflow
+// invalid; warnings flag risks (nondeterministic merges, unbounded queues)
+// and infos flag properties worth knowing (stale partial windows).
+type Severity string
+
+const (
+	SevInfo    Severity = "info"
+	SevWarning Severity = "warning"
+	SevError   Severity = "error"
+)
+
+// Diagnostic is one validator finding, positioned at an actor/port path.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	// Rule names the check ("type-mismatch", "dangling-port", …).
+	Rule string `json:"rule"`
+	// Path locates the finding: "actor.port", "a.out -> b.in", or a cycle
+	// chain "a -> b -> a"; composites prefix "composite/".
+	Path    string `json:"path"`
+	Message string `json:"message"`
+}
+
+// String renders "severity: rule: path: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Severity, d.Rule, d.Path, d.Message)
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// OpaqueComposite is implemented by composite actors (director.Composite)
+// so the validator can check boundary bindings and recurse into the inner
+// workflow without this package importing the director.
+type OpaqueComposite interface {
+	Actor
+	// Inner returns the sub-workflow the composite wraps.
+	Inner() *Workflow
+	// BoundInputs returns the inner input ports an external input injects
+	// into (empty when the boundary is unbound).
+	BoundInputs(ext *Port) []*Port
+	// BoundOutput returns the inner output port forwarded to an external
+	// output, or nil when the boundary is unbound.
+	BoundOutput(ext *Port) *Port
+}
+
+// loadShedding matches actors that bound queue growth by dropping load
+// (the actors.Shedder contract) without importing the actors package.
+type loadShedding interface {
+	MaxLag() time.Duration
+	Dropped() int64
+}
+
+// Vet statically validates a composed workflow and returns its diagnostics,
+// errors first only in severity — order follows the workflow declaration
+// order so output is deterministic. An empty result means the graph is
+// clean; HasErrors decides whether it may run.
+func Vet(wf *Workflow) []Diagnostic {
+	var out []Diagnostic
+	vetInto(wf, "", nil, &out)
+	return out
+}
+
+// vetInto runs every rule over one workflow. prefix namespaces paths when
+// recursing into composites; driven marks input ports fed from outside the
+// workflow (composite boundary injections), which must not count as
+// dangling.
+func vetInto(wf *Workflow, prefix string, driven map[*Port]bool, out *[]Diagnostic) {
+	report := func(sev Severity, rule, path, format string, args ...any) {
+		*out = append(*out, Diagnostic{
+			Severity: sev, Rule: rule, Path: prefix + path,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Port-level rules: dangling inputs, nondeterministic fan-in, stale
+	// partial windows.
+	for _, a := range wf.Actors() {
+		for _, p := range a.Inputs() {
+			switch {
+			case len(p.Sources()) == 0 && !driven[p]:
+				report(SevError, "dangling-port", p.FullName(),
+					"input port is unconnected; the actor can never fire")
+			case len(p.Sources()) > 1:
+				report(SevWarning, "multi-driven", p.FullName(),
+					"input port is driven by %d channels; the merge order is nondeterministic", len(p.Sources()))
+			}
+			spec := p.Spec()
+			if len(p.Sources()) > 0 && spec.Unit == window.Tuples && spec.Size > 1 && spec.Timeout == 0 {
+				report(SevInfo, "window-timeout", p.FullName(),
+					"tuple window of size %d has no formation timeout; a partial window can hold events indefinitely on a stalling stream", spec.Size)
+			}
+		}
+	}
+
+	// Channel type resolution: every channel must be able to carry at least
+	// one token kind common to producer and consumer.
+	for _, ch := range wf.Channels() {
+		from, to := ch.From.TokenType(), ch.To.TokenType()
+		if !from.Compatible(to) {
+			report(SevError, "type-mismatch",
+				ch.From.FullName()+" -> "+ch.To.FullName(),
+				"producer emits %s but consumer accepts %s; no token kind can flow", from, to)
+		}
+	}
+
+	vetCycles(wf, report)
+	vetComposites(wf, prefix, out)
+}
+
+// vetCycles finds strongly connected components of the actor graph and
+// applies the two feedback rules: an undelayed cycle (every in-cycle input
+// is a passthrough) deadlocks artificially, and a unit-gain cycle with
+// external inflow and no shedding grows its queues without bound (the
+// Parks-style boundedness heuristic).
+func vetCycles(wf *Workflow, report func(sev Severity, rule, path, format string, args ...any)) {
+	actors := wf.Actors()
+	index := map[Actor]int{}
+	for i, a := range actors {
+		index[a] = i
+	}
+	for _, scc := range stronglyConnected(wf, actors) {
+		inSCC := map[Actor]bool{}
+		for _, a := range scc {
+			inSCC[a] = true
+		}
+		// A single actor only cycles through a self-loop.
+		if len(scc) == 1 && !selfLoop(scc[0]) {
+			continue
+		}
+		path := cyclePath(scc)
+
+		allPassthrough := true
+		downsamples := false
+		externalInflow := false
+		sheds := false
+		for _, a := range scc {
+			if _, ok := a.(loadShedding); ok {
+				sheds = true
+			}
+			if _, ok := a.(SourceActor); ok {
+				externalInflow = true
+			}
+			for _, p := range a.Inputs() {
+				fedFromCycle := false
+				for _, src := range p.Sources() {
+					if inSCC[src.Owner()] {
+						fedFromCycle = true
+					} else {
+						externalInflow = true
+					}
+				}
+				if !fedFromCycle {
+					continue
+				}
+				spec := p.Spec()
+				if !spec.IsPassthrough() {
+					allPassthrough = false
+				}
+				if spec.Unit == window.Tuples && spec.Step > 1 {
+					downsamples = true
+				}
+			}
+		}
+
+		if allPassthrough {
+			report(SevError, "undelayed-cycle", path,
+				"cycle has no window or delay on any in-cycle port; an instantaneous token dependency deadlocks the continuous run")
+			continue
+		}
+		if externalInflow && !sheds && !downsamples {
+			report(SevWarning, "unbounded-cycle", path,
+				"cycle consumes no faster than it produces (no step>1 window, no load shedder) while external events keep arriving; queues may grow without bound")
+		}
+	}
+}
+
+// selfLoop reports whether an actor feeds one of its own input ports.
+func selfLoop(a Actor) bool {
+	for _, p := range a.Inputs() {
+		for _, src := range p.Sources() {
+			if src.Owner() == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cyclePath renders "a -> b -> a" over the component in declaration order.
+func cyclePath(scc []Actor) string {
+	s := ""
+	for _, a := range scc {
+		s += a.Name() + " -> "
+	}
+	return s + scc[0].Name()
+}
+
+// stronglyConnected computes SCCs of the actor graph (Tarjan, iterative
+// enough for workflow sizes via recursion), returned in declaration order.
+func stronglyConnected(wf *Workflow, actors []Actor) [][]Actor {
+	idx := map[Actor]int{}
+	low := map[Actor]int{}
+	onStack := map[Actor]bool{}
+	var stack []Actor
+	var sccs [][]Actor
+	next := 0
+
+	var strongconnect func(a Actor)
+	strongconnect = func(a Actor) {
+		idx[a] = next
+		low[a] = next
+		next++
+		stack = append(stack, a)
+		onStack[a] = true
+		for _, b := range wf.Downstream(a) {
+			if _, seen := idx[b]; !seen {
+				strongconnect(b)
+				if low[b] < low[a] {
+					low[a] = low[b]
+				}
+			} else if onStack[b] && idx[b] < low[a] {
+				low[a] = idx[b]
+			}
+		}
+		if low[a] == idx[a] {
+			var scc []Actor
+			for {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[b] = false
+				scc = append(scc, b)
+				if b == a {
+					break
+				}
+			}
+			// Restore declaration order within the component.
+			for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+				scc[i], scc[j] = scc[j], scc[i]
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, a := range actors {
+		if _, seen := idx[a]; !seen {
+			strongconnect(a)
+		}
+	}
+	return sccs
+}
+
+// vetComposites checks opaque-composite boundaries and recurses into inner
+// workflows.
+func vetComposites(wf *Workflow, prefix string, out *[]Diagnostic) {
+	for _, a := range wf.Actors() {
+		oc, ok := a.(OpaqueComposite)
+		if !ok {
+			continue
+		}
+		inner := oc.Inner()
+		innerActors := map[Actor]bool{}
+		if inner != nil {
+			for _, ia := range inner.Actors() {
+				innerActors[ia] = true
+			}
+		}
+		report := func(sev Severity, rule, path, format string, args ...any) {
+			*out = append(*out, Diagnostic{
+				Severity: sev, Rule: rule, Path: prefix + path,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		driven := map[*Port]bool{}
+		for _, ext := range a.Inputs() {
+			bound := oc.BoundInputs(ext)
+			if len(bound) == 0 {
+				report(SevError, "composite-boundary", ext.FullName(),
+					"external input is bound to no inner port; injected windows would be dropped")
+				continue
+			}
+			for _, ip := range bound {
+				driven[ip] = true
+				if ip.Owner() != nil && !innerActors[ip.Owner()] {
+					report(SevError, "composite-boundary", ext.FullName(),
+						"bound inner port %s belongs to an actor outside the composite's inner workflow", ip.FullName())
+				}
+				if !ext.TokenType().Compatible(ip.TokenType()) {
+					report(SevError, "type-mismatch",
+						ext.FullName()+" -> "+ip.FullName(),
+						"boundary injects %s but inner port accepts %s; no token kind can flow",
+						ext.TokenType(), ip.TokenType())
+				}
+			}
+		}
+		for _, ext := range a.Outputs() {
+			src := oc.BoundOutput(ext)
+			if src == nil {
+				report(SevWarning, "composite-boundary", ext.FullName(),
+					"external output forwards no inner port; it will never emit")
+				continue
+			}
+			if src.Owner() != nil && !innerActors[src.Owner()] {
+				report(SevError, "composite-boundary", ext.FullName(),
+					"forwarded inner port %s belongs to an actor outside the composite's inner workflow", src.FullName())
+			}
+		}
+		if inner != nil {
+			vetInto(inner, prefix+a.Name()+"/", driven, out)
+		}
+	}
+}

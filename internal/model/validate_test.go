@@ -1,0 +1,368 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// windowedActor is a passActor whose input carries a window spec.
+type windowedActor struct {
+	Base
+	in, out *Port
+}
+
+func newWindowedActor(name string, spec window.Spec) *windowedActor {
+	a := &windowedActor{Base: NewBase(name)}
+	a.Bind(a)
+	a.in = a.WindowedInput("in", spec)
+	a.out = a.Output("out")
+	return a
+}
+
+func (a *windowedActor) Fire(*FireContext) error { return nil }
+
+// sheddingActor satisfies the validator's loadShedding contract.
+type sheddingActor struct {
+	Base
+	in, out *Port
+}
+
+func newSheddingActor(name string) *sheddingActor {
+	a := &sheddingActor{Base: NewBase(name)}
+	a.Bind(a)
+	a.in = a.Input("in")
+	a.out = a.Output("out")
+	return a
+}
+
+func (a *sheddingActor) Fire(*FireContext) error { return nil }
+func (a *sheddingActor) MaxLag() time.Duration   { return time.Second }
+func (a *sheddingActor) Dropped() int64          { return 0 }
+
+// rules collects the distinct rule names of the diagnostics at or above a
+// severity.
+func rules(diags []Diagnostic) map[string]Severity {
+	out := map[string]Severity{}
+	for _, d := range diags {
+		out[d.Rule] = d.Severity
+	}
+	return out
+}
+
+func TestVetCleanPipeline(t *testing.T) {
+	wf := NewWorkflow("clean")
+	src := newSrcActor("src")
+	mid := newPassActor("mid")
+	sink := newPassActor("sink")
+	wf.MustAdd(src, mid, sink)
+	wf.MustConnect(src.out, mid.in)
+	wf.MustConnect(mid.out, sink.in)
+	if diags := Vet(wf); len(diags) != 0 {
+		t.Fatalf("clean pipeline produced diagnostics: %v", diags)
+	}
+}
+
+func TestVetTypeMismatch(t *testing.T) {
+	wf := NewWorkflow("typed")
+	src := newSrcActor("src")
+	src.out.SetTokenType(value.TypeOf(value.KindInt))
+	sink := newPassActor("sink")
+	sink.in.SetTokenType(value.TypeOf(value.KindRecord))
+	wf.MustAdd(src, sink)
+	wf.MustConnect(src.out, sink.in)
+
+	diags := Vet(wf)
+	if !HasErrors(diags) {
+		t.Fatalf("type mismatch not detected: %v", diags)
+	}
+	if sev := rules(diags)["type-mismatch"]; sev != SevError {
+		t.Errorf("want type-mismatch error, got %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Rule == "type-mismatch" && strings.Contains(d.Path, "src.out -> sink.in") {
+			found = true
+			if !strings.Contains(d.Message, "int") || !strings.Contains(d.Message, "record") {
+				t.Errorf("message should name both type sets: %s", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("diagnostic path should carry the channel endpoints: %v", diags)
+	}
+}
+
+func TestVetTypeCompatibleAndAny(t *testing.T) {
+	wf := NewWorkflow("typed-ok")
+	src := newSrcActor("src")
+	src.out.SetTokenType(value.TypeOf(value.KindInt, value.KindFloat))
+	mid := newPassActor("mid") // untyped: Any is compatible with anything
+	sink := newPassActor("sink")
+	sink.in.SetTokenType(value.TypeOf(value.KindFloat))
+	wf.MustAdd(src, mid, sink)
+	wf.MustConnect(src.out, mid.in)
+	wf.MustConnect(mid.out, sink.in)
+	if diags := Vet(wf); HasErrors(diags) {
+		t.Fatalf("compatible/untyped channels flagged: %v", diags)
+	}
+}
+
+func TestVetDanglingPort(t *testing.T) {
+	wf := NewWorkflow("dangling")
+	src := newSrcActor("src")
+	join := newPassActor("join")
+	other := newPassActor("other") // its input stays unconnected
+	wf.MustAdd(src, join, other)
+	wf.MustConnect(src.out, join.in)
+
+	diags := Vet(wf)
+	if sev := rules(diags)["dangling-port"]; sev != SevError {
+		t.Fatalf("want dangling-port error, got %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Rule == "dangling-port" && d.Path == "other.in" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostic should point at other.in: %v", diags)
+	}
+}
+
+func TestVetMultiDrivenWarning(t *testing.T) {
+	wf := NewWorkflow("fanin")
+	a := newSrcActor("a")
+	b := newSrcActor("b")
+	sink := newPassActor("sink")
+	wf.MustAdd(a, b, sink)
+	wf.MustConnect(a.out, sink.in)
+	wf.MustConnect(b.out, sink.in)
+
+	diags := Vet(wf)
+	if HasErrors(diags) {
+		t.Fatalf("legal fan-in must not be an error: %v", diags)
+	}
+	if sev := rules(diags)["multi-driven"]; sev != SevWarning {
+		t.Errorf("want multi-driven warning, got %v", diags)
+	}
+}
+
+func TestVetUndelayedCycle(t *testing.T) {
+	wf := NewWorkflow("cycle")
+	src := newSrcActor("src")
+	a := newPassActor("a")
+	b := newPassActor("b")
+	wf.MustAdd(src, a, b)
+	wf.MustConnect(src.out, a.in)
+	wf.MustConnect(a.out, b.in)
+	wf.MustConnect(b.out, a.in)
+
+	diags := Vet(wf)
+	if sev := rules(diags)["undelayed-cycle"]; sev != SevError {
+		t.Fatalf("want undelayed-cycle error, got %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Rule == "undelayed-cycle" && strings.Contains(d.Path, "a -> b -> a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cycle path should name the actors: %v", diags)
+	}
+}
+
+func TestVetWindowedCycleIsNotUndelayed(t *testing.T) {
+	wf := NewWorkflow("windowed-cycle")
+	src := newSrcActor("src")
+	a := newPassActor("a")
+	b := newWindowedActor("b", window.Spec{Unit: window.Tuples, Size: 4, Step: 4, Timeout: time.Second, DeleteUsed: true})
+	wf.MustAdd(src, a, b)
+	wf.MustConnect(src.out, a.in)
+	wf.MustConnect(a.out, b.in)
+	wf.MustConnect(b.out, a.in)
+
+	diags := Vet(wf)
+	if sev, ok := rules(diags)["undelayed-cycle"]; ok {
+		t.Fatalf("windowed cycle flagged as undelayed (%v): %v", sev, diags)
+	}
+	// With external inflow and no down-sampling past step=4 consuming 4,
+	// the unit-gain heuristic stays quiet (step > 1 down-samples).
+	if _, ok := rules(diags)["unbounded-cycle"]; ok {
+		t.Errorf("step>1 window should satisfy the boundedness heuristic: %v", diags)
+	}
+}
+
+func TestVetUnboundedCycleHeuristic(t *testing.T) {
+	wf := NewWorkflow("unbounded")
+	src := newSrcActor("src")
+	a := newPassActor("a")
+	// Sliding window (step 1) delays the cycle but consumes no faster than
+	// it produces.
+	b := newWindowedActor("b", window.Spec{Unit: window.Tuples, Size: 4, Step: 1, Timeout: time.Second})
+	wf.MustAdd(src, a, b)
+	wf.MustConnect(src.out, a.in)
+	wf.MustConnect(a.out, b.in)
+	wf.MustConnect(b.out, a.in)
+
+	diags := Vet(wf)
+	if sev := rules(diags)["unbounded-cycle"]; sev != SevWarning {
+		t.Fatalf("want unbounded-cycle warning, got %v", diags)
+	}
+
+	// Adding a shedder inside the cycle silences the heuristic.
+	wf2 := NewWorkflow("shedded")
+	src2 := newSrcActor("src")
+	a2 := newPassActor("a")
+	b2 := newWindowedActor("b", window.Spec{Unit: window.Tuples, Size: 4, Step: 1, Timeout: time.Second})
+	shed := newSheddingActor("shed")
+	wf2.MustAdd(src2, a2, b2, shed)
+	wf2.MustConnect(src2.out, a2.in)
+	wf2.MustConnect(a2.out, b2.in)
+	wf2.MustConnect(b2.out, shed.in)
+	wf2.MustConnect(shed.out, a2.in)
+	if _, ok := rules(Vet(wf2))["unbounded-cycle"]; ok {
+		t.Errorf("in-cycle shedder should satisfy the boundedness heuristic: %v", Vet(wf2))
+	}
+}
+
+func TestVetWindowTimeoutInfo(t *testing.T) {
+	wf := NewWorkflow("timeoutless")
+	src := newSrcActor("src")
+	agg := newWindowedActor("agg", window.Spec{Unit: window.Tuples, Size: 10, Step: 10, DeleteUsed: true})
+	wf.MustAdd(src, agg)
+	wf.MustConnect(src.out, agg.in)
+
+	diags := Vet(wf)
+	if HasErrors(diags) {
+		t.Fatalf("timeout-less window must not be an error: %v", diags)
+	}
+	if sev := rules(diags)["window-timeout"]; sev != SevInfo {
+		t.Errorf("want window-timeout info, got %v", diags)
+	}
+}
+
+// fakeComposite implements OpaqueComposite directly so boundary rules are
+// testable without importing the director package.
+type fakeComposite struct {
+	Base
+	inner   *Workflow
+	inBind  map[*Port][]*Port
+	outBind map[*Port]*Port // external -> inner
+}
+
+func newFakeComposite(name string, inner *Workflow) *fakeComposite {
+	c := &fakeComposite{
+		Base: NewBase(name), inner: inner,
+		inBind: map[*Port][]*Port{}, outBind: map[*Port]*Port{},
+	}
+	c.Bind(c)
+	return c
+}
+
+func (c *fakeComposite) Fire(*FireContext) error     { return nil }
+func (c *fakeComposite) Inner() *Workflow            { return c.inner }
+func (c *fakeComposite) BoundInputs(p *Port) []*Port { return c.inBind[p] }
+func (c *fakeComposite) BoundOutput(p *Port) *Port   { return c.outBind[p] }
+
+func TestVetCompositeBoundary(t *testing.T) {
+	inner := NewWorkflow("inner")
+	worker := newPassActor("worker")
+	inner.MustAdd(worker)
+
+	comp := newFakeComposite("comp", inner)
+	unbound := comp.Input("unbound")
+	bound := comp.Input("bound")
+	comp.inBind[bound] = []*Port{worker.in}
+	out := comp.Output("out")
+	comp.outBind[out] = worker.out
+
+	src := newSrcActor("src")
+	sink := newPassActor("sink")
+	wf := NewWorkflow("outer")
+	wf.MustAdd(src, comp, sink)
+	wf.MustConnect(src.out, unbound)
+	wf.MustConnect(src.out, bound)
+	wf.MustConnect(out, sink.in)
+
+	diags := Vet(wf)
+	if sev := rules(diags)["composite-boundary"]; sev != SevError {
+		t.Fatalf("want composite-boundary error for unbound input, got %v", diags)
+	}
+	// The bound inner port counts as driven: worker.in must NOT be flagged
+	// dangling inside the composite.
+	for _, d := range diags {
+		if d.Rule == "dangling-port" && strings.Contains(d.Path, "worker.in") {
+			t.Errorf("boundary-driven inner port flagged dangling: %v", d)
+		}
+		if d.Rule == "dangling-port" {
+			t.Errorf("unexpected dangling-port: %v", d)
+		}
+	}
+}
+
+func TestVetCompositeForeignBinding(t *testing.T) {
+	inner := NewWorkflow("inner")
+	worker := newPassActor("worker")
+	inner.MustAdd(worker)
+	stranger := newPassActor("stranger") // not added to inner
+
+	comp := newFakeComposite("comp", inner)
+	in := comp.Input("in")
+	comp.inBind[in] = []*Port{stranger.in}
+
+	src := newSrcActor("src")
+	wf := NewWorkflow("outer")
+	wf.MustAdd(src, comp)
+	wf.MustConnect(src.out, in)
+
+	diags := Vet(wf)
+	found := false
+	for _, d := range diags {
+		if d.Rule == "composite-boundary" && d.Severity == SevError &&
+			strings.Contains(d.Message, "outside the composite") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("foreign binding not rejected: %v", diags)
+	}
+}
+
+func TestVetCompositePathPrefix(t *testing.T) {
+	inner := NewWorkflow("inner")
+	worker := newPassActor("worker")
+	lonely := newPassActor("lonely") // dangling inside the composite
+	inner.MustAdd(worker, lonely)
+
+	comp := newFakeComposite("comp", inner)
+	in := comp.Input("in")
+	comp.inBind[in] = []*Port{worker.in}
+
+	src := newSrcActor("src")
+	wf := NewWorkflow("outer")
+	wf.MustAdd(src, comp)
+	wf.MustConnect(src.out, in)
+
+	found := false
+	for _, d := range Vet(wf) {
+		if d.Rule == "dangling-port" && d.Path == "comp/lonely.in" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inner diagnostics should carry the composite prefix: %v", Vet(wf))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: SevError, Rule: "type-mismatch", Path: "a.out -> b.in", Message: "m"}
+	if got := d.String(); got != "error: type-mismatch: a.out -> b.in: m" {
+		t.Errorf("got %q", got)
+	}
+}

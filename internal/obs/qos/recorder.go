@@ -122,10 +122,12 @@ func newFlightRecorder(span time.Duration) *flightRecorder {
 // number rather than the actor: stripes exist only to spread lock
 // contention, and Freeze restores global order by seq, so round-robin
 // placement is as good as affinity and skips hashing the actor name.
+//
+//confvet:hotpath
 func (r *flightRecorder) Record(kind, actor string) {
 	seq := r.seq.Add(1)
 	if seq%timestampEvery == 1 {
-		r.lastNS.Store(time.Now().UnixNano())
+		r.lastNS.Store(time.Now().UnixNano()) //confvet:ignore -- coarse shared clock, amortized 1-in-16
 	}
 	d := Decision{Kind: kind, Actor: actor, seq: seq, atNS: r.lastNS.Load()}
 	r.stripe[seq%recorderStripes].record(d)

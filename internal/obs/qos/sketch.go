@@ -46,6 +46,8 @@ func bucketOf(d time.Duration) int {
 }
 
 // Observe records one latency sample.
+//
+//confvet:hotpath
 func (s *sketch) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -190,6 +192,8 @@ func (w *windowedSketch) Span() time.Duration {
 }
 
 // Observe records one sample at engine time now.
+//
+//confvet:hotpath
 func (w *windowedSketch) Observe(now time.Time, d time.Duration) {
 	q := now.UnixNano() / int64(w.width)
 	slot := &w.slots[int(q%int64(len(w.slots)))]

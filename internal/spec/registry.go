@@ -119,7 +119,8 @@ func init() {
 	RegisterType("collect", buildCollect)
 }
 
-// generator: count, intervalMs, field — emits records {field: i}.
+// generator: count, intervalMs, field, emit — emits records {field: i} by
+// default, or bare tokens when emit is "int", "float" or "string".
 func buildGenerator(ctx BuildContext) (model.Actor, error) {
 	count := ctx.Params.Int("count", 100)
 	interval := time.Duration(ctx.Params.Int("intervalMs", 1000)) * time.Millisecond
@@ -132,9 +133,27 @@ func buildGenerator(ctx BuildContext) (model.Actor, error) {
 		// Default: events in the immediate past so real-time runs drain.
 		start = time.Now().Add(-time.Duration(count) * interval)
 	}
-	return actors.NewGenerator(ctx.Name, start, interval, count, func(i int) value.Value {
-		return value.NewRecord(field, value.Int(int64(i)))
-	}), nil
+	var produce func(i int) value.Value
+	var emits value.TypeSet
+	switch emit := ctx.Params.Str("emit", "record"); emit {
+	case "record":
+		produce = func(i int) value.Value { return value.NewRecord(field, value.Int(int64(i))) }
+		emits = value.TypeOf(value.KindRecord)
+	case "int":
+		produce = func(i int) value.Value { return value.Int(int64(i)) }
+		emits = value.TypeOf(value.KindInt)
+	case "float":
+		produce = func(i int) value.Value { return value.Float(float64(i)) }
+		emits = value.TypeOf(value.KindFloat)
+	case "string":
+		produce = func(i int) value.Value { return value.Str(fmt.Sprint(i)) }
+		emits = value.TypeOf(value.KindString)
+	default:
+		return nil, fmt.Errorf("generator: unknown emit kind %q", emit)
+	}
+	g := actors.NewGenerator(ctx.Name, start, interval, count, produce)
+	g.Out().SetTokenType(emits)
+	return g, nil
 }
 
 // tcp-source: addr — JSON lines over TCP.
@@ -167,13 +186,23 @@ func buildFilter(ctx BuildContext) (model.Actor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return actors.NewFilter(ctx.Name, func(v value.Value) bool {
+	f := actors.NewFilter(ctx.Name, func(v value.Value) bool {
 		r, ok := v.(value.Record)
 		if !ok {
 			return false
 		}
 		return cmp(r.Float(field), threshold)
-	}), nil
+	})
+	recordInOut(f)
+	return f, nil
+}
+
+// recordInOut types a record-shaped transform: it inspects record fields,
+// so both sides of the channel must carry records.
+func recordInOut(f *actors.Func) {
+	rec := value.TypeOf(value.KindRecord)
+	f.In().SetTokenType(rec)
+	f.Out().SetTokenType(rec)
 }
 
 func comparator(op string) (func(a, b float64) bool, error) {
@@ -202,13 +231,15 @@ func buildScale(ctx BuildContext) (model.Actor, error) {
 		return nil, fmt.Errorf("scale requires params.field")
 	}
 	factor := ctx.Params.Float("factor", 1)
-	return actors.NewMap(ctx.Name, func(v value.Value) value.Value {
+	f := actors.NewMap(ctx.Name, func(v value.Value) value.Value {
 		r, ok := v.(value.Record)
 		if !ok {
 			return v
 		}
 		return r.With(field, value.Float(r.Float(field)*factor))
-	}), nil
+	})
+	recordInOut(f)
+	return f, nil
 }
 
 // project: fields — keeps only the listed record fields.
@@ -217,7 +248,7 @@ func buildProject(ctx BuildContext) (model.Actor, error) {
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("project requires params.fields")
 	}
-	return actors.NewMap(ctx.Name, func(v value.Value) value.Value {
+	f := actors.NewMap(ctx.Name, func(v value.Value) value.Value {
 		r, ok := v.(value.Record)
 		if !ok {
 			return v
@@ -227,7 +258,9 @@ func buildProject(ctx BuildContext) (model.Actor, error) {
 			pairs = append(pairs, f, r.Field(f))
 		}
 		return value.NewRecord(pairs...)
-	}), nil
+	})
+	recordInOut(f)
+	return f, nil
 }
 
 // aggregate: fn (avg|sum|count|min|max), field — reduces each window.
@@ -245,7 +278,9 @@ func buildAggregate(ctx BuildContext) (model.Actor, error) {
 	if win.IsPassthrough() {
 		return nil, fmt.Errorf("aggregate requires a window specification")
 	}
-	return actors.NewAggregate(ctx.Name, win, reduce), nil
+	f := actors.NewAggregate(ctx.Name, win, reduce)
+	recordInOut(f)
+	return f, nil
 }
 
 func reducer(fn, field string) (func(w *window.Window) value.Value, error) {
@@ -299,14 +334,19 @@ func buildJoin(ctx BuildContext) (model.Actor, error) {
 	}
 	retainL := ctx.Params.Int("retainLeft", 1)
 	retainR := ctx.Params.Int("retainRight", 1)
-	return actors.NewJoin(ctx.Name, on, retainL, retainR,
+	j := actors.NewJoin(ctx.Name, on, retainL, retainR,
 		func(l, r value.Record) value.Value {
 			out := l
 			for _, name := range r.Names() {
 				out = out.With(name, r.Field(name))
 			}
 			return out
-		}), nil
+		})
+	rec := value.TypeOf(value.KindRecord)
+	j.Left().SetTokenType(rec)
+	j.Right().SetTokenType(rec)
+	j.Out().SetTokenType(rec)
+	return j, nil
 }
 
 // shed: maxLagMs — load shedding pass-through.

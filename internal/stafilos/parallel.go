@@ -245,6 +245,8 @@ func (d *ParallelDirector) Run(ctx context.Context) error {
 // claimable the worker runs the scheduler's iteration maintenance once per
 // wake generation, then either detects completion or sleeps until a firing
 // completes or the coordinator ticks.
+//
+//confvet:hotpath
 func (d *ParallelDirector) worker(ctx context.Context) {
 	for {
 		if ctx.Err() != nil || d.halted() {

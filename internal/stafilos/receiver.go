@@ -71,6 +71,8 @@ func (r *TMReceiver) SetExpiredHandler(f func([]*event.Event)) { r.expireTo = f 
 // Put implements model.Receiver: it timestamps the event into the
 // appropriate group-by queue, evaluates the window semantics, and enqueues
 // any produced window at the scheduler.
+//
+//confvet:hotpath
 func (r *TMReceiver) Put(ev *event.Event) {
 	now := r.clk.Now()
 	if r.entry != nil {
@@ -88,6 +90,8 @@ func (r *TMReceiver) Put(ev *event.Event) {
 // PutBatch implements model.BatchReceiver: the whole emission set records
 // one arrival update and one expired-queue flush, with a single
 // scheduler-enqueue pass over the produced windows.
+//
+//confvet:hotpath
 func (r *TMReceiver) PutBatch(evs []*event.Event) {
 	if len(evs) == 0 {
 		return

@@ -1,0 +1,82 @@
+package confluence_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	confluence "repro"
+	"repro/internal/spec"
+)
+
+// TestVetExampleSpecs pins the validator's verdict on every spec under
+// examples/specs: valid specs produce no errors, and each seeded-invalid
+// spec fails with exactly its intended rule.
+func TestVetExampleSpecs(t *testing.T) {
+	wantErrRules := map[string][]string{
+		"invalid-type-mismatch.json":   {"type-mismatch"},
+		"invalid-dangling-port.json":   {"dangling-port"},
+		"invalid-undelayed-cycle.json": {"undelayed-cycle"},
+	}
+
+	dir := filepath.Join("examples", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := e.Name()
+		seen[name] = true
+		t.Run(name, func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := spec.Parse(f)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			wf, _, err := s.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			diags := confluence.Validate(wf)
+
+			var errRules []string
+			for _, d := range diags {
+				if d.Severity == confluence.SevError {
+					errRules = append(errRules, d.Rule)
+				}
+			}
+			want, invalid := wantErrRules[name]
+			if !invalid {
+				if len(errRules) != 0 {
+					t.Fatalf("valid spec has validation errors: %v", diags)
+				}
+				return
+			}
+			for _, rule := range want {
+				found := false
+				for _, got := range errRules {
+					if got == rule {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("want error rule %q, got errors %v (all: %v)", rule, errRules, diags)
+				}
+			}
+		})
+	}
+	for name := range wantErrRules {
+		if !seen[name] {
+			t.Errorf("seeded-invalid spec %s missing from %s", name, dir)
+		}
+	}
+}
