@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet lint bench bench-parallel bench-obs race-obs bench-qos qos-gate build test
+.PHONY: tier1 race vet lint bench bench-gate bench-parallel bench-obs race-obs bench-qos qos-gate build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -31,6 +31,27 @@ bench:
 	$(GO) test ./internal/director/ -run xxx -bench . -benchtime 2s -count 1
 	$(GO) test ./internal/event/ -run xxx -bench . -benchtime 2s -count 1
 	$(GO) test ./internal/sched/ -run xxx -bench . -benchtime 2s -count 1
+
+# bench-gate enforces the lock-free hot-path acceptance criteria (see
+# DESIGN.md, section "Zero-alloc hot path"): the steady-state firing loop
+# must allocate nothing, the lock-free ring invariants must hold at 1, 2
+# and 8 schedulable cores, and pipeline throughput must stay within 10% of
+# the recorded lockfree baseline in BENCH_hotpath.json. The throughput leg
+# is wall-clock sensitive, so like qos-gate it takes the best of up to
+# three fresh processes (the gate test itself also keeps the best of three
+# in-process runs).
+bench-gate:
+	$(GO) test ./internal/director/ -run TestFiringLoopZeroAlloc -v -count 1
+	$(GO) test ./internal/director/ -run 'TestRingReceiver|TestWaiter' -count 1
+	GOMAXPROCS=1 $(GO) test ./internal/ring/ -count 1
+	GOMAXPROCS=2 $(GO) test ./internal/ring/ -count 1
+	GOMAXPROCS=8 $(GO) test ./internal/ring/ -count 1
+	$(GO) test ./internal/director/ -run xxx -bench 'BenchmarkPipelineThroughput|BenchmarkRingReceiverPut' -benchmem -benchtime 2s -count 1
+	@n=0; until BENCH_GATE=1 $(GO) test ./internal/director/ -run TestPipelineThroughputGate -v -count 1; do \
+		n=$$((n+1)); \
+		if [ $$n -ge 3 ]; then echo "bench-gate: throughput below 90% of baseline in all 3 processes"; exit 1; fi; \
+		echo "bench-gate: throughput below the bar, retrying ($$n/3) in a fresh process"; \
+	done
 
 # bench-parallel reruns the multi-worker scaling benchmarks whose numbers
 # are recorded in BENCH_parallel.json (see DESIGN.md, section "Parallel

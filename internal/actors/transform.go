@@ -14,6 +14,11 @@ type Func struct {
 	model.Base
 	in, out *model.Port
 	fn      func(ctx *model.FireContext, w *window.Window, emit func(value.Value)) error
+	// emit is the reusable emission closure handed to fn: it reads emitCtx
+	// at call time, so one closure allocation at construction serves every
+	// firing (a per-Fire closure literal would allocate on the hot path).
+	emit    func(value.Value)
+	emitCtx *model.FireContext
 }
 
 // NewFunc builds a Func actor whose input applies the given window
@@ -23,6 +28,7 @@ func NewFunc(name string, spec window.Spec, fn func(ctx *model.FireContext, w *w
 	a.Bind(a)
 	a.in = a.WindowedInput("in", spec)
 	a.out = a.Output("out")
+	a.emit = func(v value.Value) { a.emitCtx.Put(a.out, v) }
 	return a
 }
 
@@ -33,19 +39,24 @@ func (a *Func) In() *model.Port { return a.in }
 func (a *Func) Out() *model.Port { return a.out }
 
 // Fire implements model.Actor.
+//
+//confvet:hotpath
 func (a *Func) Fire(ctx *model.FireContext) error {
 	w := ctx.Window(a.in)
 	if w == nil {
 		return nil
 	}
-	return a.fn(ctx, w, func(v value.Value) { ctx.Put(a.out, v) })
+	a.emitCtx = ctx
+	return a.fn(ctx, w, a.emit)
 }
 
 // NewMap builds an actor applying f to every token.
 func NewMap(name string, f func(value.Value) value.Value) *Func {
 	return NewFunc(name, window.Passthrough(), func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
-		for _, tok := range w.Tokens() {
-			emit(f(tok))
+		// Iterate the events directly: Tokens() materializes a fresh slice
+		// per firing, which the zero-alloc firing loop cannot afford.
+		for _, ev := range w.Events {
+			emit(f(ev.Token))
 		}
 		return nil
 	})
@@ -54,9 +65,9 @@ func NewMap(name string, f func(value.Value) value.Value) *Func {
 // NewFilter builds an actor passing through tokens satisfying pred.
 func NewFilter(name string, pred func(value.Value) bool) *Func {
 	return NewFunc(name, window.Passthrough(), func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
-		for _, tok := range w.Tokens() {
-			if pred(tok) {
-				emit(tok)
+		for _, ev := range w.Events {
+			if pred(ev.Token) {
+				emit(ev.Token)
 			}
 		}
 		return nil

@@ -12,6 +12,9 @@
 //     locks vs. scheduler/executor locks) must stay acyclic.
 //   - hotpath: functions tagged //confvet:hotpath must not call time.Now
 //     (and friends), allocation-heavy fmt helpers, or iterate maps.
+//   - noalloc: functions tagged //confvet:noalloc must not contain
+//     allocating constructs (escaping composite literals, make/new/append,
+//     string concatenation, closures, interface boxing).
 //   - lifecycle: an actor's Fire must not call Initialize/Wrapup and must
 //     not mutate fields declared postfire-owned via //confvet:postfire.
 //
@@ -20,6 +23,7 @@
 // Directives are ordinary line comments beginning with "confvet:":
 //
 //	//confvet:hotpath            (func doc)  function is on the hot path
+//	//confvet:noalloc            (func doc)  function must not allocate
 //	//confvet:postfire           (field doc) field is mutated only in Postfire
 //	//confvet:ignore             (same line) suppress diagnostics on this line
 //
@@ -101,7 +105,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full confvet analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AtomicAnalyzer, LockOrderAnalyzer, HotPathAnalyzer, LifecycleAnalyzer}
+	return []*Analyzer{AtomicAnalyzer, LockOrderAnalyzer, HotPathAnalyzer, NoAllocAnalyzer, LifecycleAnalyzer}
 }
 
 // Run executes the given analyzers over the loaded packages and returns the
@@ -179,6 +183,7 @@ func ignoreLines(pkgs []*Package) map[fileLine]bool {
 // Directive names.
 const (
 	directiveHotPath  = "confvet:hotpath"
+	directiveNoAlloc  = "confvet:noalloc"
 	directivePostfire = "confvet:postfire"
 	directiveIgnore   = "confvet:ignore"
 )

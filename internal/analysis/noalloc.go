@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocAnalyzer enforces the zero-allocation contract of the steady-state
+// firing loop: functions tagged //confvet:noalloc (ring push/pop, event
+// pool get/release, wave-tag interning, the batched transport) must not
+// contain expressions the compiler turns into heap allocations —
+// address-of composite literals, slice or map literals, make/new, append
+// (the growth path allocates), string concatenation, function literals
+// (closure capture), or implicit boxing of non-pointer-shaped values into
+// interfaces. Intentional cold-path escapes inside a tagged function carry
+// a same-line //confvet:ignore with a justification; warm-up allocation
+// belongs in untagged helpers.
+//
+// Only the tagged function's own body is checked; helpers it calls earn
+// their own tag when they share the path. The check is syntactic and
+// type-informed, not an escape analysis: it flags constructs that *may*
+// allocate, which on a path contractually at 0 allocs/op is exactly the
+// set that needs either removal or an explicit waiver.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "no allocating constructs in //confvet:noalloc functions",
+	Mode: PerPackage,
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveNoAlloc) {
+					continue
+				}
+				checkNoAllocBody(pass, pkg.Info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkNoAllocBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var sig *types.Signature
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "noalloc %s contains a function literal, which allocates its closure", name)
+			return false // the literal's body runs under its own contract
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "noalloc %s takes the address of a composite literal, which escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "noalloc %s builds a slice literal, which allocates its backing array", name)
+				case *types.Map:
+					pass.Reportf(n.Pos(), "noalloc %s builds a map literal, which allocates", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Type != nil && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "noalloc %s concatenates strings, which allocates; preformat or use a cached buffer", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, info, name, n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) && n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if tv, ok := info.Types[lhs]; ok {
+						reportBoxing(pass, info, name, tv.Type, n.Rhs[i], "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					reportBoxing(pass, info, name, sig.Results().At(i).Type(), res, "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall flags allocating builtins and interface boxing of call
+// arguments.
+func checkNoAllocCall(pass *Pass, info *types.Info, name string, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "noalloc %s calls make, which allocates; preallocate at construction", name)
+			case "new":
+				pass.Reportf(call.Pos(), "noalloc %s calls new, which allocates", name)
+			case "append":
+				pass.Reportf(call.Pos(), "noalloc %s calls append, whose growth path allocates; use a fixed-capacity buffer (or waive a provably in-capacity append with //confvet:ignore)", name)
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if ok && tv.IsType() {
+		return // conversion to a function type, not a call with args to box
+	}
+	if !ok {
+		return // conversion or builtin; conversions to interfaces are rare enough to skip
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				target = params.At(params.Len() - 1).Type() // slice passed whole
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				target = s.Elem()
+			}
+		case i < params.Len():
+			target = params.At(i).Type()
+		}
+		reportBoxing(pass, info, name, target, arg, "argument")
+	}
+}
+
+// reportBoxing flags expr when storing it into target implicitly boxes a
+// non-pointer-shaped concrete value into an interface, which allocates.
+func reportBoxing(pass *Pass, info *types.Info, name string, target types.Type, expr ast.Expr, site string) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface carries the existing box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped values fit the interface word unboxed
+	}
+	pass.Reportf(expr.Pos(), "noalloc %s boxes a %s into an interface at this %s, which allocates; pass a pointer or keep the concrete type", name, tv.Type.String(), site)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,85 @@
+// Fixture for the noalloc analyzer: the tagged functions trip every rule
+// (escaping composite literal, slice/map literals, make/new/append, string
+// concatenation, closure allocation, interface boxing at assignment, call
+// and return); the untagged twin is ignored; the ignore-directive form
+// suppresses a finding on its line.
+package noalloc
+
+type item struct {
+	n    int
+	next *item
+}
+
+var global any
+
+func takeAny(v any)        { global = v }
+func takePtr(p *item)      { global = p }
+func takeVariadic(v ...any) {
+	for _, x := range v {
+		global = x
+	}
+}
+
+//confvet:noalloc
+func escapes(n int) *item {
+	return &item{n: n}
+}
+
+//confvet:noalloc
+func literals(n int) int {
+	xs := []int{n, n + 1}
+	m := map[string]int{"n": n}
+	return len(xs) + len(m)
+}
+
+//confvet:noalloc
+func builtins(buf []int, n int) []int {
+	extra := make([]int, n)
+	p := new(item)
+	buf = append(buf, n)
+	_ = extra
+	_ = p
+	return buf
+}
+
+//confvet:noalloc
+func concat(a, b string) string {
+	return a + b
+}
+
+//confvet:noalloc
+func closure(n int) func() int {
+	return func() int { return n }
+}
+
+//confvet:noalloc
+func boxes(n int, p *item) any {
+	takeAny(n)       // boxes n
+	takePtr(p)       // pointer-shaped, no box
+	takeVariadic(n)  // boxes into the variadic slot
+	global = n       // boxes at assignment
+	var i any = p    // pointer into interface: no box, but := typed decl not checked
+	_ = i
+	return n // boxes at return
+}
+
+//confvet:noalloc
+func waived(buf []int, n int) []int {
+	return append(buf, n) //confvet:ignore -- caller guarantees capacity
+}
+
+func coldPath(n int) *item {
+	xs := []int{n}
+	return &item{n: xs[0]}
+}
+
+var (
+	_ = escapes
+	_ = literals
+	_ = builtins
+	_ = concat
+	_ = closure
+	_ = boxes
+	_ = waived
+	_ = coldPath
+)

@@ -59,8 +59,28 @@ func BenchmarkReceiverPutBatch(b *testing.B) {
 	b.ReportMetric(64, "events/op")
 }
 
+// BenchmarkRingReceiverPut measures per-event delivery into the lock-free
+// RingReceiver with passthrough semantics, drained and recycled in batches
+// of 64 — the engine's current hot path, comparable to BenchmarkReceiverPut.
+func BenchmarkRingReceiverPut(b *testing.B) {
+	clk := clock.NewVirtual()
+	pool := event.NewPool(1024)
+	r := NewRingReceiver(window.Passthrough(), clk, pool, false, 0)
+	evs := benchEvents(256)
+	var buf []*window.Window
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Put(evs[i%len(evs)])
+		if i%64 == 63 {
+			ws, _ := r.GetBatch(buf[:0], 64)
+			buf = ws
+			r.Recycle(ws)
+		}
+	}
+}
+
 // BenchmarkBroadcastFanout measures one output port broadcasting a firing's
-// emissions to 4 downstream blocking receivers, one event at a time.
+// emissions to 4 downstream lock-free ring receivers, one event at a time.
 func BenchmarkBroadcastFanout(b *testing.B) {
 	benchmarkFanout(b, func(out *model.Port, evs []*event.Event) {
 		for _, ev := range evs {
@@ -78,29 +98,34 @@ func BenchmarkBroadcastBatchFanout(b *testing.B) {
 	})
 }
 
-// benchmarkFanout wires one output port to 4 passthrough blocking
-// receivers and times delivering a 64-event emission set with deliver.
+// benchmarkFanout wires one output port to 4 passthrough ring receivers
+// and times delivering a 64-event emission set with deliver. Each iteration
+// drains and recycles every destination — leaving the rings full would push
+// deliveries onto the overflow slow path and grow it without bound.
 func benchmarkFanout(b *testing.B, deliver func(out *model.Port, evs []*event.Event)) {
 	clk := clock.NewVirtual()
+	pool := event.NewPool(1024)
 	wf := model.NewWorkflow("fanout")
 	src := actors.NewSource("src", actors.NewSliceFeed(nil), 0)
 	wf.MustAdd(src)
 	sinks := make([]*actors.Collect, 4)
-	recvs := make([]*BlockingReceiver, 4)
+	recvs := make([]*RingReceiver, 4)
+	bufs := make([][]*window.Window, 4)
 	for i := range sinks {
 		sinks[i] = actors.NewCollect("sink" + string(rune('A'+i)))
 		wf.MustAdd(sinks[i])
 		wf.MustConnect(src.Out(), sinks[i].In())
-		recvs[i] = NewBlockingReceiver(window.Passthrough(), clk)
+		recvs[i] = NewRingReceiver(window.Passthrough(), clk, pool, false, 0)
 		sinks[i].In().SetReceiver(recvs[i])
 	}
 	evs := benchEvents(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		deliver(src.Out(), evs)
-		for _, r := range recvs {
-			r.ready = r.ready[:0]
-			r.head = 0
+		for j, r := range recvs {
+			ws, _ := r.GetBatch(bufs[j][:0], len(evs))
+			bufs[j] = ws
+			r.Recycle(ws)
 		}
 	}
 	b.ReportMetric(float64(len(evs)*4), "deliveries/op")

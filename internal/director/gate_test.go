@@ -1,0 +1,172 @@
+// Performance gates for the lock-free hot path: a hard zero-allocation
+// check on the steady-state firing loop and an opt-in throughput
+// regression gate against the recorded BENCH_hotpath.json numbers (run via
+// `make bench-gate`, BENCH_GATE=1).
+package director
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// TestFiringLoopZeroAlloc replicates one steady-state turn of the engine's
+// firing loop synchronously — source stamping, ring delivery, consumer
+// batch, map firing, downstream broadcast, sink drain, recycle — and
+// requires it to allocate nothing. Everything the loop touches must come
+// from the event pool, the window free-lists, the interned wave-tag
+// backing and the reused buffers; a single alloc/op here is a regression
+// in the million-events/sec path. (Token construction is excluded: tokens
+// are the actor domain's payload, the engine moves them.)
+func TestFiringLoopZeroAlloc(t *testing.T) {
+	clk := clock.NewReal()
+	pool := event.NewPool(4096)
+
+	wf := model.NewWorkflow("gate")
+	mp := actors.NewMap("map", func(v value.Value) value.Value { return v })
+	sink := actors.NewSink("sink", window.Passthrough(), func(_ *model.FireContext, _ *window.Window) error { return nil })
+	wf.MustAdd(mp, sink)
+	wf.MustConnect(mp.Out(), sink.In())
+
+	rIn := NewRingReceiver(window.Passthrough(), clk, pool, false, 0)
+	mp.In().SetReceiver(rIn)
+	rSink := NewRingReceiver(window.Passthrough(), clk, pool, false, 0)
+	sink.In().SetReceiver(rSink)
+
+	tkSrc := event.NewTimekeeper()
+	tkSrc.SetPool(pool)
+	fctx := model.NewFireContext(clk, event.NewTimekeeper())
+	fctx.Timekeeper().SetPool(pool)
+
+	const batch = 64
+	ts := time.Unix(0, 0)
+	tok := value.Value(value.Int(42)) // boxed once, outside the loop
+	var wbuf, sbuf []*window.Window
+	var emitted []model.Emission
+	var scratch, evbuf []*event.Event
+
+	round := func() {
+		// Source firing: stamp a fresh wave of pooled events and deliver.
+		// (FinalizeFiring + a reused buffer is the engine's path; the
+		// copying Timekeeper.EndFiring is the allocating convenience form.)
+		evbuf = evbuf[:0]
+		tkSrc.BeginFiring(nil)
+		for i := 0; i < batch; i++ {
+			evbuf = append(evbuf, tkSrc.Stamp(tok, ts))
+		}
+		tkSrc.FinalizeFiring()
+		rIn.PutBatch(evbuf)
+
+		// Actor firing batch, exactly as runActor drives it.
+		ws, _ := rIn.GetBatch(wbuf[:0], batch)
+		wbuf = ws
+		emitted = emitted[:0]
+		for _, w := range ws {
+			fctx.BeginFiring(w.Events[w.Len()-1])
+			fctx.Stage(mp.In(), w)
+			if ready, _ := mp.Prefire(fctx); ready {
+				if err := mp.Fire(fctx); err != nil {
+					t.Fatal(err)
+				}
+				mp.Postfire(fctx)
+			}
+			emitted = append(emitted, fctx.EndFiring()...)
+		}
+		scratch = model.BroadcastEmissions(emitted, scratch)
+		rIn.Recycle(ws)
+
+		// Sink edge: consume and recycle, completing the event round trip.
+		out, _ := rSink.GetBatch(sbuf[:0], batch)
+		sbuf = out
+		rSink.Recycle(out)
+	}
+
+	// Warm up: fill the pool, grow every reused buffer and the interned
+	// wave-tag backing to steady state.
+	for i := 0; i < 64; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Fatalf("steady-state firing loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// benchRecord mirrors the BENCH_hotpath.json entries the gate reads.
+type benchRecord struct {
+	Lockfree struct {
+		Pipeline struct {
+			EventsPerSec float64 `json:"events_per_sec"`
+		} `json:"BenchmarkPipelineThroughput"`
+	} `json:"lockfree"`
+}
+
+// TestPipelineThroughputGate fails when pipeline throughput regresses more
+// than 10% below the recorded lockfree baseline. Opt-in via BENCH_GATE=1:
+// wall-clock throughput on a shared CI box is too noisy for every `go
+// test` run, so the Makefile's bench-gate target takes the best of several
+// attempts.
+func TestPipelineThroughputGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE") == "" {
+		t.Skip("set BENCH_GATE=1 (make bench-gate) to run the throughput gate")
+	}
+	data, err := os.ReadFile("../../BENCH_hotpath.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	baseline := rec.Lockfree.Pipeline.EventsPerSec
+	if baseline <= 0 {
+		t.Fatal("BENCH_hotpath.json has no lockfree pipeline baseline")
+	}
+
+	const events = 20000
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		items := make([]actors.Item, events)
+		base := time.Now().Add(-time.Hour)
+		for j := range items {
+			items[j] = actors.Item{Tok: value.Int(int64(j)), Time: base.Add(time.Duration(j) * time.Microsecond)}
+		}
+		wf := model.NewWorkflow("pipeline")
+		src := actors.NewSource("src", actors.NewSliceFeed(items), 64)
+		mp := actors.NewMap("map", func(v value.Value) value.Value { return v })
+		fl := actors.NewFilter("filter", func(v value.Value) bool { return true })
+		sink := actors.NewCollect("sink")
+		wf.MustAdd(src, mp, fl, sink)
+		wf.MustConnect(src.Out(), mp.In())
+		wf.MustConnect(mp.Out(), fl.In())
+		wf.MustConnect(fl.Out(), sink.In())
+		d := NewPNCWF(PNCWFOptions{})
+		if err := d.Setup(wf); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := d.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if len(sink.Tokens) != events {
+			t.Fatalf("sink got %d events, want %d", len(sink.Tokens), events)
+		}
+		if eps := float64(events) / elapsed.Seconds(); eps > best {
+			best = eps
+		}
+	}
+	floor := 0.9 * baseline
+	t.Logf("pipeline throughput: best %.0f events/sec (baseline %.0f, floor %.0f)", best, baseline, floor)
+	if best < floor {
+		t.Fatalf("pipeline throughput %.0f events/sec regressed below 90%% of the %.0f baseline", best, baseline)
+	}
+}

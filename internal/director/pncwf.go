@@ -24,8 +24,12 @@ type PNCWF struct {
 	stats *stats.Registry
 
 	wf        *model.Workflow
-	receivers map[*model.Port]*BlockingReceiver
-	setup     bool
+	receivers map[*model.Port]*RingReceiver
+	// pool recycles events across the whole workflow: sources draw stamped
+	// events from it and edge consumers return them at the recycle point
+	// after broadcasting a firing batch.
+	pool  *event.Pool
+	setup bool
 
 	mu      sync.Mutex
 	firing  int // actors currently inside fire()
@@ -72,9 +76,14 @@ func (d *PNCWF) Setup(wf *model.Workflow) error {
 		return err
 	}
 	d.wf = wf
-	d.receivers = make(map[*model.Port]*BlockingReceiver)
+	d.pool = event.NewPool(eventPoolCap)
+	d.receivers = make(map[*model.Port]*RingReceiver)
 	for _, p := range wf.InputPorts() {
-		r := NewBlockingReceiver(p.Spec(), d.clk)
+		// One upstream output port means one upstream actor goroutine, which
+		// proves the single-writer precondition of the SPSC ring; fan-in
+		// edges fall back to the CAS-cursor MPMC ring.
+		multi := len(p.Sources()) > 1
+		r := NewRingReceiver(p.Spec(), d.clk, d.pool, multi, 0)
 		p.SetReceiver(r)
 		d.receivers[p] = r
 	}
@@ -253,6 +262,7 @@ func (d *PNCWF) quiescent() bool {
 // external data is available, sleeping until the next event otherwise.
 func (d *PNCWF) runSource(ctx context.Context, a model.Actor) error {
 	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	fctx.Timekeeper().SetPool(d.pool)
 	entry := d.stats.Entry(a.Name())
 	var scratch []*event.Event
 	sa, _ := a.(model.SourceActor)
@@ -299,6 +309,11 @@ func (d *PNCWF) napUntilNextEvent(ctx context.Context, a model.Actor) {
 	}
 }
 
+// eventPoolCap bounds the shared event free-list: enough to cover every
+// edge's ring plus in-flight firing batches of a mid-sized workflow without
+// pinning an unbounded amount of memory.
+const eventPoolCap = 8192
+
 // fireBatchMax bounds how many ready windows an actor thread consumes per
 // wake-up before broadcasting the combined emissions downstream. It trades
 // a bounded (sub-millisecond) delivery delay for amortizing the receiver
@@ -314,6 +329,7 @@ const fireBatchMax = 64
 //confvet:hotpath
 func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 	fctx := model.NewFireContext(d.clk, event.NewTimekeeper())
+	fctx.Timekeeper().SetPool(d.pool)
 	entry := d.stats.Entry(a.Name())
 	var scratch []*event.Event
 	var wbuf []*window.Window
@@ -371,6 +387,11 @@ func (d *PNCWF) runActor(ctx context.Context, a model.Actor) error {
 		scratch = model.BroadcastEmissions(emitted, scratch)
 		end := d.clk.Now()
 		entry.RecordFirings(fired, end.Sub(start), consumed, len(emitted), end)
+		// Recycle point of the event ownership protocol: the batch has been
+		// broadcast, so the consumed passthrough windows — and any of their
+		// events never pinned by fan-out, an operator, or re-emission — go
+		// back to the free-lists.
+		recv.Recycle(ws)
 		d.exitFiring()
 		if err != nil {
 			return err

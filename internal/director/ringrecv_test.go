@@ -1,0 +1,305 @@
+package director
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/value"
+	"repro/internal/window"
+)
+
+// ringEquivSpecs are the window kinds the lock-free receiver must treat
+// identically to the blocking receiver, including the passthrough fast
+// path that bypasses the operator entirely.
+func ringEquivSpecs() map[string]window.Spec {
+	specs := equivSpecs()
+	specs["passthrough"] = window.Passthrough()
+	return specs
+}
+
+// drainRing pops every buffered window after Close without blocking.
+func drainRing(r *RingReceiver) []*window.Window {
+	var out []*window.Window
+	for {
+		w, ok := r.Get()
+		if w != nil {
+			out = append(out, w)
+			continue
+		}
+		if !ok {
+			return out
+		}
+	}
+}
+
+// TestRingReceiverEquivalence asserts that a single producer feeding the
+// RingReceiver yields the exact window sequence — same windows, same
+// member events, same wave-tags — the BlockingReceiver produces for the
+// same stream, for every window kind, in randomized put/putBatch chunks.
+func TestRingReceiverEquivalence(t *testing.T) {
+	for kind, spec := range ringEquivSpecs() {
+		t.Run(kind, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 5; trial++ {
+				evs := equivEvents(80)
+				clk := clock.NewVirtual()
+				clk.AdvanceTo(evs[len(evs)-1].Time)
+
+				blocking := NewBlockingReceiver(spec, clk)
+				ring := NewRingReceiver(spec, clk, nil, false, 0)
+
+				for i := 0; i < len(evs); {
+					n := 1 + rng.Intn(7)
+					if i+n > len(evs) {
+						n = len(evs) - i
+					}
+					if rng.Intn(2) == 0 {
+						for _, ev := range evs[i : i+n] {
+							blocking.Put(ev)
+							ring.Put(ev)
+						}
+					} else {
+						blocking.PutBatch(evs[i : i+n])
+						ring.PutBatch(evs[i : i+n])
+					}
+					i += n
+				}
+				blocking.Close()
+				ring.Close()
+				compareSequences(t, kind,
+					fingerprints(drain(blocking)), fingerprints(drainRing(ring)))
+			}
+		})
+	}
+}
+
+// TestRingReceiverOverflowEquivalence forces the sticky-overflow path with
+// a tiny ring capacity and asserts delivery stays identical to the
+// blocking receiver: the overflow protocol must preserve order end to end.
+func TestRingReceiverOverflowEquivalence(t *testing.T) {
+	for kind, spec := range ringEquivSpecs() {
+		t.Run(kind, func(t *testing.T) {
+			evs := equivEvents(300)
+			clk := clock.NewVirtual()
+			clk.AdvanceTo(evs[len(evs)-1].Time)
+
+			blocking := NewBlockingReceiver(spec, clk)
+			ring := NewRingReceiver(spec, clk, nil, false, 8)
+			blocking.PutBatch(evs)
+			ring.PutBatch(evs) // 300 events into an 8-slot ring: 292 overflow
+			blocking.Close()
+			ring.Close()
+			compareSequences(t, kind,
+				fingerprints(drain(blocking)), fingerprints(drainRing(ring)))
+		})
+	}
+}
+
+// ringProducerEvents pre-builds per-producer streams whose tokens encode
+// (producer, seq) so the consumer can verify per-producer FIFO, no loss
+// and no duplication.
+func ringProducerEvents(producers, perProducer int) [][]*event.Event {
+	base := time.Unix(50, 0)
+	out := make([][]*event.Event, producers)
+	for p := range out {
+		tk := event.NewTimekeeper()
+		out[p] = make([]*event.Event, perProducer)
+		for s := range out[p] {
+			tok := value.NewRecord("p", value.Int(int64(p)), "s", value.Int(int64(s)))
+			out[p][s] = tk.External(tok, base.Add(time.Duration(s)*time.Microsecond))
+		}
+	}
+	return out
+}
+
+// batchGetter abstracts the two receivers' consuming side so the same
+// concurrent harness verifies both.
+type batchGetter interface {
+	GetBatch(buf []*window.Window, max int) ([]*window.Window, bool)
+}
+
+// runConcurrentDelivery drives P producer goroutines through put and a
+// consumer through GetBatch until everything is delivered, returning the
+// consumed windows in consumption order.
+func runConcurrentDelivery(t *testing.T, streams [][]*event.Event, put func(*event.Event), get batchGetter, closeRecv func()) []*window.Window {
+	t.Helper()
+	var wg sync.WaitGroup
+	for p := range streams {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(71 + p)))
+			for _, ev := range streams[p] {
+				put(ev)
+				if rng.Intn(64) == 0 {
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	consumed := make(chan []*window.Window, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(7))
+		var out []*window.Window
+		var buf []*window.Window
+		for len(out) < total {
+			ws, ok := get.GetBatch(buf[:0], 1+rng.Intn(fireBatchMax))
+			out = append(out, ws...)
+			buf = ws[:0]
+			if !ok {
+				break
+			}
+		}
+		consumed <- out
+	}()
+	wg.Wait()
+	var out []*window.Window
+	select {
+	case out = <-consumed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer did not drain all deliveries (lost wakeup or lost event)")
+	}
+	closeRecv()
+	return out
+}
+
+// checkDelivery asserts the three transport invariants over the consumed
+// windows: per-producer order, no loss, no duplication.
+func checkDelivery(t *testing.T, streams [][]*event.Event, ws []*window.Window) {
+	t.Helper()
+	perProducer := len(streams[0])
+	lastSeq := make([]int, len(streams))
+	for p := range lastSeq {
+		lastSeq[p] = -1
+	}
+	seen := make(map[int]bool, len(streams)*perProducer)
+	for _, w := range ws {
+		for _, ev := range w.Events {
+			rec := ev.Token.(value.Record)
+			p := int(rec.Int("p"))
+			s := int(rec.Int("s"))
+			key := p*perProducer + s
+			if seen[key] {
+				t.Fatalf("event (p=%d, s=%d) delivered twice", p, s)
+			}
+			seen[key] = true
+			if s <= lastSeq[p] {
+				t.Fatalf("producer %d order violated: seq %d after %d", p, s, lastSeq[p])
+			}
+			lastSeq[p] = s
+		}
+	}
+	if got, want := len(seen), len(streams)*perProducer; got != want {
+		t.Fatalf("delivered %d distinct events, want %d", got, want)
+	}
+}
+
+// TestRingReceiverConcurrentDelivery verifies the transport invariants for
+// 1, 2 and 8 producers over both ring flavors (the capacity squeeze forces
+// the MPSC overflow protocol under contention), and that the blocking
+// receiver upholds the same invariants — the concurrent equivalence.
+func TestRingReceiverConcurrentDelivery(t *testing.T) {
+	for _, producers := range []int{1, 2, 8} {
+		for _, capacity := range []int{0, 16} {
+			name := fmt.Sprintf("ring/p=%d/cap=%d", producers, capacity)
+			t.Run(name, func(t *testing.T) {
+				streams := ringProducerEvents(producers, 2000)
+				clk := clock.NewReal()
+				r := NewRingReceiver(window.Passthrough(), clk, nil, producers > 1, capacity)
+				ws := runConcurrentDelivery(t, streams, r.Put, r, r.Close)
+				checkDelivery(t, streams, ws)
+				// busy stays latched until the consumer parks or observes
+				// close; one post-close GetBatch stands in for the director's
+				// final loop turn.
+				if _, ok := r.GetBatch(nil, 1); ok {
+					t.Error("GetBatch reported more work after full drain and close")
+				}
+				if r.Pending() {
+					t.Error("receiver still pending after full drain")
+				}
+			})
+		}
+	}
+	t.Run("blocking/p=8", func(t *testing.T) {
+		streams := ringProducerEvents(8, 2000)
+		r := NewBlockingReceiver(window.Passthrough(), clock.NewReal())
+		ws := runConcurrentDelivery(t, streams, r.Put, r, r.Close)
+		checkDelivery(t, streams, ws)
+	})
+}
+
+// TestRingReceiverWakesParkedConsumer is the receiver-level park/unpark
+// liveness check: a consumer parked on an empty ring must wake promptly on
+// every Put — across many rounds, so a single lost wakeup deadlocks the
+// test rather than slipping through.
+func TestRingReceiverWakesParkedConsumer(t *testing.T) {
+	clk := clock.NewReal()
+	r := NewRingReceiver(window.Passthrough(), clk, nil, false, 0)
+	tk := event.NewTimekeeper()
+	got := make(chan *window.Window)
+	go func() {
+		for {
+			w, ok := r.Get()
+			if !ok {
+				close(got)
+				return
+			}
+			got <- w
+		}
+	}()
+	for round := 0; round < 200; round++ {
+		// Give the consumer time to spin out and park on some rounds.
+		if round%10 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		r.Put(tk.External(value.Int(int64(round)), time.Unix(60, 0)))
+		select {
+		case w := <-got:
+			if w.Len() != 1 {
+				t.Fatalf("round %d: got %d-event window, want 1", round, w.Len())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: parked consumer never woke (lost wakeup)", round)
+		}
+	}
+	r.Close()
+	if _, open := <-got; open {
+		t.Fatal("consumer did not observe close")
+	}
+}
+
+// TestRingReceiverForcesTimedWindow verifies the consuming thread forces a
+// window-formation timeout on its own while parked: a partial tuple window
+// must surface without any further event or external nudge.
+func TestRingReceiverForcesTimedWindow(t *testing.T) {
+	clk := clock.NewReal()
+	spec := window.Spec{Unit: window.Tuples, Size: 3, Step: 3, DeleteUsed: true, Timeout: 30 * time.Millisecond}
+	r := NewRingReceiver(spec, clk, nil, false, 0)
+	tk := event.NewTimekeeper()
+	r.Put(tk.External(value.Int(1), clk.Now()))
+	r.Put(tk.External(value.Int(2), clk.Now()))
+
+	done := make(chan *window.Window, 1)
+	go func() {
+		w, _ := r.Get()
+		done <- w
+	}()
+	select {
+	case w := <-done:
+		if w == nil || w.Len() != 2 || !w.Partial {
+			t.Fatalf("got %+v, want partial 2-event window", w)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("formation timeout never forced the window out")
+	}
+	r.Close()
+}

@@ -137,7 +137,32 @@ type Event struct {
 	// Seq is the engine-wide arrival sequence number, used to order events
 	// with equal timestamps deterministically.
 	Seq uint64
+
+	// poolable marks events allocated through a Pool; only those may be
+	// recycled.
+	poolable bool
+	// pinned marks events that escaped exclusive single-edge ownership
+	// (retained by a window operator, fanned out to multiple destinations,
+	// or re-emitted); pinned events are never recycled. Accessed atomically:
+	// on a fan-out edge every destination's consumer pins independently, so
+	// concurrent idempotent Pins are expected. Not an atomic.Bool so the
+	// pool's zeroing struct assignment stays legal (the zeroing site owns
+	// the event exclusively).
+	pinned uint32
 }
+
+// Pin marks the event as retained beyond its delivery edge, excluding it
+// from recycling permanently. Pinning is one-way and idempotent, and may
+// happen concurrently from the consumers of a fan-out edge; it must happen
+// before the pinning owner lets go of the event.
+//
+//confvet:hotpath
+//confvet:noalloc
+func (e *Event) Pin() { atomic.StoreUint32(&e.pinned, 1) }
+
+// Recyclable reports whether the event may be returned to its pool: it was
+// pool-allocated and never pinned.
+func (e *Event) Recyclable() bool { return e.poolable && atomic.LoadUint32(&e.pinned) == 0 }
 
 // Compare orders events by time, then wave-tag, then sequence.
 func (e *Event) Compare(o *Event) int {
@@ -180,10 +205,30 @@ type Timekeeper struct {
 	// EndFiring can assign child indices and the last-of-wave marker.
 	produced []*Event
 	firing   bool
+	// pool, when set, recycles Event objects through the director's shared
+	// free-list instead of allocating per stamp.
+	pool *Pool
+	// arena is the append-only chunk backing wave-tag paths of depth ≥ 2.
+	// Chunks are immutable once written (a full chunk is abandoned to the
+	// events pointing into it and a fresh one allocated), so downstream
+	// actors may hold the tag slices indefinitely.
+	arena []int
 }
 
 // NewTimekeeper returns a timekeeper for one actor.
 func NewTimekeeper() *Timekeeper { return &Timekeeper{} }
+
+// SetPool routes the timekeeper's event allocation through the director's
+// shared pool. Call before the first firing.
+func (tk *Timekeeper) SetPool(p *Pool) { tk.pool = p }
+
+// newEvent allocates one event, recycled when a pool is attached.
+func (tk *Timekeeper) newEvent() *Event {
+	if tk.pool != nil {
+		return tk.pool.Get()
+	}
+	return &Event{}
+}
 
 // External stamps a token arriving from outside the engine with timestamp
 // ts, starting a new wave.
@@ -213,7 +258,9 @@ func (tk *Timekeeper) Stamp(tok value.Value, fallback time.Time) *Event {
 		// Stamping outside a firing: treat as external.
 		return tk.External(tok, fallback)
 	}
-	ev := &Event{Token: tok, Seq: nextSeq()}
+	ev := tk.newEvent()
+	ev.Token = tok
+	ev.Seq = nextSeq()
 	if tk.current != nil {
 		ev.Time = tk.current.Time
 	} else {
@@ -236,21 +283,97 @@ func (tk *Timekeeper) FinalizeFiring() int {
 	tk.firing = false
 	n := len(tk.produced)
 	if tk.current != nil && n > 0 {
-		// Stamp every child path out of one shared backing array instead of
-		// one allocation per event. Each path is sliced with a hard capacity
-		// so a later append on one tag cannot overwrite its neighbor.
 		parent := tk.current.Wave
-		depth := len(parent.Path) + 1
-		backing := make([]int, n*depth)
-		for i, ev := range tk.produced {
-			path := backing[i*depth : (i+1)*depth : (i+1)*depth]
-			copy(path, parent.Path)
-			path[depth-1] = i + 1
-			ev.Wave = WaveTag{Root: parent.Root, RootSeq: parent.RootSeq, Path: path, Last: i+1 == n}
+		if len(parent.Path) == 0 {
+			// Depth-1 children (the overwhelmingly common case: an external
+			// event processed by the first actor of the pipeline) intern
+			// their paths: child i of any wave is the one-element slice
+			// canon[i-1:i:i] of the immutable canonical ascending array, so
+			// stamping allocates nothing and tags of the same child index
+			// are pointer-equal across waves.
+			canon := canonChildren(n)
+			for i, ev := range tk.produced {
+				ev.Wave = WaveTag{Root: parent.Root, RootSeq: parent.RootSeq, Path: canon[i : i+1 : i+1], Last: i+1 == n}
+			}
+		} else {
+			// Deeper paths carry per-wave prefixes and cannot be interned;
+			// they are carved out of the timekeeper's append-only arena, so
+			// the per-firing allocation amortizes to one chunk per ~4k ints.
+			// Each path is sliced with a hard capacity so a later append on
+			// one tag cannot overwrite its neighbor.
+			depth := len(parent.Path) + 1
+			backing := tk.pathBacking(n * depth)
+			for i, ev := range tk.produced {
+				path := backing[i*depth : (i+1)*depth : (i+1)*depth]
+				copy(path, parent.Path)
+				path[depth-1] = i + 1
+				ev.Wave = WaveTag{Root: parent.Root, RootSeq: parent.RootSeq, Path: path, Last: i+1 == n}
+			}
 		}
 	}
 	tk.current = nil
 	return n
+}
+
+// arenaChunk is the wave-tag arena granularity: one allocation per this
+// many path ints on the deep-path slow path.
+const arenaChunk = 4096
+
+// pathBacking carves n ints out of the timekeeper's arena, starting a fresh
+// chunk when the current one cannot hold them. The returned slice has hard
+// capacity n. Written arena ints are never reused or rewritten: the events
+// holding them may outlive the timekeeper's interest, so a full chunk is
+// abandoned to its tags rather than recycled.
+func (tk *Timekeeper) pathBacking(n int) []int {
+	if len(tk.arena)+n > cap(tk.arena) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		tk.arena = make([]int, 0, size)
+	}
+	l := len(tk.arena)
+	tk.arena = tk.arena[:l+n]
+	return tk.arena[l : l+n : l+n]
+}
+
+// canon holds the canonical ascending child-index array shared by every
+// depth-1 wave-tag in the engine: canon[i] == i+1, so the path of child i
+// (1-based) is canon[i-1:i:i]. The array only ever grows by atomic
+// replacement with a longer copy; a published array is immutable, keeping
+// the tags that point into it valid (and pointer-equal) forever.
+var canon atomic.Pointer[[]int]
+
+// canonChildren returns a canonical array covering child indices 1…n.
+//
+//confvet:noalloc
+func canonChildren(n int) []int {
+	if p := canon.Load(); p != nil && len(*p) >= n {
+		return *p
+	}
+	return growCanon(n)
+}
+
+// growCanon is canonChildren's refill path: build a larger ascending array
+// and publish it, racing benignly with other growers.
+func growCanon(n int) []int {
+	size := 1024
+	for size < n {
+		size <<= 1
+	}
+	fresh := make([]int, size)
+	for i := range fresh {
+		fresh[i] = i + 1
+	}
+	for {
+		cur := canon.Load()
+		if cur != nil && len(*cur) >= n {
+			return *cur
+		}
+		if canon.CompareAndSwap(cur, &fresh) {
+			return fresh
+		}
+	}
 }
 
 // EndFiring finalizes the wave-tags of the events stamped since BeginFiring

@@ -40,12 +40,20 @@ func BroadcastEmissions(emissions []Emission, scratch []*event.Event) []*event.E
 // FireContext carries everything an actor may touch during one lifecycle
 // call. Directors construct one per firing (or reuse one per actor), stage
 // the input window the firing consumes, and collect the emissions.
+// stagedWindow is one input-port→window binding of the current firing.
+type stagedWindow struct {
+	port *Port
+	win  *window.Window
+}
+
 type FireContext struct {
 	clk clock.Clock
 	tk  *event.Timekeeper
 
-	// staged maps input ports to the window delivered for this firing.
-	staged map[*Port]*window.Window
+	// staged holds the windows delivered for this firing, keyed by input
+	// port. Firings stage one or two windows, so a reused linear slice
+	// beats a map on the hot path (no hashing, no per-firing map clearing).
+	staged []stagedWindow
 	// puller, when set, fetches a window on demand (blocking directors).
 	puller func(*Port) (*window.Window, bool)
 	// emissions are the tokens produced so far in this firing.
@@ -56,7 +64,19 @@ type FireContext struct {
 
 // NewFireContext builds a context bound to a clock and a timekeeper.
 func NewFireContext(clk clock.Clock, tk *event.Timekeeper) *FireContext {
-	return &FireContext{clk: clk, tk: tk, staged: make(map[*Port]*window.Window)}
+	return &FireContext{clk: clk, tk: tk}
+}
+
+// Timekeeper returns the context's timekeeper (directors wire its pool).
+func (c *FireContext) Timekeeper() *event.Timekeeper { return c.tk }
+
+// clearStaged empties the staged bindings, dropping the window references
+// while keeping the slice capacity.
+func (c *FireContext) clearStaged() {
+	for i := range c.staged {
+		c.staged[i] = stagedWindow{}
+	}
+	c.staged = c.staged[:0]
 }
 
 // Reset returns the context to a like-new state so it can be pooled and
@@ -66,9 +86,7 @@ func NewFireContext(clk clock.Clock, tk *event.Timekeeper) *FireContext {
 // one).
 func (c *FireContext) Reset() {
 	c.tk.Reset()
-	for p := range c.staged {
-		delete(c.staged, p)
-	}
+	c.clearStaged()
 	c.emissions = c.emissions[:0]
 	c.puller = nil
 	c.stopped = false
@@ -85,7 +103,18 @@ func (c *FireContext) Now() time.Time { return c.clk.Now() }
 func (c *FireContext) SetPuller(f func(*Port) (*window.Window, bool)) { c.puller = f }
 
 // Stage places a window on an input port for the upcoming firing.
-func (c *FireContext) Stage(p *Port, w *window.Window) { c.staged[p] = w }
+//
+//confvet:hotpath
+//confvet:noalloc
+func (c *FireContext) Stage(p *Port, w *window.Window) {
+	for i := range c.staged {
+		if c.staged[i].port == p {
+			c.staged[i].win = w
+			return
+		}
+	}
+	c.staged = append(c.staged, stagedWindow{port: p, win: w}) //confvet:ignore append into retained capacity
+}
 
 // BeginFiring resets the per-firing state. The trigger event (the newest
 // member of the consumed window) parents the wave-tags of everything the
@@ -100,12 +129,11 @@ func (c *FireContext) BeginFiring(trigger *event.Event) {
 // the backing array is reused across firings to keep the hot path
 // allocation-free, so directors must deliver (or copy) the emissions before
 // starting the next firing.
+//confvet:hotpath
 func (c *FireContext) EndFiring() []Emission {
 	c.tk.FinalizeFiring()
 	out := c.emissions
-	for p := range c.staged {
-		delete(c.staged, p)
-	}
+	c.clearStaged()
 	return out
 }
 
@@ -113,13 +141,16 @@ func (c *FireContext) EndFiring() []Emission {
 // a staged window it returns it; otherwise, under a blocking director, it
 // pulls one (possibly blocking). It returns nil when no window is
 // available, which multi-input actors use to discover which port fired.
+//confvet:hotpath
 func (c *FireContext) Window(p *Port) *window.Window {
-	if w, ok := c.staged[p]; ok {
-		return w
+	for i := range c.staged {
+		if c.staged[i].port == p {
+			return c.staged[i].win
+		}
 	}
 	if c.puller != nil {
 		if w, ok := c.puller(p); ok {
-			c.staged[p] = w
+			c.Stage(p, w)
 			return w
 		}
 	}
@@ -128,8 +159,12 @@ func (c *FireContext) Window(p *Port) *window.Window {
 
 // Has reports whether input port p has a staged window without pulling.
 func (c *FireContext) Has(p *Port) bool {
-	_, ok := c.staged[p]
-	return ok
+	for i := range c.staged {
+		if c.staged[i].port == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Event returns the newest event of the window on p, or nil.
@@ -174,8 +209,11 @@ func (c *FireContext) PutAt(p *Port, tok value.Value, ts time.Time) {
 
 // PutEvent re-emits an existing event unchanged, preserving its timestamp
 // and wave identity; remote-bridge receivers use it so waves survive node
-// boundaries. The event bypasses the timekeeper's wave re-tagging.
+// boundaries. The event bypasses the timekeeper's wave re-tagging. Re-
+// emission gives the event a second life beyond the edge it arrived on, so
+// it is pinned out of the recycling protocol.
 func (c *FireContext) PutEvent(p *Port, ev *event.Event) {
+	ev.Pin()
 	c.emissions = append(c.emissions, Emission{Port: p, Ev: ev})
 }
 

@@ -56,6 +56,12 @@ type Port struct {
 	dests []*Port
 	// sources are the output ports feeding this input port (fan-in).
 	sources []*Port
+	// bcast1 is the reusable length-1 batch Broadcast routes through, so
+	// both transport entry points share the batched fan-out path without a
+	// per-call slice allocation. Safe because an output port broadcasts
+	// only from its owning actor's firing, which is never concurrent with
+	// itself.
+	bcast1 [1]*event.Event
 }
 
 // Name returns the port name, unique within its actor and direction.
@@ -113,13 +119,16 @@ func (p *Port) Connected() bool {
 }
 
 // Broadcast delivers ev to every connected receiver. The director calls it
-// after finalizing the event's stamps.
+// after finalizing the event's stamps. It routes through BroadcastBatch
+// with the port's reusable length-1 batch so both entry points share the
+// optimized fan-out path.
+//
+//confvet:hotpath
+//confvet:noalloc
 func (p *Port) Broadcast(ev *event.Event) {
-	for _, d := range p.dests {
-		if d.recv != nil {
-			d.recv.Put(ev)
-		}
-	}
+	p.bcast1[0] = ev
+	p.BroadcastBatch(p.bcast1[:1])
+	p.bcast1[0] = nil
 }
 
 // BroadcastBatch delivers a firing's whole emission set for this port to
@@ -127,9 +136,20 @@ func (p *Port) Broadcast(ev *event.Event) {
 // receivers take the events under a single lock acquisition, plain
 // receivers fall back to per-event Put. Receivers must not retain evs — the
 // caller reuses the backing array across firings.
+//
+// Fan-out pins every event first: an event delivered to more than one
+// receiver has more than one owner, so no single consumer may recycle it.
+//
+//confvet:hotpath
+//confvet:noalloc
 func (p *Port) BroadcastBatch(evs []*event.Event) {
 	if len(evs) == 0 {
 		return
+	}
+	if len(p.dests) > 1 {
+		for _, ev := range evs {
+			ev.Pin()
+		}
 	}
 	for _, d := range p.dests {
 		switch {

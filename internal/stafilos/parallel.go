@@ -12,6 +12,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/ring"
 	"repro/internal/stats"
 )
 
@@ -70,12 +71,14 @@ type ParallelDirector struct {
 	// stopped is latched by StopWorkflow.
 	stopped atomic.Bool
 
-	// wakeMu guards the worker wake/terminate channel state below.
-	wakeMu   sync.Mutex
-	wakeCond *sync.Cond
-	// wakeGen increments whenever new work may exist: a firing completed,
-	// or the coordinator ticked (timeouts fired, paced sources advanced).
-	wakeGen uint64
+	// wake is the workers' spin-then-yield-then-park wait point: Wake is
+	// called whenever new work may exist (a firing completed, the
+	// coordinator ticked) and costs two atomics when every worker is busy.
+	// Its generation counter doubles as the maintenance gate below.
+	wake *ring.Waiter
+
+	// stateMu guards the terminal run state below (cold path only).
+	stateMu sync.Mutex
 	// quit is set by the worker that detects completion.
 	quit bool
 	// err is the first firing error; it halts the run.
@@ -119,7 +122,7 @@ func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDi
 			Obs:            opts.Obs,
 		},
 	}
-	d.wakeCond = sync.NewCond(&d.wakeMu)
+	d.wake = ring.NewWaiter()
 	d.pool.New = func() any {
 		return &firingScratch{ctx: model.NewFireContext(d.clk, event.NewTimekeeper())}
 	}
@@ -231,9 +234,9 @@ func (d *ParallelDirector) Run(ctx context.Context) error {
 	cancel()
 	coord.Wait()
 
-	d.wakeMu.Lock()
+	d.stateMu.Lock()
 	err := d.err
-	d.wakeMu.Unlock()
+	d.stateMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -297,9 +300,7 @@ func (d *ParallelDirector) claim() *Entry {
 // sequential director's NextActor returning nil. Maintenance is gated to
 // once per wake generation so idle workers do not spin re-quantifying.
 func (d *ParallelDirector) maintainAndClaim() *Entry {
-	d.wakeMu.Lock()
-	cur := d.wakeGen
-	d.wakeMu.Unlock()
+	cur := d.wake.Gen()
 	d.iterMu.Lock()
 	if d.lastMaint != cur {
 		d.lastMaint = cur
@@ -424,24 +425,26 @@ func (d *ParallelDirector) coordinate(ctx context.Context) {
 	}
 }
 
-// kick bumps the wake generation and wakes every waiting worker.
+// kick bumps the wake generation and wakes any parked worker: two atomics
+// when everyone is busy or still spinning, one broadcast otherwise.
+//
+//confvet:hotpath
+//confvet:noalloc
 func (d *ParallelDirector) kick() {
-	d.wakeMu.Lock()
-	d.wakeGen++
-	d.wakeCond.Broadcast()
-	d.wakeMu.Unlock()
+	d.wake.Wake()
 }
 
-// waitForWork blocks until the wake generation changes or the run halts.
-// The coordinator ticks a few times per millisecond, bounding the wait.
+// waitForWork spins, yields, then parks until the wake generation changes
+// or the run halts. The generation is snapshotted before the halt re-check,
+// so a kick (or announceQuit/fail, which both Wake) landing after the
+// snapshot makes the Wait return immediately — no lost wakeup. The
+// coordinator ticks a few times per millisecond, bounding the park.
 func (d *ParallelDirector) waitForWork(ctx context.Context) {
-	d.wakeMu.Lock()
-	seen := d.wakeGen
-	for d.wakeGen == seen && !d.quit && d.err == nil &&
-		ctx.Err() == nil && !d.stopped.Load() {
-		d.wakeCond.Wait()
+	seen := d.wake.Gen()
+	if d.halted() || ctx.Err() != nil {
+		return
 	}
-	d.wakeMu.Unlock()
+	d.wake.Wait(seen, 0)
 }
 
 // halted reports whether the run should stop claiming work.
@@ -449,8 +452,8 @@ func (d *ParallelDirector) halted() bool {
 	if d.stopped.Load() {
 		return true
 	}
-	d.wakeMu.Lock()
-	defer d.wakeMu.Unlock()
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	return d.quit || d.err != nil
 }
 
@@ -489,21 +492,23 @@ func (d *ParallelDirector) HasPendingWork() bool {
 }
 
 // announceQuit latches completion and wakes everyone so the pool unwinds.
+// The latch is written before the Wake, so a worker that snapshots the
+// generation after this Wake re-observes quit before parking.
 func (d *ParallelDirector) announceQuit() {
-	d.wakeMu.Lock()
+	d.stateMu.Lock()
 	d.quit = true
-	d.wakeCond.Broadcast()
-	d.wakeMu.Unlock()
+	d.stateMu.Unlock()
+	d.wake.Wake()
 }
 
 // fail records the first firing error and halts the run.
 func (d *ParallelDirector) fail(err error) {
-	d.wakeMu.Lock()
+	d.stateMu.Lock()
 	if d.err == nil {
 		d.err = err
 	}
-	d.wakeCond.Broadcast()
-	d.wakeMu.Unlock()
+	d.stateMu.Unlock()
+	d.wake.Wake()
 }
 
 func (d *ParallelDirector) pollTimeouts() {

@@ -29,11 +29,16 @@ import (
 type TMReceiver struct {
 	// mu guards op. Each port has its own receiver, so two workers only
 	// contend when they deliver to the same input port.
-	mu      sync.Mutex
-	port    *model.Port
-	op      *window.Operator
-	clk     clock.Clock
-	stats   *stats.Registry
+	mu   sync.Mutex
+	port *model.Port
+	op   *window.Operator
+	// passthrough marks default single-event window semantics: deliveries
+	// bypass op (and its lock) entirely — each event is wrapped as its own
+	// window and enqueued directly, so parallel workers delivering to the
+	// same passthrough port never contend on the receiver.
+	passthrough bool
+	clk         clock.Clock
+	stats       *stats.Registry
 	// entry is the owning actor's statistics shard, resolved once at
 	// construction so hot-path arrivals skip the registry lookup.
 	entry   *stats.Entry
@@ -47,11 +52,12 @@ type TMReceiver struct {
 // enqueue delivers produced windows to the scheduler.
 func NewTMReceiver(port *model.Port, clk clock.Clock, st *stats.Registry, enqueue func(ReadyItem)) *TMReceiver {
 	r := &TMReceiver{
-		port:    port,
-		op:      window.New(port.Spec()),
-		clk:     clk,
-		stats:   st,
-		enqueue: enqueue,
+		port:        port,
+		op:          window.New(port.Spec()),
+		passthrough: port.Spec().IsPassthrough(),
+		clk:         clk,
+		stats:       st,
+		enqueue:     enqueue,
 	}
 	if st != nil && port.Owner() != nil {
 		r.entry = st.Entry(port.Owner().Name())
@@ -78,6 +84,10 @@ func (r *TMReceiver) Put(ev *event.Event) {
 	if r.entry != nil {
 		r.entry.RecordArrival(1, now)
 	}
+	if r.passthrough {
+		r.enqueue(NewItemAt(r.port.Owner(), r.port, passWindow(ev), now))
+		return
+	}
 	r.mu.Lock()
 	for _, w := range r.op.Put(ev, now) {
 		r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
@@ -99,6 +109,12 @@ func (r *TMReceiver) PutBatch(evs []*event.Event) {
 	now := r.clk.Now()
 	if r.entry != nil {
 		r.entry.RecordArrival(len(evs), now)
+	}
+	if r.passthrough {
+		for _, ev := range evs {
+			r.enqueue(NewItemAt(r.port.Owner(), r.port, passWindow(ev), now))
+		}
+		return
 	}
 	r.mu.Lock()
 	for _, ev := range evs {
@@ -138,6 +154,15 @@ func (r *TMReceiver) NextDeadline() (time.Time, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.op.NextDeadline()
+}
+
+// passWindow wraps one event as its own consumed window, exactly what the
+// operator would produce for passthrough semantics minus the group
+// bookkeeping and expired-queue churn. The window may sit in a scheduler
+// queue indefinitely, so the event is pinned out of the recycling protocol.
+func passWindow(ev *event.Event) *window.Window {
+	ev.Pin()
+	return &window.Window{Events: []*event.Event{ev}, Time: ev.Time, Wave: ev.Wave}
 }
 
 // takeExpired drains the operator's expired-items queue under r.mu and

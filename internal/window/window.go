@@ -402,7 +402,11 @@ func groupKey(fields []string, ev *event.Event) string {
 
 // insert appends ev keeping the per-group queue ordered by event Compare.
 // Streams are normally in order, so the common case is a plain append.
+// Insertion pins the event: the operator may hold it across many windows
+// (and hand it to several), so it leaves the single-owner recycling
+// protocol (see event.Pool).
 func insert(g *group, ev *event.Event) {
+	ev.Pin()
 	n := len(g.events)
 	if n == 0 || g.events[n-1].Compare(ev) <= 0 {
 		g.events = append(g.events, ev)
