@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet lint bench bench-gate bench-parallel bench-obs race-obs bench-qos qos-gate build test
+.PHONY: tier1 race vet lint bench bench-gate bench-parallel bench-dist bench-obs race-obs bench-qos qos-gate build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -46,6 +46,8 @@ bench-gate:
 	GOMAXPROCS=1 $(GO) test ./internal/ring/ -count 1
 	GOMAXPROCS=2 $(GO) test ./internal/ring/ -count 1
 	GOMAXPROCS=8 $(GO) test ./internal/ring/ -count 1
+	$(GO) test ./internal/stafilos/ -run TestSCWFPassthroughDeliveryZeroAlloc -v -count 1
+	$(GO) test ./internal/stafilos/ -run xxx -bench BenchmarkSCWFPassthroughDelivery -benchmem -benchtime 2s -count 1
 	$(GO) test ./internal/director/ -run xxx -bench 'BenchmarkPipelineThroughput|BenchmarkRingReceiverPut' -benchmem -benchtime 2s -count 1
 	@n=0; until BENCH_GATE=1 $(GO) test ./internal/director/ -run TestPipelineThroughputGate -v -count 1; do \
 		n=$$((n+1)); \
@@ -60,6 +62,13 @@ bench-gate:
 bench-parallel:
 	$(GO) test ./internal/stafilos/ -run xxx -bench BenchmarkParallelPipeline -benchtime 3x -count 1
 	$(GO) test ./internal/lr/ -run xxx -bench BenchmarkLinearRoadParallel -benchtime 1x -count 1
+
+# bench-dist reruns the bridge wire-format microbenchmarks whose numbers
+# are recorded in BENCH_dist.json (see DESIGN.md, section "Bridge wire
+# format"): binary frame encode/decode per event against the JSON-per-line
+# baseline. The binary encode column must show 0 allocs/op.
+bench-dist:
+	$(GO) test ./internal/dist/ -run xxx -bench BenchmarkWire -benchmem -benchtime 2s -count 1
 
 # bench-obs reruns the observability overhead matrix (no engine vs attached
 # engine with tracing disabled vs 1% vs 100% wave sampling) whose numbers are

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+// benchEvent is a representative bridge payload: the Linear Road position
+// report record the paper's evaluation streams across nodes.
+func benchEvent() *event.Event {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 678900000, time.UTC)
+	return &event.Event{
+		Token: value.NewRecord(
+			"carID", value.Int(1042),
+			"speed", value.Float(53.5),
+			"xway", value.Int(2),
+			"lane", value.Int(1),
+			"dir", value.Int(0),
+			"mile", value.Int(37),
+		),
+		Time: base,
+		Wave: event.WaveTag{Root: base.UnixNano(), RootSeq: 7, Path: []int{2, 1}, Last: true},
+	}
+}
+
+// BenchmarkWireEncodeBinary measures the binary frame path's per-event
+// encode into a warm reused buffer — the sender's steady state. The
+// allocs/op column must read 0 (`make bench-dist` records it in
+// BENCH_dist.json).
+func BenchmarkWireEncodeBinary(b *testing.B) {
+	ev := benchEvent()
+	buf := appendEvent(nil, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendEvent(buf[:0], ev)
+	}
+}
+
+// BenchmarkWireEncodeJSON is the baseline: the original JSON-per-line
+// bridge codec the binary format replaced.
+func BenchmarkWireEncodeJSON(b *testing.B) {
+	ev := benchEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeEventJSON(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeBinary measures the receiver-side per-event decode.
+func BenchmarkWireDecodeBinary(b *testing.B) {
+	wire := appendEvent(nil, benchEvent())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeWireEvent(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeJSON is the decode baseline.
+func BenchmarkWireDecodeJSON(b *testing.B) {
+	line, err := encodeEventJSON(benchEvent())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeEventJSON(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

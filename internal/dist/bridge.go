@@ -7,73 +7,30 @@
 // downstream node. Event timestamps and wave identity survive the hop, so
 // response-time measurement and wave synchronization keep working across
 // nodes.
+//
+// Bridges speak the length-prefixed binary batch format of frame.go with
+// credit-based backpressure: the receiver holds arrivals in a bounded
+// lock-free ring and grants credits back as its Fire drains them, so a slow
+// downstream node stalls the upstream sender instead of growing an
+// unbounded buffer. The JSON per-event codec (json.go) remains as the
+// benchmark baseline the binary format is measured against.
 package dist
 
 import (
-	"bufio"
-	"encoding/json"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
 	"repro/internal/model"
-	"repro/internal/value"
+	"repro/internal/ring"
 	"repro/internal/window"
 )
-
-// wireEvent is the serialized form of one event crossing a bridge.
-type wireEvent struct {
-	Tok  json.RawMessage `json:"tok"`
-	TS   int64           `json:"ts"` // UnixNano event time
-	Wave wireWave        `json:"wave"`
-}
-
-type wireWave struct {
-	Root    int64  `json:"root"`
-	RootSeq uint64 `json:"rootSeq"`
-	Path    []int  `json:"path,omitempty"`
-	Last    bool   `json:"last,omitempty"`
-}
-
-func encodeEvent(ev *event.Event) ([]byte, error) {
-	tok, err := value.Encode(ev.Token)
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(wireEvent{
-		Tok: tok,
-		TS:  ev.Time.UnixNano(),
-		Wave: wireWave{
-			Root:    ev.Wave.Root,
-			RootSeq: ev.Wave.RootSeq,
-			Path:    ev.Wave.Path,
-			Last:    ev.Wave.Last,
-		},
-	})
-}
-
-func decodeEvent(line []byte) (*event.Event, error) {
-	var we wireEvent
-	if err := json.Unmarshal(line, &we); err != nil {
-		return nil, fmt.Errorf("dist: decode event: %w", err)
-	}
-	tok, err := value.Decode(we.Tok)
-	if err != nil {
-		return nil, err
-	}
-	return &event.Event{
-		Token: tok,
-		Time:  time.Unix(0, we.TS).UTC(),
-		Wave: event.WaveTag{
-			Root:    we.Wave.Root,
-			RootSeq: we.Wave.RootSeq,
-			Path:    we.Wave.Path,
-			Last:    we.Wave.Last,
-		},
-	}, nil
-}
 
 // Sender is the upstream half of a bridge: a sink actor that streams every
 // consumed event to the remote node. It dials at Initialize and closes the
@@ -85,13 +42,21 @@ type Sender struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	w    *bufio.Writer
 	sent int64
+	enc  frameEncoder
+
+	// Credit state: how many more events may be sent before the receiver
+	// acknowledges drains. The ack-reader goroutine refills it.
+	cmu     sync.Mutex
+	ccond   *sync.Cond
+	credits int
+	dead    error
 }
 
 // NewSender builds the sending half, targeting the receiver's address.
 func NewSender(name, addr string) *Sender {
 	s := &Sender{Base: model.NewBase(name), addr: addr}
+	s.ccond = sync.NewCond(&s.cmu)
 	s.Bind(s)
 	s.in = s.WindowedInput("in", window.Passthrough())
 	return s
@@ -107,7 +72,8 @@ func (s *Sender) Sent() int64 {
 	return s.sent
 }
 
-// Initialize implements model.Actor: connect to the remote node.
+// Initialize implements model.Actor: connect to the remote node and start
+// draining its credit acknowledgements.
 func (s *Sender) Initialize(*model.FireContext) error {
 	conn, err := net.DialTimeout("tcp", s.addr, 5*time.Second)
 	if err != nil {
@@ -115,36 +81,97 @@ func (s *Sender) Initialize(*model.FireContext) error {
 	}
 	s.mu.Lock()
 	s.conn = conn
-	s.w = bufio.NewWriter(conn)
 	s.mu.Unlock()
+	s.cmu.Lock()
+	s.credits = creditWindow
+	s.dead = nil
+	s.cmu.Unlock()
+	go s.ackReader(conn)
 	return nil
 }
 
-// Fire implements model.Actor.
+// ackReader returns receiver drain acknowledgements to the credit pool. It
+// exits when the connection dies, waking any Fire stalled on credits.
+func (s *Sender) ackReader(conn net.Conn) {
+	br := newFrameReader(conn).r // just the buffered reader
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			s.cmu.Lock()
+			if s.dead == nil {
+				if err == io.EOF {
+					s.dead = fmt.Errorf("dist: sender %s: connection closed by receiver", s.Name())
+				} else {
+					s.dead = fmt.Errorf("dist: sender %s: ack stream: %w", s.Name(), err)
+				}
+			}
+			s.ccond.Broadcast()
+			s.cmu.Unlock()
+			return
+		}
+		s.cmu.Lock()
+		s.credits += int(n)
+		s.ccond.Broadcast()
+		s.cmu.Unlock()
+	}
+}
+
+// takeCredits blocks until at least one credit is available and takes up to
+// want of them. A dead connection aborts the wait.
+func (s *Sender) takeCredits(want int) (int, error) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	for s.credits == 0 && s.dead == nil {
+		s.ccond.Wait()
+	}
+	if s.dead != nil {
+		return 0, s.dead
+	}
+	got := want
+	if got > s.credits {
+		got = s.credits
+	}
+	s.credits -= got
+	return got, nil
+}
+
+// Fire implements model.Actor: frame the window's events and write them
+// out, chunked to the credit window so a stalled receiver exerts
+// backpressure here instead of overrunning its ring.
 func (s *Sender) Fire(ctx *model.FireContext) error {
 	w := ctx.Window(s.in)
 	if w == nil {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.w == nil {
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
 		return fmt.Errorf("dist: sender %s not connected", s.Name())
 	}
-	for _, ev := range w.Events {
-		line, err := encodeEvent(ev)
+	evs := w.Events
+	for len(evs) > 0 {
+		want := len(evs)
+		if want > senderBatch {
+			want = senderBatch
+		}
+		got, err := s.takeCredits(want)
 		if err != nil {
 			return err
 		}
-		if _, err := s.w.Write(line); err != nil {
+		hdr, payload := s.enc.encode(evs[:got])
+		if _, err := conn.Write(hdr); err != nil {
 			return fmt.Errorf("dist: sender %s: write: %w", s.Name(), err)
 		}
-		if err := s.w.WriteByte('\n'); err != nil {
-			return err
+		if _, err := conn.Write(payload); err != nil {
+			return fmt.Errorf("dist: sender %s: write: %w", s.Name(), err)
 		}
-		s.sent++
+		s.mu.Lock()
+		s.sent += int64(got)
+		s.mu.Unlock()
+		evs = evs[got:]
 	}
-	return s.w.Flush()
+	return nil
 }
 
 // Wrapup implements model.Actor: close the stream (end-of-stream for the
@@ -160,28 +187,74 @@ func (s *Sender) Wrapup() error {
 	return nil
 }
 
-// Receiver is the downstream half: a push source that listens for the
-// sender's connection and re-emits each event with its original timestamp
-// and wave tag.
+// senderConn is one accepted sender connection on the receiving side.
+type senderConn struct {
+	c net.Conn
+	// nextSeq is the next expected frame sequence number; only the
+	// connection's serve goroutine touches it.
+	nextSeq uint64
+	// pendingAck counts drained-but-unacknowledged events; only the
+	// receiver's Fire (serialized by the firing protocol) touches it.
+	pendingAck int
+	// touched marks membership in Fire's touched-connection scratch list.
+	touched bool
+}
+
+// recvEvent is one ring entry: the decoded event plus its source
+// connection, so drain acknowledgements go back to the right sender.
+type recvEvent struct {
+	ev  *event.Event
+	src *senderConn
+}
+
+// Receiver is the downstream half: a push source that listens for sender
+// connections and re-emits each event with its original timestamp and wave
+// tag. Arrivals wait in a bounded lock-free ring; when it fills, the
+// connection goroutines stop reading, TCP backpressure reaches the
+// senders, and their credit windows stall them — no unbounded buffering
+// anywhere on the path.
 type Receiver struct {
 	model.Base
 	out *model.Port
 	ln  net.Listener
 
-	mu       sync.Mutex
-	pending  []*event.Event
-	closed   bool
-	decodeEr int64
+	ring    *ring.MPMC[recvEvent]
+	closing atomic.Bool
+
+	received  atomic.Int64
+	dropped   atomic.Int64
+	watermark atomic.Int64
+	decodeEr  atomic.Int64
+	seqGaps   atomic.Int64
+
+	cmu        sync.Mutex
+	conns      []*senderConn
+	connsSeen  int
+	connsLive  int
+	acceptDone bool
+	expect     int
+
+	// Fire-only scratch: connections drained this firing and the ack
+	// encode buffer.
+	touchScratch []*senderConn
+	ackBuf       []byte
 }
 
 // Listen starts the receiving half on addr ("127.0.0.1:0" for an ephemeral
-// port); its Addr is handed to NewSender on the upstream node.
+// port); its Addr is handed to NewSender on the upstream node(s). By
+// default the bridge expects a single sender; raise that with
+// ExpectSenders before running the workflow.
 func Listen(name, addr string) (*Receiver, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: receiver %s: listen %s: %w", name, addr, err)
 	}
-	r := &Receiver{Base: model.NewBase(name), ln: ln}
+	r := &Receiver{
+		Base:   model.NewBase(name),
+		ln:     ln,
+		ring:   ring.NewMPMC[recvEvent](recvRingCap),
+		expect: 1,
+	}
 	r.Bind(r)
 	r.out = r.Output("out")
 	go r.acceptLoop()
@@ -194,73 +267,191 @@ func (r *Receiver) Addr() string { return r.ln.Addr().String() }
 // Out returns the bridge output port.
 func (r *Receiver) Out() *model.Port { return r.out }
 
-// DecodeErrors counts malformed events dropped off the wire.
-func (r *Receiver) DecodeErrors() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.decodeEr
+// ExpectSenders declares how many sender connections feed this bridge
+// (default 1). The receiver reports Exhausted only after that many senders
+// have connected and every connection has closed. Call before the workflow
+// runs.
+func (r *Receiver) ExpectSenders(n int) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	if n > 0 {
+		r.expect = n
+	}
 }
+
+// DecodeErrors counts malformed frames dropped off the wire.
+func (r *Receiver) DecodeErrors() int64 { return r.decodeEr.Load() }
+
+// Received counts events accepted into the receive ring.
+func (r *Receiver) Received() int64 { return r.received.Load() }
+
+// Dropped counts events discarded because the bridge shut down while they
+// were still in flight. During normal operation a full ring blocks the
+// connection goroutine instead of dropping.
+func (r *Receiver) Dropped() int64 { return r.dropped.Load() }
+
+// Watermark returns the peak receive-ring occupancy, the bridge's
+// bottleneck signal: a watermark at ring capacity means the downstream node
+// was the constraint and senders were being stalled.
+func (r *Receiver) Watermark() int64 { return r.watermark.Load() }
+
+// RingCap returns the receive ring capacity, the denominator for reading
+// Watermark.
+func (r *Receiver) RingCap() int { return r.ring.Cap() }
+
+// SeqGaps counts frame sequence discontinuities — non-zero only if a
+// transport delivered frames out of order or dropped them, the signal a
+// future replay layer would act on.
+func (r *Receiver) SeqGaps() int64 { return r.seqGaps.Load() }
 
 func (r *Receiver) acceptLoop() {
-	conn, err := r.ln.Accept()
-	if err != nil {
-		r.mu.Lock()
-		r.closed = true
-		r.mu.Unlock()
-		return
-	}
-	defer func() {
-		conn.Close()
-		r.mu.Lock()
-		r.closed = true
-		r.mu.Unlock()
-	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		ev, err := decodeEvent(sc.Bytes())
+	for {
+		conn, err := r.ln.Accept()
 		if err != nil {
-			r.mu.Lock()
-			r.decodeEr++
-			r.mu.Unlock()
-			continue
+			r.cmu.Lock()
+			r.acceptDone = true
+			r.cmu.Unlock()
+			return
 		}
-		r.mu.Lock()
-		r.pending = append(r.pending, ev)
-		r.mu.Unlock()
+		sc := &senderConn{c: conn}
+		r.cmu.Lock()
+		r.conns = append(r.conns, sc)
+		r.connsSeen++
+		r.connsLive++
+		r.cmu.Unlock()
+		go r.serveConn(sc)
 	}
 }
 
-// Fire implements model.Actor: re-emit everything received so far,
-// preserving timestamps and wave identity.
-func (r *Receiver) Fire(ctx *model.FireContext) error {
-	r.mu.Lock()
-	batch := r.pending
-	r.pending = nil
-	r.mu.Unlock()
-	for _, ev := range batch {
-		ctx.PutEvent(r.out, ev)
+// serveConn reads frames from one sender until end-of-stream. A frame or
+// event decode error closes the connection: the stream is length-prefixed,
+// so there is no resynchronization point after corrupt bytes.
+func (r *Receiver) serveConn(sc *senderConn) {
+	defer func() {
+		sc.c.Close()
+		r.cmu.Lock()
+		r.connsLive--
+		r.cmu.Unlock()
+	}()
+	fr := newFrameReader(sc.c)
+	for {
+		seq, count, body, err := fr.next()
+		if err != nil {
+			if err != io.EOF {
+				r.decodeEr.Add(1)
+			}
+			return
+		}
+		if seq != sc.nextSeq {
+			r.seqGaps.Add(1)
+		}
+		sc.nextSeq = seq + 1
+		for i := 0; i < count; i++ {
+			ev, n, err := decodeWireEvent(body)
+			if err != nil {
+				r.decodeEr.Add(1)
+				return
+			}
+			body = body[n:]
+			if !r.push(recvEvent{ev: ev, src: sc}) {
+				return
+			}
+		}
 	}
+}
+
+// push enqueues one arrival, spinning (and eventually sleeping) while the
+// ring is full — the stall that turns into TCP backpressure toward the
+// sender. It reports false when the bridge is shutting down, counting the
+// event as dropped.
+func (r *Receiver) push(re recvEvent) bool {
+	spins := 0
+	for !r.ring.TryPush(re) {
+		if r.closing.Load() {
+			r.dropped.Add(1)
+			return false
+		}
+		if spins < 64 {
+			spins++
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	r.received.Add(1)
+	if l := int64(r.ring.Len()); l > r.watermark.Load() {
+		r.watermark.Store(l)
+	}
+	return true
+}
+
+// Fire implements model.Actor: re-emit everything queued so far, preserving
+// timestamps and wave identity, then grant the drained counts back to the
+// senders as credits.
+func (r *Receiver) Fire(ctx *model.FireContext) error {
+	touched := r.touchScratch[:0]
+	for {
+		re, ok := r.ring.TryPop()
+		if !ok {
+			break
+		}
+		ctx.PutEvent(r.out, re.ev)
+		sc := re.src
+		sc.pendingAck++
+		if !sc.touched {
+			sc.touched = true
+			touched = append(touched, sc)
+		}
+		if sc.pendingAck >= ackEvery {
+			r.flushAck(sc)
+		}
+	}
+	for i, sc := range touched {
+		if sc.pendingAck > 0 {
+			r.flushAck(sc)
+		}
+		sc.touched = false
+		touched[i] = nil
+	}
+	r.touchScratch = touched[:0]
 	return nil
 }
 
-// Exhausted implements model.SourceActor.
+// flushAck writes one credit grant back to the sender. Write errors are
+// ignored: a dead connection means the sender is gone and needs no
+// credits.
+func (r *Receiver) flushAck(sc *senderConn) {
+	r.ackBuf = binary.AppendUvarint(r.ackBuf[:0], uint64(sc.pendingAck))
+	sc.pendingAck = 0
+	_, _ = sc.c.Write(r.ackBuf)
+}
+
+// Exhausted implements model.SourceActor: every expected sender has
+// connected and finished, and nothing is left to drain.
 func (r *Receiver) Exhausted() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.closed && len(r.pending) == 0
+	r.cmu.Lock()
+	done := (r.acceptDone || r.connsSeen >= r.expect) && r.connsLive == 0
+	r.cmu.Unlock()
+	return done && r.ring.Len() == 0
 }
 
 // Available implements the PushSource pacing contract.
-func (r *Receiver) Available(time.Time) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.pending) > 0
-}
+func (r *Receiver) Available(time.Time) bool { return r.ring.Len() > 0 }
 
 // NextEventTime implements the PushSource pacing contract. Remote arrival
 // times are not known ahead of time, so no horizon is reported.
 func (r *Receiver) NextEventTime() (time.Time, bool) { return time.Time{}, false }
 
-// Wrapup implements model.Actor: stop listening.
-func (r *Receiver) Wrapup() error { return r.ln.Close() }
+// Wrapup implements model.Actor: stop listening, release any connection
+// goroutine stalled on a full ring, and close the remaining connections.
+func (r *Receiver) Wrapup() error {
+	r.closing.Store(true)
+	err := r.ln.Close()
+	r.cmu.Lock()
+	conns := append([]*senderConn(nil), r.conns...)
+	r.cmu.Unlock()
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+	return err
+}

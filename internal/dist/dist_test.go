@@ -222,6 +222,76 @@ func TestThreeNodeChain(t *testing.T) {
 	}
 }
 
+// TestMultipleSendersOnePort pins the multi-accept fix: two upstream nodes
+// dial the same bridge receiver, which must accept both connections (the
+// old accept loop served exactly one and dropped the rest), merge their
+// streams and report exhaustion only after both senders finish.
+func TestMultipleSendersOnePort(t *testing.T) {
+	const nA, nB = 120, 80
+	recv, err := dist.Listen("merge", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.ExpectSenders(2)
+	wfC := model.NewWorkflow("nodeC")
+	sink := actors.NewCollect("sink")
+	wfC.MustAdd(recv, sink)
+	wfC.MustConnect(recv.Out(), sink.In())
+
+	mkSender := func(node string, n, base int) *model.Workflow {
+		wf := model.NewWorkflow(node)
+		src := actors.NewGenerator("src-"+node, time.Now().Add(-time.Minute), time.Millisecond, n,
+			func(i int) value.Value { return value.Int(int64(base + i)) })
+		send := dist.NewSender("out-"+node, recv.Addr())
+		wf.MustAdd(src, send)
+		wf.MustConnect(src.Out(), send.In())
+		return wf
+	}
+
+	cluster := dist.NewCluster()
+	cluster.AddNode("A", mkSender("A", nA, 0), realDirector())
+	cluster.AddNode("B", mkSender("B", nB, 10000), realDirector())
+	cluster.AddNode("C", wfC, realDirector())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cluster.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sink.Tokens) != nA+nB {
+		t.Fatalf("merged %d tokens, want %d", len(sink.Tokens), nA+nB)
+	}
+	seen := map[int64]bool{}
+	fromA, fromB := 0, 0
+	for _, tok := range sink.Tokens {
+		v := int64(tok.(value.Int))
+		if seen[v] {
+			t.Fatalf("duplicate token %d", v)
+		}
+		seen[v] = true
+		if v >= 10000 {
+			fromB++
+		} else {
+			fromA++
+		}
+	}
+	if fromA != nA || fromB != nB {
+		t.Fatalf("received %d from A and %d from B, want %d and %d", fromA, fromB, nA, nB)
+	}
+	if recv.Received() != int64(nA+nB) {
+		t.Errorf("Received() = %d, want %d", recv.Received(), nA+nB)
+	}
+	if recv.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", recv.Dropped())
+	}
+	if recv.SeqGaps() != 0 {
+		t.Errorf("SeqGaps() = %d, want 0", recv.SeqGaps())
+	}
+	if wm := recv.Watermark(); wm < 1 || wm > int64(recv.RingCap()) {
+		t.Errorf("Watermark() = %d, want within [1, %d]", wm, recv.RingCap())
+	}
+}
+
 func TestSenderDialFailure(t *testing.T) {
 	wf := model.NewWorkflow("lonely")
 	src := actors.NewGenerator("src", time.Now(), time.Millisecond, 1,

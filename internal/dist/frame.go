@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+// Bridge wire format
+//
+// Events cross a bridge in length-prefixed binary frames instead of
+// JSON-per-line: one frame carries a whole batch (everything one sender
+// firing flushed), the payload length makes truncation detectable, and the
+// binary value codec keeps the per-event encode allocation-free.
+//
+//	frame   := uvarint payloadLen | payload
+//	payload := uvarint seq | uvarint count | count × event
+//	event   := varint ts (UnixNano, zigzag)
+//	           varint wave.Root (zigzag)
+//	           uvarint wave.RootSeq
+//	           uvarint len(wave.Path) | len × varint path element
+//	           flags byte (bit0 = last-of-wave)
+//	           binary token (value.AppendBinary)
+//
+// seq is the sender's frame sequence number, starting at 0 and incremented
+// per frame. The receiver tracks the next expected seq per connection and
+// counts gaps (SeqGaps) — the hook a future replay/retransmission layer
+// needs to request missing frames.
+//
+// Backpressure is credit-based: the receiver owns a bounded ring, and the
+// sender may have at most creditWindow unacknowledged events in flight.
+// As the receiver's Fire drains events into the workflow it writes uvarint
+// drained-counts back on the same TCP connection (the reverse direction);
+// the sender's ack reader returns them to the credit pool. A full ring
+// therefore stalls the sender's Fire instead of growing an unbounded
+// buffer on the receiver — the sender's upstream then backs up through the
+// normal windowed-receiver path.
+
+const (
+	// maxFramePayload bounds a frame's declared payload so a corrupt or
+	// adversarial length prefix cannot make the receiver allocate
+	// arbitrarily (16 MiB ≫ any real batch: frames carry at most
+	// senderBatch events).
+	maxFramePayload = 16 << 20
+
+	// creditWindow is the number of unacknowledged events a sender may have
+	// in flight. It exceeds the receive ring capacity so a sender never
+	// stalls on credits while ring space is free.
+	creditWindow = 16384
+
+	// senderBatch caps the events encoded into one frame, keeping frames
+	// well under maxFramePayload and the receiver's latency per frame low.
+	senderBatch = 1024
+
+	// recvRingCap is the receive ring capacity shared by all sender
+	// connections of one Receiver.
+	recvRingCap = 8192
+
+	// ackEvery is how many drained events the receiver accumulates per
+	// connection before flushing a credit update mid-drain; any remainder
+	// flushes at the end of the draining Fire.
+	ackEvery = 1024
+)
+
+// frameEncoder builds frames into reused buffers: after the first few
+// frames, encoding touches no allocator at all.
+type frameEncoder struct {
+	seq     uint64
+	payload []byte
+	hdr     []byte
+}
+
+// appendEvent appends one event's wire encoding to buf.
+//
+//confvet:noalloc
+func appendEvent(buf []byte, ev *event.Event) []byte {
+	buf = binary.AppendVarint(buf, ev.Time.UnixNano())
+	buf = binary.AppendVarint(buf, ev.Wave.Root)
+	buf = binary.AppendUvarint(buf, ev.Wave.RootSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(ev.Wave.Path)))
+	for _, p := range ev.Wave.Path {
+		buf = binary.AppendVarint(buf, int64(p))
+	}
+	var flags byte
+	if ev.Wave.Last {
+		flags = 1
+	}
+	buf = append(buf, flags) //confvet:ignore append into the caller's reused buffer, amortized to zero growth
+	return value.AppendBinary(buf, ev.Token)
+}
+
+// encode builds the frame for a batch of events into the encoder's reused
+// buffers and returns the two spans to write: the header (length prefix)
+// and the payload. The returned slices are valid until the next encode.
+func (e *frameEncoder) encode(events []*event.Event) (hdr, payload []byte) {
+	p := e.payload[:0]
+	p = binary.AppendUvarint(p, e.seq)
+	p = binary.AppendUvarint(p, uint64(len(events)))
+	for _, ev := range events {
+		p = appendEvent(p, ev)
+	}
+	e.payload = p
+	e.seq++
+	e.hdr = binary.AppendUvarint(e.hdr[:0], uint64(len(p)))
+	return e.hdr, e.payload
+}
+
+// frameReader reads frames off a connection into a reused payload buffer.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// next reads one frame and returns its sequence number, event count and the
+// event bytes (valid until the next call). io.EOF signals a clean
+// end-of-stream (connection closed between frames); any other error is a
+// protocol violation or transport failure.
+func (fr *frameReader) next() (seq uint64, count int, body []byte, err error) {
+	plen, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, fmt.Errorf("dist: frame header: %w", err)
+	}
+	if plen > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("dist: frame payload %d exceeds limit %d", plen, maxFramePayload)
+	}
+	if uint64(cap(fr.buf)) < plen {
+		fr.buf = make([]byte, plen)
+	}
+	buf := fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return 0, 0, nil, fmt.Errorf("dist: frame body: %w", err)
+	}
+	seq, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("dist: bad frame seq")
+	}
+	buf = buf[n:]
+	cnt, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("dist: bad frame count")
+	}
+	buf = buf[n:]
+	if cnt > uint64(len(buf)) {
+		// Every event needs at least one byte; an impossible count means a
+		// corrupt frame.
+		return 0, 0, nil, fmt.Errorf("dist: frame count %d exceeds payload", cnt)
+	}
+	return seq, int(cnt), buf, nil
+}
+
+// decodeWireEvent decodes one event from the front of b, returning the
+// event and the bytes consumed.
+func decodeWireEvent(b []byte) (*event.Event, int, error) {
+	ts, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dist: bad event timestamp")
+	}
+	used := n
+	root, n := binary.Varint(b[used:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dist: bad wave root")
+	}
+	used += n
+	rootSeq, n := binary.Uvarint(b[used:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dist: bad wave rootSeq")
+	}
+	used += n
+	plen, n := binary.Uvarint(b[used:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dist: bad wave path length")
+	}
+	used += n
+	if plen > uint64(len(b)-used) {
+		return nil, 0, fmt.Errorf("dist: wave path length %d exceeds payload", plen)
+	}
+	var path []int
+	if plen > 0 {
+		path = make([]int, plen)
+		for i := range path {
+			p, n := binary.Varint(b[used:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("dist: bad wave path element")
+			}
+			path[i] = int(p)
+			used += n
+		}
+	}
+	if used >= len(b) {
+		return nil, 0, fmt.Errorf("dist: truncated event flags")
+	}
+	flags := b[used]
+	used++
+	tok, n, err := value.DecodeBinary(b[used:])
+	if err != nil {
+		return nil, 0, err
+	}
+	used += n
+	return &event.Event{
+		Token: tok,
+		Time:  time.Unix(0, ts).UTC(),
+		Wave: event.WaveTag{
+			Root:    root,
+			RootSeq: rootSeq,
+			Path:    path,
+			Last:    flags&1 != 0,
+		},
+	}, used, nil
+}

@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+func sampleEvents() []*event.Event {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 678900000, time.UTC)
+	return []*event.Event{
+		{
+			Token: value.Int(-42),
+			Time:  base,
+			Wave:  event.WaveTag{Root: base.UnixNano(), RootSeq: 1},
+		},
+		{
+			Token: value.NewRecord("carID", value.Int(7), "speed", value.Float(53.5),
+				"tag", value.Str("x\x00y"), "ok", value.Bool(true)),
+			Time: base.Add(time.Millisecond),
+			Wave: event.WaveTag{Root: base.UnixNano(), RootSeq: 2, Path: []int{3, 1}, Last: true},
+		},
+		{
+			Token: value.List{value.Nil{}, value.Int(1), value.List{value.Str("deep")}},
+			Time:  base.Add(-time.Hour),
+			Wave:  event.WaveTag{Root: -5, RootSeq: 0, Path: []int{1}},
+		},
+	}
+}
+
+// TestFrameRoundTrip pins the wire format end to end: a batch encoded by
+// the sender-side frameEncoder and read back through a frameReader must
+// reproduce every event exactly — timestamp, full wave identity, token —
+// and carry consecutive sequence numbers.
+func TestFrameRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var enc frameEncoder
+	var wire bytes.Buffer
+	for i := 0; i < 3; i++ { // three frames: seq must advance 0,1,2
+		hdr, payload := enc.encode(evs)
+		wire.Write(hdr)
+		wire.Write(payload)
+	}
+
+	fr := newFrameReader(&wire)
+	for fi := 0; fi < 3; fi++ {
+		seq, count, body, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", fi, err)
+		}
+		if seq != uint64(fi) {
+			t.Errorf("frame %d: seq = %d", fi, seq)
+		}
+		if count != len(evs) {
+			t.Fatalf("frame %d: count = %d, want %d", fi, count, len(evs))
+		}
+		for i, want := range evs {
+			got, n, err := decodeWireEvent(body)
+			if err != nil {
+				t.Fatalf("frame %d event %d: %v", fi, i, err)
+			}
+			body = body[n:]
+			if !got.Time.Equal(want.Time) {
+				t.Errorf("event %d time %v, want %v", i, got.Time, want.Time)
+			}
+			if got.Wave.Root != want.Wave.Root || got.Wave.RootSeq != want.Wave.RootSeq ||
+				got.Wave.Last != want.Wave.Last || len(got.Wave.Path) != len(want.Wave.Path) {
+				t.Errorf("event %d wave %+v, want %+v", i, got.Wave, want.Wave)
+			}
+			for j := range want.Wave.Path {
+				if got.Wave.Path[j] != want.Wave.Path[j] {
+					t.Errorf("event %d path %v, want %v", i, got.Wave.Path, want.Wave.Path)
+					break
+				}
+			}
+			if !got.Token.Equal(want.Token) {
+				t.Errorf("event %d token %v, want %v", i, got.Token, want.Token)
+			}
+		}
+		if len(body) != 0 {
+			t.Errorf("frame %d: %d trailing bytes", fi, len(body))
+		}
+	}
+	if _, _, _, err := fr.next(); err == nil {
+		t.Error("read past final frame succeeded")
+	}
+}
+
+// TestFrameTruncation feeds every proper prefix of a valid frame to the
+// reader: all must fail cleanly (no panic, no success), the detectability
+// property the length prefix buys over the old line format.
+func TestFrameTruncation(t *testing.T) {
+	var enc frameEncoder
+	hdr, payload := enc.encode(sampleEvents())
+	wire := append(append([]byte{}, hdr...), payload...)
+	for cut := 0; cut < len(wire); cut++ {
+		fr := newFrameReader(bytes.NewReader(wire[:cut]))
+		seq, count, body, err := fr.next()
+		if err == nil {
+			// The header may parse; every event must not.
+			ok := true
+			for i := 0; i < count && ok; i++ {
+				var n int
+				if _, n, err = decodeWireEvent(body); err != nil {
+					ok = false
+				} else {
+					body = body[n:]
+				}
+			}
+			if ok {
+				t.Fatalf("truncation at %d/%d decoded successfully (seq %d)", cut, len(wire), seq)
+			}
+		}
+	}
+}
+
+// TestFrameCorruption covers the adversarial-input guards: oversized
+// declared payloads, impossible event counts, and garbage bytes must all
+// error without allocating unboundedly or panicking.
+func TestFrameCorruption(t *testing.T) {
+	huge := binary.AppendUvarint(nil, maxFramePayload+1)
+	if _, _, _, err := newFrameReader(bytes.NewReader(huge)).next(); err == nil {
+		t.Error("oversized payload length accepted")
+	}
+
+	// payload declaring 1000 events but holding none.
+	var p []byte
+	p = binary.AppendUvarint(p, 0)    // seq
+	p = binary.AppendUvarint(p, 1000) // count
+	frame := append(binary.AppendUvarint(nil, uint64(len(p))), p...)
+	if _, _, _, err := newFrameReader(bytes.NewReader(frame)).next(); err == nil {
+		t.Error("impossible event count accepted")
+	}
+
+	for _, garbage := range [][]byte{
+		{0xff}, // unknown value tag reached via event decode
+		{0x01, 0x00},
+		bytes.Repeat([]byte{0xee}, 64),
+	} {
+		if ev, _, err := decodeWireEvent(garbage); err == nil {
+			t.Errorf("garbage %x decoded to %v", garbage, ev)
+		}
+	}
+}
+
+// FuzzDecodeWireEvent throws arbitrary bytes at the event decoder: it must
+// never panic, and whatever it does accept must re-encode to the bytes it
+// consumed (a canonical-form round trip).
+func FuzzDecodeWireEvent(f *testing.F) {
+	for _, ev := range sampleEvents() {
+		f.Add(appendEvent(nil, ev))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x80}, 20)) // varint continuation bombs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, n, err := decodeWireEvent(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		back, m, err := decodeWireEvent(appendEvent(nil, ev))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		_ = m
+		if !back.Time.Equal(ev.Time) || !back.Token.Equal(ev.Token) {
+			t.Fatalf("re-encode changed event: %v -> %v", ev, back)
+		}
+	})
+}

@@ -117,6 +117,62 @@ func ShedStatsOf(wf *model.Workflow) []ShedStats {
 	return out
 }
 
+// BridgeStats reports one bridge receiver's ring counters: how many events
+// crossed, how many were discarded at shutdown, the peak ring occupancy
+// (the bridge's bottleneck watermark) and the wire-level error counts.
+type BridgeStats struct {
+	Actor        string `json:"actor"`
+	Received     int64  `json:"received"`
+	Dropped      int64  `json:"dropped"`
+	Watermark    int64  `json:"watermark"`
+	RingCapacity int    `json:"ring_capacity,omitempty"`
+	DecodeErrors int64  `json:"decode_errors"`
+	SeqGaps      int64  `json:"seq_gaps"`
+}
+
+// bridgeReporter is the counter surface a bridge receiver exposes;
+// dist.Receiver implements it (declared locally to avoid importing the
+// dist package here).
+type bridgeReporter interface {
+	Received() int64
+	Dropped() int64
+	Watermark() int64
+	DecodeErrors() int64
+	SeqGaps() int64
+}
+
+// ringSized is optionally implemented alongside bridgeReporter to put the
+// watermark in context.
+type ringSized interface{ RingCap() int }
+
+// BridgeStatsOf scans a workflow for bridge receivers and returns their
+// counters, for the /workflows view.
+func BridgeStatsOf(wf *model.Workflow) []BridgeStats {
+	if wf == nil {
+		return nil
+	}
+	var out []BridgeStats
+	for _, a := range wf.Actors() {
+		b, ok := a.(bridgeReporter)
+		if !ok {
+			continue
+		}
+		st := BridgeStats{
+			Actor:        a.Name(),
+			Received:     b.Received(),
+			Dropped:      b.Dropped(),
+			Watermark:    b.Watermark(),
+			DecodeErrors: b.DecodeErrors(),
+			SeqGaps:      b.SeqGaps(),
+		}
+		if rs, ok := a.(ringSized); ok {
+			st.RingCapacity = rs.RingCap()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // ResponseCollector accumulates response-time samples for one output actor.
 // It is safe for concurrent use (the PNCWF engine records from actor
 // threads).

@@ -163,10 +163,11 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // workflowView is the /workflows JSON shape.
 type workflowView struct {
-	Name     string              `json:"name"`
-	Director string              `json:"director,omitempty"`
-	Actors   []actorView         `json:"actors"`
-	Shed     []metrics.ShedStats `json:"shed,omitempty"`
+	Name     string                `json:"name"`
+	Director string                `json:"director,omitempty"`
+	Actors   []actorView           `json:"actors"`
+	Shed     []metrics.ShedStats   `json:"shed,omitempty"`
+	Bridges  []metrics.BridgeStats `json:"bridges,omitempty"`
 }
 
 type actorView struct {
@@ -203,6 +204,7 @@ func (e *Engine) handleWorkflows(w http.ResponseWriter, _ *http.Request) {
 		}
 		if wa.wf != nil {
 			v.Shed = metrics.ShedStatsOf(wa.wf)
+			v.Bridges = metrics.BridgeStatsOf(wa.wf)
 		}
 		if wa.stats != nil {
 			for _, na := range wa.stats.SnapshotSorted() {

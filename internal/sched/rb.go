@@ -86,6 +86,30 @@ func (s *RB) Enqueue(item stafilos.ReadyItem) {
 	s.reevaluate(e)
 }
 
+// EnqueueBatch implements stafilos.BatchEnqueuer: one policy-lock and one
+// buffer-lock acquisition per receiver drain, with the state re-evaluated
+// once per actor run (the state depends only on the final buffer content).
+func (s *RB) EnqueueBatch(items []stafilos.ReadyItem) {
+	if len(items) == 0 {
+		return
+	}
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	for i := 0; i < len(items); {
+		j := i + 1
+		for j < len(items) && items[j].Actor == items[i].Actor {
+			j++
+		}
+		e := s.Entry(items[i].Actor)
+		if e == nil {
+			e = s.registerLocked(items[i].Actor, false)
+		}
+		e.BufferBatch(items[i:j])
+		s.reevaluate(e)
+		i = j
+	}
+}
+
 // reevaluate applies the RB column of Table 2. Called with the policy lock
 // held.
 func (s *RB) reevaluate(e *stafilos.Entry) {

@@ -103,6 +103,18 @@ type ConcurrentScheduler interface {
 	Claim() *Entry
 }
 
+// BatchEnqueuer is an optional Scheduler extension: a policy that
+// implements it accepts a whole receiver drain in one call, paying the
+// policy lock and the actor-state re-evaluation once per batch instead of
+// once per window. A batch delivered by a receiver always targets a single
+// actor (the port's owner), but implementations tolerate mixed batches by
+// grouping consecutive same-actor runs. The callee must not retain the
+// slice — receivers reuse the backing array for the next drain. Every
+// policy in internal/sched implements it.
+type BatchEnqueuer interface {
+	EnqueueBatch(items []ReadyItem)
+}
+
 // Synchronize adapts a plain single-threaded Scheduler to the concurrent
 // contract with one wrapping lock and a conservative claim that does not
 // look past a busy policy head. The five shipped policies implement
@@ -139,6 +151,16 @@ func (w *syncedScheduler) Enqueue(item ReadyItem) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.s.Enqueue(item)
+}
+
+// EnqueueBatch delivers a receiver drain under one adapter-lock
+// acquisition; the wrapped policy still sees per-item Enqueue calls.
+func (w *syncedScheduler) EnqueueBatch(items []ReadyItem) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, it := range items {
+		w.s.Enqueue(it)
+	}
 }
 
 func (w *syncedScheduler) NextActor() *Entry {
@@ -228,6 +250,10 @@ type Base struct {
 	InternalSinceSource int
 
 	seq uint64
+
+	// claimScratch is ClaimRunnable's reusable parked-entry buffer; it is
+	// only touched with Mu held.
+	claimScratch []*Entry
 }
 
 // NewBase builds the abstract-scheduler state with the given comparator for
@@ -338,7 +364,7 @@ func (b *Base) Queues() (active, waiting *EntryQueue) { return b.ActiveQ, b.Wait
 // preserved. Must be called with Mu held.
 func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
 	o := b.Observer()
-	var parked []*Entry
+	parked := b.claimScratch[:0]
 	var claimed *Entry
 	for {
 		e := next()
@@ -363,6 +389,7 @@ func (b *Base) ClaimRunnable(next func() *Entry) *Entry {
 	for _, p := range parked {
 		b.ActiveQ.Push(p)
 	}
+	b.claimScratch = parked[:0]
 	if claimed != nil {
 		o.PickObserved(claimed.Actor.Name())
 	}

@@ -56,13 +56,14 @@ type Director struct {
 	obs   *obs.Engine
 	env   *Env
 
-	wf        *model.Workflow
-	receivers []*TMReceiver
-	ctxs      map[string]*model.FireContext
-	entries   map[string]*stats.Entry
-	scratch   []*event.Event
-	setup     bool
-	stopped   bool
+	wf         *model.Workflow
+	receivers  []*TMReceiver
+	recvByPort map[*model.Port]*TMReceiver
+	ctxs       map[string]*model.FireContext
+	entries    map[string]*stats.Entry
+	scratch    []*event.Event
+	setup      bool
+	stopped    bool
 }
 
 // NewDirector builds an SCWF director running the given scheduling policy.
@@ -127,10 +128,19 @@ func (d *Director) Setup(wf *model.Workflow) error {
 		return err
 	}
 
+	be, hasBatch := d.sched.(BatchEnqueuer)
+	d.recvByPort = make(map[*model.Port]*TMReceiver, len(wf.InputPorts()))
 	for _, p := range wf.InputPorts() {
 		r := NewTMReceiver(p, d.clk, d.stats, d.sched.Enqueue)
+		if hasBatch {
+			r.SetBatchEnqueue(be.EnqueueBatch)
+		}
+		// The sequential director runs everything on one goroutine, so
+		// every windowed ring is single-writer.
+		r.MarkSingleWriter()
 		p.SetReceiver(r)
 		d.receivers = append(d.receivers, r)
+		d.recvByPort[p] = r
 	}
 
 	sources := map[string]bool{}
@@ -222,6 +232,13 @@ func (d *Director) fireEntry(e *Entry) (bool, error) {
 			qw = fireAt.Sub(item.Enqueued)
 		}
 		d.obs.FiringObserved(a.Name(), trigger, emissions, fireAt, cost, qw, item.Win.Len())
+	}
+	// Recycle point: the consumed window is dead — emissions delivered,
+	// trace recorded, nothing downstream retains it. The shell returns to
+	// the receiver's free-list (the sequential director pools no events, so
+	// the event itself is left to the GC).
+	if r, ok := d.recvByPort[item.Port]; ok {
+		r.Recycle(item.Win)
 	}
 	if ctx.Stopped() {
 		d.stopped = true

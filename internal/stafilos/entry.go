@@ -140,7 +140,17 @@ func (e *Entry) HasEvents() bool {
 func (e *Entry) Push(item ReadyItem) {
 	e.qmu.Lock()
 	defer e.qmu.Unlock()
-	heap.Push(&e.queue, item)
+	e.queue.push(item)
+}
+
+// PushBatch adds a whole receiver drain to the sorted event queue under one
+// queue-lock acquisition.
+func (e *Entry) PushBatch(items []ReadyItem) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	for _, it := range items {
+		e.queue.push(it)
+	}
 }
 
 // Pop removes and returns the oldest ready item.
@@ -150,7 +160,19 @@ func (e *Entry) Pop() (ReadyItem, bool) {
 	if len(e.queue) == 0 {
 		return ReadyItem{}, false
 	}
-	return heap.Pop(&e.queue).(ReadyItem), true
+	return e.queue.pop(), true
+}
+
+// PopBatch moves up to max ready items (oldest first) into buf under one
+// queue-lock acquisition; the parallel director fires them as one claimed
+// batch so claim/broadcast/policy overhead is paid once per batch.
+func (e *Entry) PopBatch(buf []ReadyItem, max int) []ReadyItem {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	for len(buf) < max && len(e.queue) > 0 {
+		buf = append(buf, e.queue.pop())
+	}
+	return buf
 }
 
 // Peek returns the oldest ready item without removing it.
@@ -170,37 +192,83 @@ func (e *Entry) Buffer(item ReadyItem) {
 	e.buffer = append(e.buffer, item)
 }
 
+// BufferBatch parks a whole receiver drain for the next period under one
+// queue-lock acquisition.
+func (e *Entry) BufferBatch(items []ReadyItem) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.buffer = append(e.buffer, items...)
+}
+
 // ReleaseBuffer moves every buffered item into the ready queue and returns
 // how many moved.
 func (e *Entry) ReleaseBuffer() int {
 	e.qmu.Lock()
 	defer e.qmu.Unlock()
 	n := len(e.buffer)
-	for _, it := range e.buffer {
-		heap.Push(&e.queue, it)
+	for i, it := range e.buffer {
+		e.queue.push(it)
+		e.buffer[i] = ReadyItem{}
 	}
 	e.buffer = e.buffer[:0]
 	return n
 }
 
 // itemHeap orders ready items by window timestamp, breaking ties by
-// enqueue sequence ("queues of events sorted by timestamp").
+// enqueue sequence ("queues of events sorted by timestamp"). It is a
+// hand-rolled binary heap rather than a container/heap adapter: the
+// interface-based heap boxes every ReadyItem pushed or popped into an
+// `any`, which costs a heap allocation per event on the delivery path.
 type itemHeap []ReadyItem
 
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
+func (h itemHeap) less(i, j int) bool {
 	if !h[i].Win.Time.Equal(h[j].Win.Time) {
 		return h[i].Win.Time.Before(h[j].Win.Time)
 	}
 	return h[i].seq < h[j].seq
 }
-func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x any)   { *h = append(*h, x.(ReadyItem)) }
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+//confvet:hotpath
+func (h *itemHeap) push(it ReadyItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+//confvet:hotpath
+func (h *itemHeap) pop() ReadyItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	it := s[n]
+	s[n] = ReadyItem{}
+	s = s[:n]
+	*h = s
+	// Sift the swapped-up element back down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return it
 }
 

@@ -54,8 +54,16 @@ type ParallelDirector struct {
 
 	wf        *model.Workflow
 	receivers []*TMReceiver
-	entries   map[string]*stats.Entry
-	setup     bool
+	// recvByPort resolves a fired item's port to its receiver for the
+	// post-broadcast recycle call (read-only after Setup).
+	recvByPort map[*model.Port]*TMReceiver
+	entries    map[string]*stats.Entry
+	setup      bool
+
+	// evpool is the director-wide CWEvent free-list behind the zero-alloc
+	// firing loop: pooled timekeepers draw from it and consumed passthrough
+	// windows release into it at the recycle point.
+	evpool *event.Pool
 
 	// pool recycles per-firing contexts (timekeeper, staged windows,
 	// emission buffer) and broadcast scratch buffers across workers.
@@ -91,10 +99,24 @@ type ParallelDirector struct {
 	lastMaint uint64
 }
 
+// scwfEventPoolCap bounds the director-wide event free-list; sized like the
+// PNCWF pool so a full pipeline of in-flight batches recycles without
+// falling back to allocation.
+const scwfEventPoolCap = 8192
+
+// fireClaimBatch caps how many ready items one claim fires back-to-back.
+// Firing a backlog as one batch pays the claim, policy report, broadcast
+// and wake once per batch instead of once per window — the dominant cost
+// for cheap actors — while staying small enough that the policy reorders
+// across actors at a fine grain.
+const fireClaimBatch = 16
+
 // firingScratch is the pooled per-firing workspace.
 type firingScratch struct {
 	ctx     *model.FireContext
 	scratch []*event.Event
+	items   []ReadyItem
+	emitted []model.Emission
 }
 
 // NewParallelDirector builds a parallel SCWF director with the given worker
@@ -123,8 +145,11 @@ func NewParallelDirector(sched Scheduler, opts Options, workers int) *ParallelDi
 		},
 	}
 	d.wake = ring.NewWaiter()
+	d.evpool = event.NewPool(scwfEventPoolCap)
 	d.pool.New = func() any {
-		return &firingScratch{ctx: model.NewFireContext(d.clk, event.NewTimekeeper())}
+		tk := event.NewTimekeeper()
+		tk.SetPool(d.evpool)
+		return &firingScratch{ctx: model.NewFireContext(d.clk, tk)}
 	}
 	return d
 }
@@ -175,10 +200,23 @@ func (d *ParallelDirector) Setup(wf *model.Workflow) error {
 	if err := d.sched.Init(d.env); err != nil {
 		return err
 	}
+	be, hasBatch := d.sched.(BatchEnqueuer)
+	d.recvByPort = make(map[*model.Port]*TMReceiver, len(wf.InputPorts()))
 	for _, p := range wf.InputPorts() {
 		r := NewTMReceiver(p, d.clk, d.stats, d.sched.Enqueue)
+		r.SetPool(d.evpool)
+		if hasBatch {
+			r.SetBatchEnqueue(be.EnqueueBatch)
+		}
+		if len(p.Sources()) <= 1 {
+			// One upstream writer port: its actor's firing flag serializes
+			// producers, and EndFire→TryFire orders their ring accesses, so
+			// the SPSC ring is safe even across workers.
+			r.MarkSingleWriter()
+		}
 		p.SetReceiver(r)
 		d.receivers = append(d.receivers, r)
+		d.recvByPort[p] = r
 	}
 	sources := map[string]bool{}
 	for _, s := range wf.Sources() {
@@ -311,36 +349,47 @@ func (d *ParallelDirector) maintainAndClaim() *Entry {
 	return d.claim()
 }
 
-// fire runs one claimed firing on the calling worker: stage the input
-// window, drive the prefire/fire/postfire lifecycle, broadcast the
-// emissions (receivers enqueue follow-up work at the scheduler), record
-// statistics, report the firing to the policy, and only then release the
-// actor's firing claim.
+// fire runs one claimed slot on the calling worker. Sources fire once;
+// internal actors fire their ready backlog as one batch (up to
+// fireClaimBatch items), paying the claim, the policy report, the
+// broadcast pass and the wake once per batch — the batched analogue of
+// the PNCWF firing loop, extended to the scheduled executor.
 func (d *ParallelDirector) fire(e *Entry) {
 	defer d.inFlight.Add(-1)
-	a := e.Actor
 
 	if e.Source {
-		if ps, ok := a.(PushSource); ok && !ps.Available(d.clk.Now()) {
-			// Nothing to ingest yet: count the slot so the policy moves on,
-			// but do no work. No wakeup — the coordinator's tick retries
-			// paced sources.
-			d.sched.ActorFired(e, 0, 0)
-			e.EndFire()
-			return
-		}
+		d.fireSource(e)
+		return
 	}
-	var item ReadyItem
-	hasItem := false
-	if !e.Source {
-		it, ok := e.Pop()
-		if !ok {
-			// Stale ACTIVE state; let the policy fix it.
-			d.sched.ActorFired(e, 0, 0)
-			e.EndFire()
-			return
-		}
-		item, hasItem = it, true
+
+	fs := d.pool.Get().(*firingScratch)
+	max := fireClaimBatch
+	if d.obs != nil {
+		// Observability wants per-firing spans, costs and queue waits;
+		// batch of one keeps them exact.
+		max = 1
+	}
+	fs.items = e.PopBatch(fs.items[:0], max)
+	if len(fs.items) == 0 {
+		// Stale ACTIVE state; let the policy fix it.
+		d.sched.ActorFired(e, 0, 0)
+		e.EndFire()
+		d.pool.Put(fs)
+		return
+	}
+	d.fireBatch(e, fs)
+}
+
+// fireSource runs one source firing (sources have no ready queue to batch).
+func (d *ParallelDirector) fireSource(e *Entry) {
+	a := e.Actor
+	if ps, ok := a.(PushSource); ok && !ps.Available(d.clk.Now()) {
+		// Nothing to ingest yet: count the slot so the policy moves on,
+		// but do no work. No wakeup — the coordinator's tick retries
+		// paced sources.
+		d.sched.ActorFired(e, 0, 0)
+		e.EndFire()
+		return
 	}
 
 	fs := d.pool.Get().(*firingScratch)
@@ -348,32 +397,10 @@ func (d *ParallelDirector) fire(e *Entry) {
 	ctx.Reset()
 	d.executing.Inc()
 
-	consumed := 0
-	var trigger *event.Event
-	if hasItem {
-		if n := item.Win.Len(); n > 0 {
-			trigger = item.Win.Events[n-1]
-		}
-		ctx.BeginFiring(trigger)
-		ctx.Stage(item.Port, item.Win)
-		consumed = item.Win.Len()
-	} else {
-		ctx.BeginFiring(nil)
-	}
-
+	ctx.BeginFiring(nil)
 	fireAt := d.clk.Now()
 	start := time.Now()
-	var fireErr error
-	ready, err := a.Prefire(ctx)
-	if err != nil {
-		fireErr = fmt.Errorf("stafilos: prefire %s: %w", a.Name(), err)
-	} else if ready {
-		if err := a.Fire(ctx); err != nil {
-			fireErr = fmt.Errorf("stafilos: fire %s: %w", a.Name(), err)
-		} else if _, err := a.Postfire(ctx); err != nil {
-			fireErr = fmt.Errorf("stafilos: postfire %s: %w", a.Name(), err)
-		}
-	}
+	fireErr := d.lifecycle(a, ctx)
 	emissions := ctx.EndFiring()
 	cost := time.Since(start)
 
@@ -381,17 +408,13 @@ func (d *ParallelDirector) fire(e *Entry) {
 	// the moment the broadcast lands, and a wave's spans must stay in actor-
 	// path order.
 	if d.obs != nil {
-		var qw time.Duration
-		if hasItem && !item.Enqueued.IsZero() {
-			qw = fireAt.Sub(item.Enqueued)
-		}
-		d.obs.FiringObserved(a.Name(), trigger, emissions, fireAt, cost, qw, consumed)
+		d.obs.FiringObserved(a.Name(), nil, emissions, fireAt, cost, 0, 0)
 	}
 	// Deliver before reporting the firing: once ActorFired runs and the
 	// claim is released, the policy may schedule downstream work, which must
 	// already see these events.
 	fs.scratch = model.BroadcastEmissions(emissions, fs.scratch)
-	d.entries[a.Name()].RecordFiring(cost, consumed, len(emissions), d.clk.Now())
+	d.entries[a.Name()].RecordFiring(cost, 0, len(emissions), d.clk.Now())
 	d.sched.ActorFired(e, cost, len(emissions))
 	if ctx.Stopped() {
 		d.stopped.Store(true)
@@ -405,6 +428,98 @@ func (d *ParallelDirector) fire(e *Entry) {
 		return
 	}
 	d.kick()
+}
+
+// fireBatch drives the popped items through the prefire/fire/postfire
+// lifecycle back-to-back on one context, copying each firing's emissions
+// (EndFiring's slice is only valid until the next BeginFiring), then
+// broadcasts the whole batch, records the firings, reports once to the
+// policy, and recycles the consumed passthrough windows — the recycle
+// point of the event ownership protocol, after broadcast and trace.
+func (d *ParallelDirector) fireBatch(e *Entry, fs *firingScratch) {
+	a := e.Actor
+	ctx := fs.ctx
+	ctx.Reset()
+	d.executing.Inc()
+
+	fireAt := d.clk.Now()
+	start := time.Now()
+	var fireErr error
+	fs.emitted = fs.emitted[:0]
+	fired, consumed := 0, 0
+	for i := range fs.items {
+		item := &fs.items[i]
+		var trigger *event.Event
+		if n := item.Win.Len(); n > 0 {
+			trigger = item.Win.Events[n-1]
+		}
+		ctx.BeginFiring(trigger)
+		ctx.Stage(item.Port, item.Win)
+		emStart := len(fs.emitted)
+		fireErr = d.lifecycle(a, ctx)
+		fs.emitted = append(fs.emitted, ctx.EndFiring()...)
+		fired++
+		consumed += item.Win.Len()
+		if d.obs != nil {
+			// Batch size is 1 under observability, so the batch cost is the
+			// firing cost and span order is preserved.
+			var qw time.Duration
+			if !item.Enqueued.IsZero() {
+				qw = fireAt.Sub(item.Enqueued)
+			}
+			d.obs.FiringObserved(a.Name(), trigger, fs.emitted[emStart:], fireAt, time.Since(start), qw, item.Win.Len())
+		}
+		if fireErr != nil || ctx.Stopped() {
+			break
+		}
+	}
+	cost := time.Since(start)
+
+	// Deliver before reporting: once ActorFired runs and the claim is
+	// released, the policy may schedule downstream work, which must already
+	// see these events.
+	fs.scratch = model.BroadcastEmissions(fs.emitted, fs.scratch)
+	d.entries[a.Name()].RecordFirings(fired, cost, consumed, len(fs.emitted), d.clk.Now())
+	d.sched.ActorFired(e, cost, len(fs.emitted))
+	// Consumed inputs are dead past this point: trace recorded, emissions
+	// broadcast, windows never handed to anything that may retain them.
+	for i := range fs.items {
+		item := &fs.items[i]
+		if r, ok := d.recvByPort[item.Port]; ok {
+			r.Recycle(item.Win)
+		}
+		fs.items[i] = ReadyItem{}
+	}
+	if ctx.Stopped() {
+		d.stopped.Store(true)
+	}
+	d.executing.Dec()
+	e.EndFire()
+	d.pool.Put(fs)
+
+	if fireErr != nil {
+		d.fail(fireErr)
+		return
+	}
+	d.kick()
+}
+
+// lifecycle drives one prefire/fire/postfire cycle.
+func (d *ParallelDirector) lifecycle(a model.Actor, ctx *model.FireContext) error {
+	ready, err := a.Prefire(ctx)
+	if err != nil {
+		return fmt.Errorf("stafilos: prefire %s: %w", a.Name(), err)
+	}
+	if !ready {
+		return nil
+	}
+	if err := a.Fire(ctx); err != nil {
+		return fmt.Errorf("stafilos: fire %s: %w", a.Name(), err)
+	}
+	if _, err := a.Postfire(ctx); err != nil {
+		return fmt.Errorf("stafilos: postfire %s: %w", a.Name(), err)
+	}
+	return nil
 }
 
 // coordinate is the light housekeeping goroutine: it fires due window
@@ -460,25 +575,32 @@ func (d *ParallelDirector) halted() bool {
 // drained reports whether execution is complete: every source exhausted,
 // no queued or buffered events, no firing in flight that could still
 // produce events, and no pending window-timeout deadline that could still
-// release one. inFlight is read before the work probes: claims increment
-// it before consulting the scheduler, so a zero here with empty queues
-// cannot hide an in-progress firing.
+// release one. Probe order carries the proof:
+//
+//   - inFlight first: claims increment it before consulting the scheduler,
+//     so a zero here with empty queues cannot hide an in-progress firing.
+//   - Receivers before the scheduler: a drain (including the coordinator's
+//     OnTime) enqueues at the scheduler and republishes its deadline before
+//     clearing the draining flag, so once a receiver probes idle with no
+//     deadline, everything it ever delivered is visible to the HasWork
+//     check that follows — a timeout firing between the two probes can no
+//     longer strand work behind a stale reading.
 func (d *ParallelDirector) drained() bool {
 	if d.inFlight.Load() != 0 {
 		return false
 	}
-	if d.sched.HasWork() {
-		return false
-	}
-	if !d.sourcesExhausted() {
-		return false
-	}
 	for _, r := range d.receivers {
+		if r.Pending() {
+			return false
+		}
 		if _, ok := r.NextDeadline(); ok {
 			return false
 		}
 	}
-	return true
+	if d.sched.HasWork() {
+		return false
+	}
+	return d.sourcesExhausted()
 }
 
 // HasPendingWork reports whether the run can still make progress: the

@@ -2,6 +2,7 @@ package stafilos_test
 
 import (
 	"context"
+	"math/rand"
 	"sort"
 	"testing"
 	"time"
@@ -124,6 +125,94 @@ func TestSequentialParallelEquivalence(t *testing.T) {
 				if par[i] != seq[i] {
 					t.Fatalf("parallel %s token[%d] = %d, sequential = %d",
 						p.name, i, par[i], seq[i])
+				}
+			}
+		})
+	}
+}
+
+// buildWindowedDiamond is buildDiamond with real (non-passthrough) tuple
+// windows on both branches, so the ring ingestion + consumer-owned operator
+// path — not just the passthrough shell path — carries every event. Each
+// branch emits one token per windowed event, so the expected sink multiset
+// is identical to the passthrough diamond's.
+func buildWindowedDiamond(n, winSize int) (*model.Workflow, *actors.Collect) {
+	wf := model.NewWorkflow("windowed-diamond")
+	src := actors.NewGenerator("src", time.Now().Add(-time.Minute), time.Millisecond, n,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	branch := func(name string, f func(int64) int64) *actors.Func {
+		return actors.NewFunc(name, window.Continuous(winSize),
+			func(_ *model.FireContext, w *window.Window, emit func(value.Value)) error {
+				for _, tok := range w.Tokens() {
+					emit(value.Int(f(int64(tok.(value.Int)))))
+				}
+				return nil
+			})
+	}
+	left := branch("left", func(v int64) int64 { return 2 * v })
+	right := branch("right", func(v int64) int64 { return 2*v + 1 })
+	sink := actors.NewCollect("sink")
+	wf.MustAdd(src, left, right, sink)
+	wf.MustConnect(src.Out(), left.In())
+	wf.MustConnect(src.Out(), right.In())
+	wf.MustConnect(left.Out(), sink.In())
+	wf.MustConnect(right.Out(), sink.In())
+	return wf, sink
+}
+
+// TestSequentialParallelEquivalenceWindowed is the windowed counterpart of
+// TestSequentialParallelEquivalence: for every scheduling policy, a
+// randomly sized tumbling window (logged seed) on both diamond branches
+// must deliver the same token multiset under the sequential director and
+// the 4-worker parallel director — the ring-vs-mutex equivalence pin for
+// the windowed TMReceiver path across all five policies.
+func TestSequentialParallelEquivalenceWindowed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %d", seed)
+
+	for _, p := range policies {
+		t.Run(p.name, func(t *testing.T) {
+			sizes := []int{2, 4, 5, 8}
+			winSize := sizes[rng.Intn(len(sizes))]
+			n := winSize * (40 + rng.Intn(40)) // full windows only: no timeout tail
+			want := make([]int64, 0, 2*n)
+			for i := int64(0); i < int64(n); i++ {
+				want = append(want, 2*i, 2*i+1)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+			run := func(d model.Director, wf *model.Workflow, sink *actors.Collect) []int64 {
+				if err := d.Setup(wf); err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				if err := d.Run(ctx); err != nil {
+					t.Fatal(err)
+				}
+				return sortedInts(t, sink.Tokens)
+			}
+
+			wfSeq, sinkSeq := buildWindowedDiamond(n, winSize)
+			seq := run(stafilos.NewDirector(p.mk(), stafilos.Options{SourceInterval: 5}),
+				wfSeq, sinkSeq)
+			wfPar, sinkPar := buildWindowedDiamond(n, winSize)
+			par := run(stafilos.NewParallelDirector(p.mk(), stafilos.Options{SourceInterval: 5}, 4),
+				wfPar, sinkPar)
+
+			if len(seq) != len(want) {
+				t.Fatalf("sequential %s delivered %d tokens, want %d (seed %d, win %d)",
+					p.name, len(seq), len(want), seed, winSize)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("parallel %s delivered %d tokens, sequential delivered %d (seed %d, win %d)",
+					p.name, len(par), len(seq), seed, winSize)
+			}
+			for i := range seq {
+				if seq[i] != want[i] || par[i] != seq[i] {
+					t.Fatalf("%s token[%d]: seq=%d par=%d want=%d (seed %d, win %d)",
+						p.name, i, seq[i], par[i], want[i], seed, winSize)
 				}
 			}
 		})

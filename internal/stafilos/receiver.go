@@ -2,62 +2,128 @@ package stafilos
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/event"
 	"repro/internal/model"
+	"repro/internal/ring"
 	"repro/internal/stats"
 	"repro/internal/window"
 )
 
-// TMReceiver is the TM Windowed Receiver: the receiver the SCWF director
-// installs on every input port. It extends the Windowed Receiver of the
+// tmRingCap bounds each windowed input port's lock-free ring; beyond it
+// producers spill to the mutex-guarded overflow list (they never park).
+const tmRingCap = 1024
+
+// tmShellCap sizes the passthrough window-shell free-list shared between
+// producers (wrap) and the consuming worker (Recycle).
+const tmShellCap = 256
+
+// TMReceiver is the TM Windowed Receiver: the receiver the SCWF directors
+// install on every input port. It extends the Windowed Receiver of the
 // thread-based engine with the TM domain's scheduler interaction — when an
-// upstream actor broadcasts an event, put() runs the window operator on the
-// appropriate group-by queue, and any produced window is enqueued at the
-// owning actor's ready queue in the scheduler. Timed windows additionally
-// register window-timeout deadlines, which the director polls so a timed
-// window is produced even before an event from the next window arrives to
-// close it.
+// upstream actor broadcasts an event, the receiver evaluates the window
+// semantics and enqueues any produced window at the owning actor's ready
+// queue in the scheduler. Timed windows additionally register
+// window-timeout deadlines, which the director polls so a timed window is
+// produced even before an event from the next window arrives to close it.
 //
-// Concurrency: the receiver's own mutex guards the window operator, so
-// parallel workers can deliver emissions to the same input port without any
-// engine lock. Lock order is receiver → scheduler (enqueue runs under the
-// receiver lock); expired events are handed to the expired-items consumer
-// outside the lock, since that consumer is typically another receiver.
+// Concurrency (the PR 6 lock-free recipe, extended from PNCWF edges to
+// SCWF ingestion): Put/PutBatch never block on a receiver lock.
+//
+//   - Passthrough ports (the default, and the hot path) have no shared
+//     window state at all: each event is wrapped into a single-event window
+//     drawn from a lock-free shell free-list and enqueued directly at the
+//     scheduler. The consuming worker returns the shell — and, when the
+//     pinning protocol permits, the event — through Recycle once the firing
+//     that consumed it has been broadcast.
+//   - Windowed ports put producers on a bounded lock-free ring (SPSC when
+//     the workflow graph proves a single upstream writer port, MPMC
+//     otherwise) with the sticky overflow protocol of director.RingReceiver:
+//     a producer that finds the ring full flips ofActive and appends to the
+//     mutex-guarded overflow list, and keeps doing so until a drainer
+//     swaps the list out and clears the flag, so each producer's stream
+//     stays FIFO. The window operator itself is consumer-owned: whoever
+//     wins the draining CAS (the pushing worker, or the coordinator for
+//     timed windows) feeds the backlog through the operator and enqueues
+//     produced windows, then clears the flag and re-checks the backlog —
+//     a producer whose push raced the drain either wins the next CAS or
+//     is covered by the drainer's re-check, so no event strands.
+//
+// Monitor-visible operator state (backlog, earliest deadline) is published
+// through atomics; Depth and NextDeadline never touch the operator.
 type TMReceiver struct {
-	// mu guards op. Each port has its own receiver, so two workers only
-	// contend when they deliver to the same input port.
-	mu   sync.Mutex
-	port *model.Port
-	op   *window.Operator
-	// passthrough marks default single-event window semantics: deliveries
-	// bypass op (and its lock) entirely — each event is wrapped as its own
-	// window and enqueued directly, so parallel workers delivering to the
-	// same passthrough port never contend on the receiver.
+	port  *model.Port
+	owner model.Actor
+	// op is the drainer-owned window operator (only the holder of the
+	// draining flag touches it; nil shared access by construction).
+	op *window.Operator
+	// passthrough marks default single-event window semantics.
 	passthrough bool
 	clk         clock.Clock
 	stats       *stats.Registry
 	// entry is the owning actor's statistics shard, resolved once at
 	// construction so hot-path arrivals skip the registry lookup.
-	entry   *stats.Entry
-	enqueue func(ReadyItem)
+	entry *stats.Entry
+	// enqueue delivers one produced window to the scheduler; enqueueBatch,
+	// when wired (SetBatchEnqueue), delivers a whole drain in one call.
+	enqueue      func(ReadyItem)
+	enqueueBatch func([]ReadyItem)
+	// pool, when set, receives recyclable events back at Recycle.
+	pool *event.Pool
 	// expireTo optionally receives expired events (the expired-items queue
 	// wired to another activity).
 	expireTo func([]*event.Event)
+
+	// shells is the passthrough window free-list (MPMC: producers pop,
+	// the consuming worker pushes recycled shells back).
+	shells *ring.MPMC[*window.Window]
+	// pbusy serializes the passthrough batch scratch below; a producer that
+	// loses the CAS falls back to item-wise enqueue instead of waiting.
+	pbusy  atomic.Bool
+	pitems []ReadyItem
+
+	// q is the windowed ingestion ring (nil on passthrough ports).
+	q ring.Queue[*event.Event]
+	// ofMu guards overflow; ofActive is the producers' routing flag.
+	ofMu     sync.Mutex
+	ofActive atomic.Bool
+	overflow []*event.Event
+
+	// draining is the consumer-election flag: its holder owns op, pend,
+	// pendHead and ditems.
+	draining atomic.Bool
+	pend     []*event.Event // swapped-out overflow being served
+	pendHead int
+	ditems   []ReadyItem // drainer's reusable enqueue scratch
+
+	// Published state, read by quiescence detection and metrics scrapes.
+	arrivals    atomic.Int64 // events made visible by producers
+	taken       atomic.Int64 // events a drainer pulled out of the queues
+	opPending   atomic.Int64 // events buffered inside the operator
+	pubDeadline atomic.Int64 // earliest op deadline, unixnano (0 = none)
 }
 
 // NewTMReceiver builds a receiver for port applying the port's window spec.
-// enqueue delivers produced windows to the scheduler.
+// enqueue delivers produced windows to the scheduler. Windowed ports start
+// on the always-safe MPMC ring; directors that can prove a single upstream
+// writer call MarkSingleWriter before any traffic flows.
 func NewTMReceiver(port *model.Port, clk clock.Clock, st *stats.Registry, enqueue func(ReadyItem)) *TMReceiver {
 	r := &TMReceiver{
 		port:        port,
+		owner:       port.Owner(),
 		op:          window.New(port.Spec()),
 		passthrough: port.Spec().IsPassthrough(),
 		clk:         clk,
 		stats:       st,
 		enqueue:     enqueue,
+	}
+	if r.passthrough {
+		r.shells = ring.NewMPMC[*window.Window](tmShellCap)
+	} else {
+		r.q = ring.NewMPMC[*event.Event](tmRingCap)
 	}
 	if st != nil && port.Owner() != nil {
 		r.entry = st.Entry(port.Owner().Name())
@@ -69,37 +135,57 @@ func NewTMReceiver(port *model.Port, clk clock.Clock, st *stats.Registry, enqueu
 func (r *TMReceiver) Port() *model.Port { return r.port }
 
 // Operator exposes the underlying window operator (tests, diagnostics).
+// During a parallel run it is owned by the draining worker — never touch
+// it while traffic flows.
 func (r *TMReceiver) Operator() *window.Operator { return r.op }
 
-// SetExpiredHandler wires the expired-items queue to a consumer.
+// SetExpiredHandler wires the expired-items queue to a consumer. Call
+// before traffic flows.
 func (r *TMReceiver) SetExpiredHandler(f func([]*event.Event)) { r.expireTo = f }
 
-// Put implements model.Receiver: it timestamps the event into the
-// appropriate group-by queue, evaluates the window semantics, and enqueues
-// any produced window at the scheduler.
+// SetBatchEnqueue wires the scheduler's batch delivery (BatchEnqueuer), so
+// a drain or a passthrough broadcast pays the policy lock once. Call before
+// traffic flows.
+func (r *TMReceiver) SetBatchEnqueue(f func([]ReadyItem)) { r.enqueueBatch = f }
+
+// SetPool enables event recycling at Recycle. Call before traffic flows.
+func (r *TMReceiver) SetPool(p *event.Pool) { r.pool = p }
+
+// MarkSingleWriter swaps the windowed ingestion ring to the cheaper SPSC
+// variant. Legal only when at most one producer delivers at a time with
+// happens-before between successive producers: the sequential director
+// (one thread) and parallel ports fed by exactly one upstream actor (its
+// firing flag serializes producers, and EndFire→TryFire hands the ring
+// cursors over with release/acquire ordering). Call before traffic flows.
+func (r *TMReceiver) MarkSingleWriter() {
+	if r.q != nil {
+		r.q = ring.NewSPSC[*event.Event](tmRingCap)
+	}
+}
+
+// Put implements model.Receiver: passthrough events are wrapped and handed
+// to the scheduler directly; windowed events take a wait-free ring push
+// and then a drain attempt (the CAS winner runs the operator).
 //
 //confvet:hotpath
+//confvet:noalloc
 func (r *TMReceiver) Put(ev *event.Event) {
 	now := r.clk.Now()
 	if r.entry != nil {
 		r.entry.RecordArrival(1, now)
 	}
 	if r.passthrough {
-		r.enqueue(NewItemAt(r.port.Owner(), r.port, passWindow(ev), now))
+		r.enqueue(NewItemAt(r.owner, r.port, r.wrap(ev), now))
 		return
 	}
-	r.mu.Lock()
-	for _, w := range r.op.Put(ev, now) {
-		r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
-	}
-	exp := r.takeExpired()
-	r.mu.Unlock()
-	r.deliverExpired(exp)
+	r.push(ev)
+	r.arrivals.Add(1)
+	r.drain(now)
 }
 
 // PutBatch implements model.BatchReceiver: the whole emission set records
-// one arrival update and one expired-queue flush, with a single
-// scheduler-enqueue pass over the produced windows.
+// one arrival update and — when the scheduler supports batch delivery —
+// one policy-lock acquisition.
 //
 //confvet:hotpath
 func (r *TMReceiver) PutBatch(evs []*event.Event) {
@@ -111,63 +197,302 @@ func (r *TMReceiver) PutBatch(evs []*event.Event) {
 		r.entry.RecordArrival(len(evs), now)
 	}
 	if r.passthrough {
-		for _, ev := range evs {
-			r.enqueue(NewItemAt(r.port.Owner(), r.port, passWindow(ev), now))
-		}
+		r.putBatchPass(evs, now)
 		return
 	}
-	r.mu.Lock()
 	for _, ev := range evs {
+		r.push(ev)
+	}
+	r.arrivals.Add(int64(len(evs)))
+	r.drain(now)
+}
+
+// putBatchPass wraps and enqueues a passthrough batch. The CAS winner
+// builds the scheduler batch in the receiver's reusable scratch; a
+// concurrent producer on the same port (fan-in broadcast race) falls back
+// to item-wise enqueue rather than wait.
+//
+//confvet:hotpath
+func (r *TMReceiver) putBatchPass(evs []*event.Event, now time.Time) {
+	if r.enqueueBatch != nil && r.pbusy.CompareAndSwap(false, true) {
+		items := r.pitems[:0]
+		for _, ev := range evs {
+			items = append(items, NewItemAt(r.owner, r.port, r.wrap(ev), now)) //confvet:ignore append into retained scratch, amortized
+		}
+		r.enqueueBatch(items)
+		r.pitems = items[:0]
+		r.pbusy.Store(false)
+		return
+	}
+	for _, ev := range evs {
+		r.enqueue(NewItemAt(r.owner, r.port, r.wrap(ev), now))
+	}
+}
+
+// push delivers one windowed event: lock-free ring push with the sticky
+// overflow escape hatch.
+//
+//confvet:hotpath
+//confvet:noalloc
+func (r *TMReceiver) push(ev *event.Event) {
+	if r.ofActive.Load() || !r.q.TryPush(ev) {
+		r.putSlow(ev)
+	}
+}
+
+// putSlow spills one event to the overflow list. Setting ofActive under the
+// lock keeps the flag and the list coherent: a producer that observed the
+// flag keeps appending here (preserving its own FIFO order) until a drainer
+// swaps the list out and clears the flag.
+func (r *TMReceiver) putSlow(ev *event.Event) {
+	r.ofMu.Lock()
+	r.ofActive.Store(true)
+	r.overflow = append(r.overflow, ev)
+	r.ofMu.Unlock()
+}
+
+// drain elects a consumer for the windowed backlog. The clear-then-recheck
+// loop is the no-lost-event argument: a producer that loses the CAS has
+// already published its arrival (arrivals.Add precedes the failed CAS,
+// which precedes the holder's Store(false), which precedes the holder's
+// hasRaw re-check in this loop), so the holder always re-observes it.
+//
+//confvet:hotpath
+func (r *TMReceiver) drain(now time.Time) {
+	for {
+		if !r.hasRaw() {
+			return
+		}
+		if !r.draining.CompareAndSwap(false, true) {
+			return
+		}
+		exp := r.drainLocked(now)
+		r.draining.Store(false)
+		// Expired events are handed over outside the draining section: the
+		// consumer is typically another receiver, and drain sections must
+		// never nest on delivery (self-routing re-enters harmlessly — the
+		// CAS fails and the outer loop of this drainer re-checks).
+		r.deliverExpired(exp)
+	}
+}
+
+// drainLocked feeds the raw backlog through the window operator and hands
+// produced windows to the scheduler. Runs with the draining flag held.
+func (r *TMReceiver) drainLocked(now time.Time) []*event.Event {
+	items := r.ditems[:0]
+	for {
+		ev, ok := r.nextEvent()
+		if !ok {
+			break
+		}
 		for _, w := range r.op.Put(ev, now) {
-			r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
+			items = append(items, NewItemAt(r.owner, r.port, w, now))
 		}
 	}
 	exp := r.takeExpired()
-	r.mu.Unlock()
-	r.deliverExpired(exp)
+	r.sendItems(items)
+	r.ditems = items[:0]
+	r.publishOp()
+	return exp
 }
 
 // OnTime forces out windows whose formation timeout passed and returns how
-// many were produced.
+// many were produced. When a drain is in progress it does nothing — the
+// active drainer republishes the deadline, so the caller's next poll
+// retries.
 func (r *TMReceiver) OnTime(now time.Time) int {
-	r.mu.Lock()
+	if r.passthrough {
+		return 0
+	}
+	if !r.draining.CompareAndSwap(false, true) {
+		return 0
+	}
 	ws := r.op.OnTime(now)
+	items := r.ditems[:0]
 	for _, w := range ws {
-		r.enqueue(NewItemAt(r.port.Owner(), r.port, w, now))
+		items = append(items, NewItemAt(r.owner, r.port, w, now))
 	}
 	exp := r.takeExpired()
-	r.mu.Unlock()
+	r.sendItems(items)
+	r.ditems = items[:0]
+	r.publishOp()
+	r.draining.Store(false)
 	r.deliverExpired(exp)
+	// Serve any raw push that lost its CAS to this OnTime section.
+	r.drain(now)
 	return len(ws)
 }
 
-// Depth implements model.DepthReporter: the number of events currently
-// buffered in the receiver's open windows.
+// nextEvent pops the oldest raw event: swapped-out overflow first (older
+// than anything now in the ring, per the overflow protocol), then the ring,
+// then a fresh overflow swap. Draining flag held.
+//
+//confvet:hotpath
+//confvet:noalloc
+func (r *TMReceiver) nextEvent() (*event.Event, bool) {
+	if r.pendHead < len(r.pend) {
+		ev := r.pend[r.pendHead]
+		r.pend[r.pendHead] = nil
+		r.pendHead++
+		r.taken.Add(1)
+		return ev, true
+	}
+	if ev, ok := r.q.TryPop(); ok {
+		r.taken.Add(1)
+		return ev, true
+	}
+	if r.ofActive.Load() {
+		return r.takeOverflow()
+	}
+	return nil, false
+}
+
+// takeOverflow swaps the overflow list out (the ring is dry, so everything
+// in it is older than any future push) and serves its first event. The
+// previous pend backing array becomes the next overflow, so the two
+// buffers ping-pong without allocation at steady state.
+func (r *TMReceiver) takeOverflow() (*event.Event, bool) {
+	r.ofMu.Lock()
+	r.pend, r.overflow = r.overflow, r.pend[:0]
+	r.ofActive.Store(false)
+	r.ofMu.Unlock()
+	r.pendHead = 0
+	if len(r.pend) == 0 {
+		return nil, false
+	}
+	ev := r.pend[0]
+	r.pend[0] = nil
+	r.pendHead = 1
+	r.taken.Add(1)
+	return ev, true
+}
+
+// sendItems hands a drain's produced windows to the scheduler: one batch
+// call when the policy supports it, item-wise otherwise.
+func (r *TMReceiver) sendItems(items []ReadyItem) {
+	if len(items) == 0 {
+		return
+	}
+	if r.enqueueBatch != nil {
+		r.enqueueBatch(items)
+		return
+	}
+	for _, it := range items {
+		r.enqueue(it)
+	}
+}
+
+// wrap turns one passthrough event into a single-event window from the
+// shell free-list. The event is not pinned: it travels exactly one edge
+// inside the window and the consuming director recycles both at Recycle
+// once the firing that consumed it has been broadcast.
+//
+//confvet:hotpath
+//confvet:noalloc
+func (r *TMReceiver) wrap(ev *event.Event) *window.Window {
+	w, ok := r.shells.TryPop()
+	if !ok {
+		w = newPassShell()
+	}
+	w.Events[0] = ev
+	w.Time = ev.Time
+	w.Wave = ev.Wave
+	return w
+}
+
+// newPassShell is wrap's refill path (free-list empty: warm-up, or shells
+// retained past Recycle).
+func newPassShell() *window.Window {
+	return &window.Window{Events: make([]*event.Event, 1)}
+}
+
+// Recycle returns a consumed passthrough window to the shell free-list and
+// its event — when still recyclable under the pinning protocol — to the
+// event pool. The consuming director calls it once per popped ReadyItem,
+// after the firing's emissions have been broadcast (the recycle point of
+// the ownership protocol). Recycling a window twice, or one not produced
+// by this receiver, is a protocol violation. No-op on windowed ports:
+// operator-built windows pinned their events at insert and their shells
+// are GC-managed.
+//
+//confvet:hotpath
+//confvet:noalloc
+func (r *TMReceiver) Recycle(w *window.Window) {
+	if !r.passthrough || w == nil || len(w.Events) != 1 {
+		return
+	}
+	ev := w.Events[0]
+	if ev == nil {
+		return
+	}
+	w.Events[0] = nil
+	if r.pool != nil {
+		r.pool.Release(ev)
+	}
+	r.shells.TryPush(w)
+}
+
+// Pending reports whether the receiver may still deliver work to the
+// scheduler on its own: raw windowed backlog, or a drain in progress whose
+// enqueues have not landed yet. Quiescence detection reads it before the
+// scheduler's own HasWork (see ParallelDirector.drained). Passthrough
+// ports enqueue synchronously inside Put, so they are never pending.
+func (r *TMReceiver) Pending() bool {
+	if r.passthrough {
+		return false
+	}
+	return r.hasRaw() || r.draining.Load()
+}
+
+// Depth implements model.DepthReporter: raw backlog plus the events
+// currently buffered in the receiver's open windows.
 func (r *TMReceiver) Depth() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.op.Pending()
+	if r.passthrough {
+		return 0
+	}
+	n := r.arrivals.Load() - r.taken.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n + r.opPending.Load())
 }
 
-// NextDeadline reports the earliest pending window-timeout deadline.
+// NextDeadline reports the earliest pending window-timeout deadline, as
+// last published by a drainer.
 func (r *TMReceiver) NextDeadline() (time.Time, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.op.NextDeadline()
+	if r.passthrough {
+		return time.Time{}, false
+	}
+	ns := r.pubDeadline.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
-// passWindow wraps one event as its own consumed window, exactly what the
-// operator would produce for passthrough semantics minus the group
-// bookkeeping and expired-queue churn. The window may sit in a scheduler
-// queue indefinitely, so the event is pinned out of the recycling protocol.
-func passWindow(ev *event.Event) *window.Window {
-	ev.Pin()
-	return &window.Window{Events: []*event.Event{ev}, Time: ev.Time, Wave: ev.Wave}
+// hasRaw reports whether published raw events remain undrained.
+//
+//confvet:noalloc
+func (r *TMReceiver) hasRaw() bool {
+	return r.arrivals.Load() > r.taken.Load()
 }
 
-// takeExpired drains the operator's expired-items queue under r.mu and
-// returns what must be delivered (nil when nothing consumes expired items —
-// they are dropped to keep memory bounded).
+// publishOp refreshes the monitor-visible operator state (the drainer owns
+// the operator; everyone else reads these atomics). Runs with the draining
+// flag held, before the flag clears, so a cleared flag implies a fresh
+// deadline publication.
+func (r *TMReceiver) publishOp() {
+	r.opPending.Store(int64(r.op.Pending()))
+	if dl, ok := r.op.NextDeadline(); ok {
+		r.pubDeadline.Store(dl.UnixNano())
+	} else {
+		r.pubDeadline.Store(0)
+	}
+}
+
+// takeExpired drains the operator's expired-items queue (draining flag
+// held) and returns what must be delivered (nil when nothing consumes
+// expired items — they are dropped to keep memory bounded).
 func (r *TMReceiver) takeExpired() []*event.Event {
 	exp := r.op.DrainExpired()
 	if r.expireTo == nil || len(exp) == 0 {
@@ -176,9 +501,9 @@ func (r *TMReceiver) takeExpired() []*event.Event {
 	return exp
 }
 
-// deliverExpired hands expired events to the expired-items consumer. It runs
-// outside r.mu: the consumer is typically another receiver (the expired-items
-// queue wired to another activity), and receiver locks must never nest.
+// deliverExpired hands expired events to the expired-items consumer,
+// outside the draining section: the consumer is typically another
+// receiver, and drain sections never nest on delivery.
 func (r *TMReceiver) deliverExpired(exp []*event.Event) {
 	if len(exp) > 0 {
 		r.expireTo(exp)

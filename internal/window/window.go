@@ -253,6 +253,11 @@ type Operator struct {
 	groups  map[string]*group
 	order   []string // group keys in first-seen order, for determinism
 	expired []*event.Event
+	// pending counts retained (unexpired) events across all groups,
+	// maintained incrementally at the insert/expire sites so Pending is
+	// O(1) — consumers poll it per drain, and a scan over every group-by
+	// partition there turns ingestion quadratic in the partition count.
+	pending int
 	// deadlines is a lazy min-heap over group timeout deadlines: entries
 	// are pushed on every deadline change and validated against the
 	// group's current deadline when popped, so NextDeadline is O(log n)
@@ -366,7 +371,11 @@ func (o *Operator) DrainExpired() []*event.Event {
 
 // Pending returns the total number of retained (unexpired) events across
 // all groups.
-func (o *Operator) Pending() int {
+func (o *Operator) Pending() int { return o.pending }
+
+// recountPending recomputes the pending count from scratch; it exists only
+// to cross-check the incremental counter in tests.
+func (o *Operator) recountPending() int {
 	n := 0
 	for _, g := range o.groups {
 		n += len(g.events)
@@ -405,8 +414,9 @@ func groupKey(fields []string, ev *event.Event) string {
 // Insertion pins the event: the operator may hold it across many windows
 // (and hand it to several), so it leaves the single-owner recycling
 // protocol (see event.Pool).
-func insert(g *group, ev *event.Event) {
+func (o *Operator) insert(g *group, ev *event.Event) {
 	ev.Pin()
+	o.pending++
 	n := len(g.events)
 	if n == 0 || g.events[n-1].Compare(ev) <= 0 {
 		g.events = append(g.events, ev)
@@ -421,7 +431,7 @@ func insert(g *group, ev *event.Event) {
 // --- tuple windows ---
 
 func (o *Operator) putTuple(g *group, ev *event.Event, now time.Time) []*Window {
-	insert(g, ev)
+	o.insert(g, ev)
 	if !g.hasPending {
 		g.hasPending = true
 		g.firstPendingAt = now
@@ -476,6 +486,7 @@ func (o *Operator) produceTuple(g *group, end int64, partial bool, now time.Time
 		o.expired = append(o.expired, g.events[:drop]...)
 		g.events = append([]*event.Event(nil), g.events[drop:]...)
 		g.base += int64(drop)
+		o.pending -= drop
 	}
 	// Refresh the pending-timeout state.
 	if len(g.events) == 0 || g.base+int64(len(g.events)) <= g.nextStart {
@@ -504,7 +515,7 @@ func alignDown(t time.Time, step time.Duration) time.Time {
 }
 
 func (o *Operator) putTime(g *group, ev *event.Event, now time.Time) []*Window {
-	insert(g, ev)
+	o.insert(g, ev)
 	if !g.timeInit {
 		g.timeInit = true
 		// Earliest window that can contain this event: the first aligned
@@ -561,6 +572,7 @@ func (o *Operator) produceTime(g *group, partial bool) *Window {
 	for _, ev := range g.events {
 		if ev.Time.Before(cut) {
 			o.expired = append(o.expired, ev)
+			o.pending--
 		} else {
 			keep = append(keep, ev)
 		}
@@ -576,7 +588,7 @@ func (o *Operator) produceTime(g *group, partial bool) *Window {
 // --- wave windows ---
 
 func (o *Operator) putWave(g *group, ev *event.Event, now time.Time) []*Window {
-	insert(g, ev)
+	o.insert(g, ev)
 	if !containsWave(g.waves, ev.Wave) {
 		g.waves = append(g.waves, ev.Wave)
 	}
@@ -629,6 +641,7 @@ func (o *Operator) produceWave(g *group, partial bool) *Window {
 	for _, ev := range g.events {
 		if containsWave(dropped, ev.Wave) {
 			o.expired = append(o.expired, ev)
+			o.pending--
 		} else {
 			keep = append(keep, ev)
 		}

@@ -612,3 +612,51 @@ func TestTimeWindowBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the incrementally-maintained pending counter (what Pending
+// returns, O(1)) always equals a from-scratch recount over every group,
+// across all window units, group-by partitioning, delete_used_events and
+// timeout-forced production.
+func TestPendingCounterMatchesRecount(t *testing.T) {
+	f := func(ops []uint16, unit uint8, rawSize, rawStep uint8, deleteUsed, grouped bool) bool {
+		if len(ops) > 80 {
+			ops = ops[:80]
+		}
+		size := int(rawSize%4) + 1
+		step := int(rawStep%4) + 1
+		spec := Spec{Size: size, Step: step, DeleteUsed: deleteUsed, Timeout: 3 * time.Second}
+		switch unit % 3 {
+		case 0:
+			spec.Unit = Tuples
+		case 1:
+			spec.Unit = Time
+			spec.SizeDur = time.Duration(size) * time.Second
+			spec.StepDur = time.Duration(step) * time.Second
+		default:
+			spec.Unit = Waves
+		}
+		if grouped {
+			spec.GroupBy = []string{"k"}
+		}
+		o := New(spec)
+		tk := event.NewTimekeeper()
+		cur := 0.0
+		for _, op := range ops {
+			cur += float64(op%5) * 0.7
+			if op%7 == 0 {
+				o.OnTime(ts(cur))
+			} else {
+				rec := value.NewRecord("k", value.Int(int64(op%3)), "v", value.Int(int64(op)))
+				o.Put(tk.External(rec, ts(cur)), ts(cur))
+			}
+			o.DrainExpired()
+			if o.Pending() != o.recountPending() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
