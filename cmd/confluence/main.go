@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	confluence "repro"
@@ -167,17 +168,49 @@ func vetOneSpec(path string) ([]confluence.ValidationDiagnostic, error) {
 	return diags, nil
 }
 
-// startObs starts the introspection server when addr is non-empty and
-// returns the observer (nil when off).
-func startObs(addr string, sample float64) (*confluence.Observer, error) {
-	if addr == "" {
+// obsFlags is the shared introspection flag set: -obs, -sample, plus the
+// cluster/provenance trio (-node, -prov, -peers).
+type obsFlags struct {
+	addr   *string
+	sample *float64
+	node   *string
+	prov   *bool
+	peers  *string
+}
+
+func addObsFlags(fs *flag.FlagSet) obsFlags {
+	return obsFlags{
+		addr:   fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address"),
+		sample: fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)"),
+		node:   fs.String("node", "", "stable node name for cluster identity (with -obs)"),
+		prov:   fs.Bool("prov", false, "enable the persistent provenance store on /provenance (with -obs)"),
+		peers:  fs.String("peers", "", "comma-separated peer obs addresses for /cluster and cluster-scoped /provenance"),
+	}
+}
+
+// startObs starts the introspection server when -obs is set and returns
+// the observer (nil when off).
+func startObs(f obsFlags) (*confluence.Observer, error) {
+	if *f.addr == "" {
 		return nil, nil
 	}
-	o, err := confluence.Observe(addr, confluence.ObserveOptions{SampleRate: sample})
+	opts := confluence.ObserveOptions{
+		SampleRate: *f.sample,
+		NodeName:   *f.node,
+		Provenance: *f.prov,
+	}
+	if *f.peers != "" {
+		for _, p := range strings.Split(*f.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Peers = append(opts.Peers, p)
+			}
+		}
+	}
+	o, err := confluence.Observe(*f.addr, opts)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /healthz /debug/pprof/)\n", o.Addr())
+	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /provenance /cluster /healthz /debug/pprof/)\n", o.Addr())
 	return o, nil
 }
 
@@ -212,8 +245,7 @@ func taxonomy() error {
 func runSpec(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	override := fs.String("scheduler", "", "override the spec's scheduling policy")
-	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
-	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,7 +279,7 @@ func runSpec(args []string) error {
 		policy = *override
 	}
 	st := stats.NewRegistry()
-	observer, err := startObs(*obsAddr, *sample)
+	observer, err := startObs(of)
 	if err != nil {
 		return err
 	}
@@ -285,14 +317,13 @@ func demo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	scheduler := fs.String("scheduler", "QBS", "QBS, RR, RB, FIFO, EDF or PNCWF")
 	n := fs.Int("n", 1000, "events to generate")
-	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
-	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
+	of := addObsFlags(fs)
 	shed := fs.Duration("shed", 0, "insert a load shedder dropping readings staler than this lag")
 	slo := fs.Bool("slo", false, "attach the continuous QoS monitor (/slo, /debug/flightrecorder; requires -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *slo && *obsAddr == "" {
+	if *slo && *of.addr == "" {
 		return fmt.Errorf("demo: -slo requires -obs")
 	}
 
@@ -327,7 +358,7 @@ func demo(args []string) error {
 	wf.MustConnect(avg.Out(), sink.In())
 
 	st := stats.NewRegistry()
-	observer, err := startObs(*obsAddr, *sample)
+	observer, err := startObs(of)
 	if err != nil {
 		return err
 	}
@@ -369,13 +400,12 @@ func demo(args []string) error {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "controller listen address")
-	obsAddr := fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address")
-	sample := fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	observer, err := startObs(*obsAddr, *sample)
+	observer, err := startObs(of)
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,18 @@ func NewSender(name, addr string) *Sender {
 // In returns the bridge input port.
 func (s *Sender) In() *model.Port { return s.in }
 
+// SetTraceSampler enables trace-context propagation: sampled reports
+// whether the local tracer sampled a wave, and origin is this node's
+// identity stamped onto traced events on the wire (see NodeIDOf). Call
+// before the workflow runs; the obs engine wires this automatically when a
+// watched workflow contains a Sender.
+func (s *Sender) SetTraceSampler(sampled func(root int64, rootSeq uint64) bool, origin uint64) {
+	s.mu.Lock()
+	s.enc.sampler = sampled
+	s.enc.origin = origin
+	s.mu.Unlock()
+}
+
 // Sent returns how many events have crossed the bridge.
 func (s *Sender) Sent() int64 {
 	s.mu.Lock()
@@ -233,6 +245,7 @@ type Receiver struct {
 	connsLive  int
 	acceptDone bool
 	expect     int
+	traceSink  func(root int64, rootSeq uint64, origin uint64)
 
 	// Fire-only scratch: connections drained this firing and the ack
 	// encode buffer.
@@ -277,6 +290,18 @@ func (r *Receiver) ExpectSenders(n int) {
 	if n > 0 {
 		r.expect = n
 	}
+}
+
+// SetTraceSink registers the callback invoked once per traced wave per
+// frame when events arrive carrying upstream trace context: the receiving
+// node's chance to force the wave into its own tracer and note the origin
+// node before the events fire locally. Call before senders connect; the
+// obs engine wires this automatically when a watched workflow contains a
+// Receiver.
+func (r *Receiver) SetTraceSink(sink func(root int64, rootSeq uint64, origin uint64)) {
+	r.cmu.Lock()
+	r.traceSink = sink
+	r.cmu.Unlock()
 }
 
 // DecodeErrors counts malformed frames dropped off the wire.
@@ -333,7 +358,15 @@ func (r *Receiver) serveConn(sc *senderConn) {
 		r.connsLive--
 		r.cmu.Unlock()
 	}()
+	r.cmu.Lock()
+	sink := r.traceSink
+	r.cmu.Unlock()
 	fr := newFrameReader(sc.c)
+	// lastRoot/lastSeq dedupe consecutive traced events of one wave so the
+	// sink fires once per wave per run, not once per event.
+	var lastRoot int64
+	var lastSeq uint64
+	var haveLast bool
 	for {
 		seq, count, body, err := fr.next()
 		if err != nil {
@@ -347,12 +380,20 @@ func (r *Receiver) serveConn(sc *senderConn) {
 		}
 		sc.nextSeq = seq + 1
 		for i := 0; i < count; i++ {
-			ev, n, err := decodeWireEvent(body)
+			ev, meta, n, err := decodeWireEvent(body)
 			if err != nil {
 				r.decodeEr.Add(1)
 				return
 			}
 			body = body[n:]
+			if meta.traced && sink != nil {
+				if !haveLast || lastRoot != ev.Wave.Root || lastSeq != ev.Wave.RootSeq {
+					// Force before push: the trace context must land in the
+					// local tracer before the event can fire downstream.
+					sink(ev.Wave.Root, ev.Wave.RootSeq, meta.origin)
+					lastRoot, lastSeq, haveLast = ev.Wave.Root, ev.Wave.RootSeq, true
+				}
+			}
 			if !r.push(recvEvent{ev: ev, src: sc}) {
 				return
 			}

@@ -24,13 +24,23 @@ import (
 //	           varint wave.Root (zigzag)
 //	           uvarint wave.RootSeq
 //	           uvarint len(wave.Path) | len × varint path element
-//	           flags byte (bit0 = last-of-wave)
+//	           flags byte (bit0 = last-of-wave, bit1 = traced)
+//	           [uvarint origin-node-ID, iff flags bit1]
 //	           binary token (value.AppendBinary)
 //
 // seq is the sender's frame sequence number, starting at 0 and incremented
 // per frame. The receiver tracks the next expected seq per connection and
 // counts gaps (SeqGaps) — the hook a future replay/retransmission layer
 // needs to request missing frames.
+//
+// The traced flag is trace-context propagation: when the sending node's
+// tracer sampled the event's wave, bit1 is set and the sender's NodeID
+// follows the flags byte. The receiving node forces the same wave into its
+// own tracer and records the origin, so the wave's provenance — recorded
+// independently per process — stitches together across the bridge.
+// Untraced events encode byte-identically to the pre-trace format, so
+// mixed-version bridges interoperate as long as tracing stays off on the
+// newer side.
 //
 // Backpressure is credit-based: the receiver owns a bounded ring, and the
 // sender may have at most creditWindow unacknowledged events in flight.
@@ -68,17 +78,29 @@ const (
 )
 
 // frameEncoder builds frames into reused buffers: after the first few
-// frames, encoding touches no allocator at all.
+// frames, encoding touches no allocator at all. sampler and origin, when
+// set, enable trace-context propagation: sampled waves get the traced flag
+// plus the sending node's ID on the wire.
 type frameEncoder struct {
 	seq     uint64
 	payload []byte
 	hdr     []byte
+	sampler func(root int64, rootSeq uint64) bool
+	origin  uint64
 }
 
-// appendEvent appends one event's wire encoding to buf.
+const (
+	wireFlagLast   = 1 << 0
+	wireFlagTraced = 1 << 1
+)
+
+// appendEvent appends one event's wire encoding to buf. traced marks the
+// event's wave as sampled upstream; origin is the sending node's identity,
+// emitted only for traced events so untraced traffic keeps the legacy
+// byte layout.
 //
 //confvet:noalloc
-func appendEvent(buf []byte, ev *event.Event) []byte {
+func appendEvent(buf []byte, ev *event.Event, traced bool, origin uint64) []byte {
 	buf = binary.AppendVarint(buf, ev.Time.UnixNano())
 	buf = binary.AppendVarint(buf, ev.Wave.Root)
 	buf = binary.AppendUvarint(buf, ev.Wave.RootSeq)
@@ -88,9 +110,15 @@ func appendEvent(buf []byte, ev *event.Event) []byte {
 	}
 	var flags byte
 	if ev.Wave.Last {
-		flags = 1
+		flags = wireFlagLast
+	}
+	if traced {
+		flags |= wireFlagTraced
 	}
 	buf = append(buf, flags) //confvet:ignore append into the caller's reused buffer, amortized to zero growth
+	if traced {
+		buf = binary.AppendUvarint(buf, origin)
+	}
 	return value.AppendBinary(buf, ev.Token)
 }
 
@@ -102,7 +130,8 @@ func (e *frameEncoder) encode(events []*event.Event) (hdr, payload []byte) {
 	p = binary.AppendUvarint(p, e.seq)
 	p = binary.AppendUvarint(p, uint64(len(events)))
 	for _, ev := range events {
-		p = appendEvent(p, ev)
+		traced := e.sampler != nil && e.sampler(ev.Wave.Root, ev.Wave.RootSeq)
+		p = appendEvent(p, ev, traced, e.origin)
 	}
 	e.payload = p
 	e.seq++
@@ -160,31 +189,39 @@ func (fr *frameReader) next() (seq uint64, count int, body []byte, err error) {
 	return seq, int(cnt), buf, nil
 }
 
+// wireMeta is the trace context decoded alongside an event: whether the
+// sending node sampled the event's wave, and which node sent it.
+type wireMeta struct {
+	traced bool
+	origin uint64
+}
+
 // decodeWireEvent decodes one event from the front of b, returning the
-// event and the bytes consumed.
-func decodeWireEvent(b []byte) (*event.Event, int, error) {
+// event, its trace context and the bytes consumed.
+func decodeWireEvent(b []byte) (*event.Event, wireMeta, int, error) {
+	var meta wireMeta
 	ts, n := binary.Varint(b)
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("dist: bad event timestamp")
+		return nil, meta, 0, fmt.Errorf("dist: bad event timestamp")
 	}
 	used := n
 	root, n := binary.Varint(b[used:])
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("dist: bad wave root")
+		return nil, meta, 0, fmt.Errorf("dist: bad wave root")
 	}
 	used += n
 	rootSeq, n := binary.Uvarint(b[used:])
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("dist: bad wave rootSeq")
+		return nil, meta, 0, fmt.Errorf("dist: bad wave rootSeq")
 	}
 	used += n
 	plen, n := binary.Uvarint(b[used:])
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("dist: bad wave path length")
+		return nil, meta, 0, fmt.Errorf("dist: bad wave path length")
 	}
 	used += n
 	if plen > uint64(len(b)-used) {
-		return nil, 0, fmt.Errorf("dist: wave path length %d exceeds payload", plen)
+		return nil, meta, 0, fmt.Errorf("dist: wave path length %d exceeds payload", plen)
 	}
 	var path []int
 	if plen > 0 {
@@ -192,20 +229,29 @@ func decodeWireEvent(b []byte) (*event.Event, int, error) {
 		for i := range path {
 			p, n := binary.Varint(b[used:])
 			if n <= 0 {
-				return nil, 0, fmt.Errorf("dist: bad wave path element")
+				return nil, meta, 0, fmt.Errorf("dist: bad wave path element")
 			}
 			path[i] = int(p)
 			used += n
 		}
 	}
 	if used >= len(b) {
-		return nil, 0, fmt.Errorf("dist: truncated event flags")
+		return nil, meta, 0, fmt.Errorf("dist: truncated event flags")
 	}
 	flags := b[used]
 	used++
+	if flags&wireFlagTraced != 0 {
+		origin, n := binary.Uvarint(b[used:])
+		if n <= 0 {
+			return nil, meta, 0, fmt.Errorf("dist: bad trace origin")
+		}
+		used += n
+		meta.traced = true
+		meta.origin = origin
+	}
 	tok, n, err := value.DecodeBinary(b[used:])
 	if err != nil {
-		return nil, 0, err
+		return nil, meta, 0, err
 	}
 	used += n
 	return &event.Event{
@@ -215,7 +261,7 @@ func decodeWireEvent(b []byte) (*event.Event, int, error) {
 			Root:    root,
 			RootSeq: rootSeq,
 			Path:    path,
-			Last:    flags&1 != 0,
+			Last:    flags&wireFlagLast != 0,
 		},
-	}, used, nil
+	}, meta, used, nil
 }

@@ -59,11 +59,14 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame %d: count = %d, want %d", fi, count, len(evs))
 		}
 		for i, want := range evs {
-			got, n, err := decodeWireEvent(body)
+			got, meta, n, err := decodeWireEvent(body)
 			if err != nil {
 				t.Fatalf("frame %d event %d: %v", fi, i, err)
 			}
 			body = body[n:]
+			if meta.traced || meta.origin != 0 {
+				t.Errorf("event %d: unexpected trace meta %+v on untraced encoder", i, meta)
+			}
 			if !got.Time.Equal(want.Time) {
 				t.Errorf("event %d time %v, want %v", i, got.Time, want.Time)
 			}
@@ -105,7 +108,7 @@ func TestFrameTruncation(t *testing.T) {
 			ok := true
 			for i := 0; i < count && ok; i++ {
 				var n int
-				if _, n, err = decodeWireEvent(body); err != nil {
+				if _, _, n, err = decodeWireEvent(body); err != nil {
 					ok = false
 				} else {
 					body = body[n:]
@@ -141,36 +144,127 @@ func TestFrameCorruption(t *testing.T) {
 		{0x01, 0x00},
 		bytes.Repeat([]byte{0xee}, 64),
 	} {
-		if ev, _, err := decodeWireEvent(garbage); err == nil {
+		if ev, _, _, err := decodeWireEvent(garbage); err == nil {
 			t.Errorf("garbage %x decoded to %v", garbage, ev)
 		}
 	}
 }
 
 // FuzzDecodeWireEvent throws arbitrary bytes at the event decoder: it must
-// never panic, and whatever it does accept must re-encode to the bytes it
-// consumed (a canonical-form round trip).
+// never panic, and whatever it does accept must re-encode (with the same
+// trace context it decoded) to bytes that decode back to the same event —
+// a canonical-form round trip covering both the legacy and the traced
+// layouts.
 func FuzzDecodeWireEvent(f *testing.F) {
 	for _, ev := range sampleEvents() {
-		f.Add(appendEvent(nil, ev))
+		f.Add(appendEvent(nil, ev, false, 0))
+		f.Add(appendEvent(nil, ev, true, uint64(NodeIDOf("node-a"))))
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x80}, 20)) // varint continuation bombs
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ev, n, err := decodeWireEvent(data)
+		ev, meta, n, err := decodeWireEvent(data)
 		if err != nil {
 			return
 		}
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
-		back, m, err := decodeWireEvent(appendEvent(nil, ev))
+		back, backMeta, _, err := decodeWireEvent(appendEvent(nil, ev, meta.traced, meta.origin))
 		if err != nil {
 			t.Fatalf("re-decode of re-encode failed: %v", err)
 		}
-		_ = m
+		if backMeta != meta {
+			t.Fatalf("re-encode changed trace meta: %+v -> %+v", meta, backMeta)
+		}
 		if !back.Time.Equal(ev.Time) || !back.Token.Equal(ev.Token) {
 			t.Fatalf("re-encode changed event: %v -> %v", ev, back)
 		}
 	})
+}
+
+// legacyAppendEvent is the PR 7 wire encoding, before the traced flag
+// existed, kept verbatim as the version-skew reference.
+func legacyAppendEvent(buf []byte, ev *event.Event) []byte {
+	buf = binary.AppendVarint(buf, ev.Time.UnixNano())
+	buf = binary.AppendVarint(buf, ev.Wave.Root)
+	buf = binary.AppendUvarint(buf, ev.Wave.RootSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(ev.Wave.Path)))
+	for _, p := range ev.Wave.Path {
+		buf = binary.AppendVarint(buf, int64(p))
+	}
+	var flags byte
+	if ev.Wave.Last {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	return value.AppendBinary(buf, ev.Token)
+}
+
+// TestFrameVersionSkew pins the compatibility contract of the traced-flag
+// extension: untraced events must encode byte-identically to the PR 7
+// format (so an old receiver reads a new sender with tracing off, and a
+// new receiver reads an old sender unchanged), and traced events must
+// round-trip their origin through the current decoder.
+func TestFrameVersionSkew(t *testing.T) {
+	for i, ev := range sampleEvents() {
+		legacy := legacyAppendEvent(nil, ev)
+		current := appendEvent(nil, ev, false, uint64(NodeIDOf("ignored")))
+		if !bytes.Equal(legacy, current) {
+			t.Errorf("event %d: untraced encoding diverged from legacy format:\n legacy  %x\n current %x", i, legacy, current)
+		}
+		// New decoder reads an old sender's bytes with empty trace meta.
+		got, meta, n, err := decodeWireEvent(legacy)
+		if err != nil {
+			t.Fatalf("event %d: decoding legacy bytes: %v", i, err)
+		}
+		if n != len(legacy) || meta.traced || meta.origin != 0 {
+			t.Errorf("event %d: legacy decode consumed %d/%d, meta %+v", i, n, len(legacy), meta)
+		}
+		if !got.Token.Equal(ev.Token) || !got.Time.Equal(ev.Time) {
+			t.Errorf("event %d: legacy decode changed event", i)
+		}
+
+		origin := uint64(NodeIDOf("node-a"))
+		traced := appendEvent(nil, ev, true, origin)
+		got, meta, n, err = decodeWireEvent(traced)
+		if err != nil {
+			t.Fatalf("event %d: decoding traced bytes: %v", i, err)
+		}
+		if n != len(traced) || !meta.traced || meta.origin != origin {
+			t.Errorf("event %d: traced decode consumed %d/%d, meta %+v want origin %d", i, n, len(traced), meta, origin)
+		}
+		if !got.Token.Equal(ev.Token) {
+			t.Errorf("event %d: traced decode changed token", i)
+		}
+	}
+
+	// A truncated traced event — flags promise an origin that never comes —
+	// must error, not mis-parse.
+	b := binary.AppendVarint(nil, 0) // ts
+	b = binary.AppendVarint(b, 1)    // wave root
+	b = binary.AppendUvarint(b, 1)   // rootSeq
+	b = binary.AppendUvarint(b, 0)   // empty path
+	b = append(b, wireFlagTraced)    // traced, but no origin follows
+	if _, _, _, err := decodeWireEvent(b); err == nil {
+		t.Error("traced event with missing origin decoded successfully")
+	}
+}
+
+// TestNodeID pins the node-identity derivation: stable across calls,
+// distinct for distinct names, 0 reserved for "no identity".
+func TestNodeID(t *testing.T) {
+	if NodeIDOf("") != 0 {
+		t.Error("empty name must map to ID 0")
+	}
+	a, b := NodeIDOf("ingest"), NodeIDOf("analytics")
+	if a == 0 || b == 0 || a == b {
+		t.Errorf("NodeIDOf collision or zero: %v %v", a, b)
+	}
+	if NodeIDOf("ingest") != a {
+		t.Error("NodeIDOf not stable")
+	}
+	if s := a.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
 }

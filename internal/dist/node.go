@@ -1,0 +1,43 @@
+package dist
+
+import "fmt"
+
+// NodeID is a node's stable identity on the wire: traced events crossing a
+// bridge carry the sending node's ID so a wave's lineage, recorded
+// per-process in the provenance store, stitches back together across
+// process boundaries ("these hops happened upstream on node A").
+//
+// IDs are derived from the operator-chosen node name by FNV-1a so every
+// process computes the same ID for the same name with no coordination —
+// the same property the wave-tag scheme gives events.
+type NodeID uint32
+
+// NodeIDOf derives the stable identity for a node name (FNV-1a 32-bit).
+// The empty name maps to ID 0, "no identity": bridges omit origin info for
+// it, so single-process runs pay nothing on the wire.
+func NodeIDOf(name string) NodeID {
+	if name == "" {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	if h == 0 {
+		h = prime32 // reserve 0 for "no identity"
+	}
+	return NodeID(h)
+}
+
+// String renders the ID as node-<hex>.
+func (id NodeID) String() string {
+	if id == 0 {
+		return "node-?"
+	}
+	return fmt.Sprintf("node-%08x", uint32(id))
+}

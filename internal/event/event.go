@@ -74,6 +74,20 @@ func (w WaveTag) AncestorOf(o WaveTag) bool {
 	return true
 }
 
+// SameEvent reports whether two tags identify the same event: same wave
+// and identical path.
+func (w WaveTag) SameEvent(o WaveTag) bool {
+	if !w.SameWave(o) || len(w.Path) != len(o.Path) {
+		return false
+	}
+	for i, p := range w.Path {
+		if o.Path[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
 // Compare orders tags by wave (root timestamp, then root sequence) and then
 // lexicographically by path. It returns -1, 0 or +1.
 func (w WaveTag) Compare(o WaveTag) int {

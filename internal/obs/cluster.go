@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// /cluster — the one-pane-of-glass rollup for an N-process run: every node's
+// health, SLO state, bridge counters and provenance stats side by side, plus
+// cross-node sums of every counter family. /cluster/metrics merges the
+// nodes' Prometheus expositions into one, each series labeled with the node
+// it came from, so a single scrape target covers the whole cluster.
+//
+// The local node is read by dispatching through the engine's own route
+// table in memory; peers are scraped over HTTP with a short timeout, and an
+// unreachable peer degrades to an error entry instead of failing the view.
+
+// maxPeerBody bounds how much of a peer response the rollup will read.
+const maxPeerBody = 8 << 20
+
+// readAllBounded reads a peer response defensively.
+func readAllBounded(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxPeerBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxPeerBody {
+		return nil, fmt.Errorf("obs: peer response exceeds %d bytes", maxPeerBody)
+	}
+	return b, nil
+}
+
+// memResponse captures an in-memory dispatch through the engine's mux.
+type memResponse struct {
+	code int
+	hdr  http.Header
+	buf  bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header         { return m.hdr }
+func (m *memResponse) Write(b []byte) (int, error) { return m.buf.Write(b) }
+func (m *memResponse) WriteHeader(c int)           { m.code = c }
+
+// fetchSelf serves a path from this engine's own route table without a
+// network round trip.
+func (e *Engine) fetchSelf(path string) ([]byte, error) {
+	mux := e.liveMux.Load()
+	if mux == nil {
+		mux = e.buildMux()
+	}
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &memResponse{code: http.StatusOK, hdr: http.Header{}}
+	mux.ServeHTTP(m, req)
+	if m.code != http.StatusOK {
+		return nil, fmt.Errorf("obs: self %s: status %d", path, m.code)
+	}
+	return m.buf.Bytes(), nil
+}
+
+// nodeFetcher abstracts self vs peer so the rollup treats all nodes alike.
+type nodeFetcher struct {
+	addr string // "" for self
+	self bool
+	e    *Engine
+}
+
+func (n nodeFetcher) fetch(path string) ([]byte, error) {
+	if n.self {
+		return n.e.fetchSelf(path)
+	}
+	return fetchPeer(n.addr, path)
+}
+
+// clusterNodeView is one node's slice of the /cluster rollup.
+type clusterNodeView struct {
+	Name string `json:"name,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	Self bool   `json:"self,omitempty"`
+	Err  string `json:"error,omitempty"`
+	// Health is the node's /healthz, SLO its /slo (when the QoS layer is
+	// mounted), Provenance its /provenance stats view (waves elided).
+	Health     json.RawMessage `json:"health,omitempty"`
+	SLO        json.RawMessage `json:"slo,omitempty"`
+	Provenance map[string]any  `json:"provenance,omitempty"`
+}
+
+// collectNode gathers one node's rollup entry plus its parsed /metrics
+// exposition (nil when unreachable).
+func collectNode(n nodeFetcher) (clusterNodeView, *exposition) {
+	v := clusterNodeView{Addr: n.addr, Self: n.self}
+	if n.self {
+		v.Name = n.e.nodeName
+	}
+	health, err := n.fetch("/healthz")
+	if err != nil {
+		v.Err = err.Error()
+		return v, nil
+	}
+	v.Health = json.RawMessage(health)
+	if v.Name == "" {
+		var h struct {
+			Node string `json:"node"`
+		}
+		if json.Unmarshal(health, &h) == nil {
+			v.Name = h.Node
+		}
+	}
+	// /slo exists only when the QoS layer is mounted; absence is not an
+	// error.
+	if slo, err := n.fetch("/slo"); err == nil {
+		v.SLO = json.RawMessage(slo)
+	}
+	if pb, err := n.fetch("/provenance?limit=1"); err == nil {
+		var p map[string]any
+		if json.Unmarshal(pb, &p) == nil {
+			delete(p, "waves")
+			v.Provenance = p
+		}
+	}
+	mb, err := n.fetch("/metrics")
+	if err != nil {
+		v.Err = err.Error()
+		return v, nil
+	}
+	return v, parseExposition(string(mb))
+}
+
+// nodeFetchers builds the node list: self first, then configured peers.
+func (e *Engine) nodeFetchers() []nodeFetcher {
+	out := []nodeFetcher{{self: true, e: e}}
+	for _, p := range e.clusterPeers() {
+		out = append(out, nodeFetcher{addr: p, e: e})
+	}
+	return out
+}
+
+func (e *Engine) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	nodes := e.nodeFetchers()
+	views := make([]clusterNodeView, 0, len(nodes))
+	totals := map[string]float64{}
+	reachable := 0
+	for _, n := range nodes {
+		v, exp := collectNode(n)
+		views = append(views, v)
+		if exp == nil {
+			continue
+		}
+		reachable++
+		// Cross-node totals: counters add meaningfully; gauges and
+		// histogram components do not, so only counter families are summed.
+		for name, fam := range exp.families {
+			if exp.types[name] != "counter" {
+				continue
+			}
+			for _, s := range fam {
+				totals[name] += s.value
+			}
+		}
+	}
+	writeJSON(w, map[string]any{
+		"node":           e.nodeName,
+		"nodes":          views,
+		"reachable":      reachable,
+		"counter_totals": totals,
+	})
+}
+
+// handleClusterMetrics merges every node's Prometheus exposition into one,
+// injecting a node label so same-named series stay distinguishable.
+func (e *Engine) handleClusterMetrics(w http.ResponseWriter, _ *http.Request) {
+	type nodeExp struct {
+		label string
+		exp   *exposition
+	}
+	var exps []nodeExp
+	for i, n := range e.nodeFetchers() {
+		v, exp := collectNode(n)
+		if exp == nil {
+			continue
+		}
+		label := v.Name
+		if label == "" {
+			label = v.Addr
+		}
+		if label == "" {
+			label = fmt.Sprintf("node%d", i)
+		}
+		exps = append(exps, nodeExp{label: label, exp: exp})
+	}
+
+	// Deterministic output: families sorted by name, HELP/TYPE emitted once
+	// from the first node carrying the family.
+	famNames := map[string]bool{}
+	for _, ne := range exps {
+		for name := range ne.exp.families {
+			famNames[name] = true
+		}
+	}
+	names := make([]string, 0, len(famNames))
+	for name := range famNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, name := range names {
+		for _, ne := range exps {
+			if help, ok := ne.exp.helps[name]; ok && help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+				break
+			}
+		}
+		for _, ne := range exps {
+			if typ, ok := ne.exp.types[name]; ok && typ != "" {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+				break
+			}
+		}
+		for _, ne := range exps {
+			for _, s := range ne.exp.families[name] {
+				b.WriteString(s.metric)
+				if s.labels == "" {
+					fmt.Fprintf(&b, "{node=%q}", ne.label)
+				} else {
+					fmt.Fprintf(&b, "{node=%q,%s}", ne.label, s.labels)
+				}
+				fmt.Fprintf(&b, " %s\n", s.raw)
+			}
+		}
+	}
+	io.WriteString(w, b.String()) //nolint:errcheck // client gone mid-write
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	// metric is the full sample name (may be family + _bucket/_sum/_count
+	// for histograms), labels the raw label body without braces, raw the
+	// untouched value text, value its parsed float.
+	metric string
+	labels string
+	raw    string
+	value  float64
+}
+
+// exposition is a parsed Prometheus text page, grouped by family.
+type exposition struct {
+	types    map[string]string // family → counter|gauge|histogram
+	helps    map[string]string
+	families map[string][]sample // family → samples (incl. histogram parts)
+}
+
+// familyOf maps a sample name to its TYPE family: histogram samples carry
+// _bucket/_sum/_count suffixes.
+func familyOf(metric string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(metric, suf); ok {
+			if _, known := types[f]; known {
+				return f
+			}
+		}
+	}
+	return metric
+}
+
+// parseExposition parses the subset of the Prometheus text format the
+// engine's own registry emits (and any standard exporter's counters and
+// gauges): # HELP/# TYPE headers and name{labels} value samples.
+func parseExposition(text string) *exposition {
+	exp := &exposition{
+		types:    map[string]string{},
+		helps:    map[string]string{},
+		families: map[string][]sample{},
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "TYPE":
+					exp.types[fields[2]] = strings.TrimSpace(strings.Join(fields[3:], " "))
+				case "HELP":
+					exp.helps[fields[2]] = strings.Join(fields[3:], " ")
+				}
+			}
+			continue
+		}
+		s, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		exp.families[familyOf(s.metric, exp.types)] = append(exp.families[familyOf(s.metric, exp.types)], s)
+	}
+	return exp
+}
+
+// parseSample splits one data line into name, raw label body and value.
+func parseSample(line string) (sample, bool) {
+	var s sample
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, false
+		}
+		name = line[:i]
+		s.labels = line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name = line[:i]
+		rest = strings.TrimSpace(line[i+1:])
+	} else {
+		return s, false
+	}
+	// A timestamp may trail the value; keep only the value.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, false
+	}
+	s.metric = name
+	s.raw = rest
+	s.value = v
+	return s, true
+}

@@ -7,9 +7,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/event"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs/prov"
 	"repro/internal/stats"
 )
 
@@ -22,6 +24,27 @@ type Options struct {
 	// traces every wave). Sampling is deterministic per wave, so a traced
 	// wave's lineage is always complete.
 	SampleRate float64
+
+	// NodeName gives this process a stable cluster identity (see
+	// dist.NodeIDOf): hops recorded into the provenance store carry it, and
+	// traced events leaving over a bridge are stamped with its derived ID
+	// so downstream nodes can attribute the upstream lineage. Empty means
+	// "no identity" (single-process runs).
+	NodeName string
+	// Provenance enables the persistent lineage store (/provenance):
+	// sampled waves' hops are retained in bounded segments beyond the trace
+	// ring's lifetime. Off by default — the trace ring alone then behaves
+	// exactly as before.
+	Provenance bool
+	// ProvSegmentHops, ProvMaxSegments and ProvMaxAge shape the provenance
+	// store's retention (zero = prov package defaults).
+	ProvSegmentHops int
+	ProvMaxSegments int
+	ProvMaxAge      time.Duration
+	// Peers lists the other nodes' obs HTTP base addresses
+	// ("host:port" or "http://host:port") for the /cluster rollup and
+	// cluster-scoped /provenance queries.
+	Peers []string
 }
 
 // shedReporter is what a load-shedding actor exposes for scraping;
@@ -120,6 +143,13 @@ type Engine struct {
 	reg    *Registry
 	tracer *Tracer
 
+	// prov is the persistent lineage store (nil when Options.Provenance is
+	// off; every method is nil-safe). nodeName/nodeID are this process's
+	// cluster identity.
+	prov     *prov.Store
+	nodeName string
+	nodeID   uint64
+
 	// hot-path instruments, updated by the director hooks.
 	firingSeconds *HistogramVec // by actor
 	queueWait     *Histogram
@@ -128,6 +158,8 @@ type Engine struct {
 	picked        *CounterVec // by actor
 	parked        *CounterVec // by actor
 	spans         *Counter
+	provHops      *Counter
+	forcedWaves   *Counter
 
 	// qos is the registered continuous QoS subscriber (nil = none); one
 	// atomic load per hook when unset.
@@ -145,6 +177,7 @@ type Engine struct {
 	watches   []watch
 	responses []*metrics.ResponseCollector
 	extra     map[string]http.Handler
+	peers     []string
 
 	srv *server
 }
@@ -153,8 +186,18 @@ type Engine struct {
 // tracing off, default ring capacity.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{
-		reg:    NewRegistry(),
-		tracer: NewTracer(opts.TraceCapacity, opts.SampleRate),
+		reg:      NewRegistry(),
+		tracer:   NewTracer(opts.TraceCapacity, opts.SampleRate),
+		nodeName: opts.NodeName,
+		nodeID:   uint64(dist.NodeIDOf(opts.NodeName)),
+		peers:    append([]string(nil), opts.Peers...),
+	}
+	if opts.Provenance {
+		e.prov = prov.NewStore(prov.Options{
+			SegmentHops: opts.ProvSegmentHops,
+			MaxSegments: opts.ProvMaxSegments,
+			MaxAge:      opts.ProvMaxAge,
+		})
 	}
 	r := e.reg
 	e.firingSeconds = r.NewHistogramVec("confluence_firing_seconds",
@@ -171,8 +214,83 @@ func NewEngine(opts Options) *Engine {
 		"Times the scheduler skipped an actor because a firing was in flight, by actor.", "actor")
 	e.spans = r.NewCounter("confluence_trace_spans_total",
 		"Trace spans recorded into the wave-tag ring.")
+	e.provHops = r.NewCounter("confluence_prov_hops_total",
+		"Lineage hops recorded into the provenance store.")
+	e.forcedWaves = r.NewCounter("confluence_trace_forced_waves_total",
+		"Waves forced into the local tracer by upstream bridge trace context.")
 	e.registerCollectors()
 	return e
+}
+
+// Prov returns the engine's provenance store (nil when disabled; the nil
+// store answers every query empty).
+func (e *Engine) Prov() *prov.Store {
+	if e == nil {
+		return nil
+	}
+	return e.prov
+}
+
+// NodeName returns the process's cluster identity name ("" when unset).
+func (e *Engine) NodeName() string {
+	if e == nil {
+		return ""
+	}
+	return e.nodeName
+}
+
+// NodeID returns the derived stable node identity (0 when unset).
+func (e *Engine) NodeID() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.nodeID
+}
+
+// SetCluster replaces the peer list used by /cluster and cluster-scoped
+// /provenance queries. Safe to call while serving.
+func (e *Engine) SetCluster(peers []string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.peers = append([]string(nil), peers...)
+	e.mu.Unlock()
+}
+
+// clusterPeers snapshots the peer list.
+func (e *Engine) clusterPeers() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.peers...)
+}
+
+// traceSampled adapts the tracer's wave-sampling decision to the bridge
+// sender hook signature.
+func (e *Engine) traceSampled(root int64, rootSeq uint64) bool {
+	return e.tracer.Sampled(event.WaveTag{Root: root, RootSeq: rootSeq})
+}
+
+// traceForced is the bridge receiver hook: an upstream node sampled this
+// wave, so trace it here too and remember where it came from.
+func (e *Engine) traceForced(root int64, rootSeq uint64, origin uint64) {
+	e.tracer.Force(root, rootSeq)
+	if origin != 0 {
+		e.prov.NoteOrigin(root, rootSeq, origin)
+	}
+	e.forcedWaves.Inc()
+}
+
+// traceSamplerTarget is what a bridge sender exposes for trace-context
+// propagation (dist.Sender implements it; declared structurally so obs
+// wires any compatible transport).
+type traceSamplerTarget interface {
+	SetTraceSampler(func(root int64, rootSeq uint64) bool, uint64)
+}
+
+// traceSinkTarget is what a bridge receiver exposes (dist.Receiver).
+type traceSinkTarget interface {
+	SetTraceSink(func(root int64, rootSeq uint64, origin uint64))
 }
 
 // Registry returns the engine's telemetry registry, for callers that want to
@@ -228,6 +346,19 @@ func (e *Engine) Watch(name string, wf *model.Workflow, st *stats.Registry, dir 
 	if st == nil {
 		if sp, ok := dir.(statsProvider); ok {
 			st = sp.Stats()
+		}
+	}
+	if wf != nil {
+		// Auto-wire trace-context propagation through any bridges in the
+		// workflow: senders stamp sampled waves with this node's identity,
+		// receivers force upstream-sampled waves into the local tracer.
+		for _, a := range wf.Actors() {
+			if s, ok := a.(traceSamplerTarget); ok {
+				s.SetTraceSampler(e.traceSampled, e.nodeID)
+			}
+			if r, ok := a.(traceSinkTarget); ok {
+				r.SetTraceSink(e.traceForced)
+			}
 		}
 	}
 	e.mu.Lock()
@@ -296,6 +427,7 @@ func (e *Engine) FiringObserved(actor string, trigger *event.Event, emissions []
 		}
 		e.tracer.Record(s)
 		e.spans.Inc()
+		e.recordHop(s)
 		return
 	}
 	// Source firing: every emission starts a wave; record one span per
@@ -312,7 +444,7 @@ func (e *Engine) FiringObserved(actor string, trigger *event.Event, emissions []
 		if !e.tracer.Sampled(w) {
 			continue
 		}
-		e.tracer.Record(Span{
+		s := Span{
 			Actor:    actor,
 			Root:     w.Root,
 			RootSeq:  w.RootSeq,
@@ -320,9 +452,33 @@ func (e *Engine) FiringObserved(actor string, trigger *event.Event, emissions []
 			Start:    start,
 			Cost:     cost,
 			Produced: len(emissions),
-		})
+		}
+		e.tracer.Record(s)
 		e.spans.Inc()
+		e.recordHop(s)
 	}
+}
+
+// recordHop mirrors one recorded trace span into the persistent provenance
+// store (no-op when provenance is off).
+func (e *Engine) recordHop(s Span) {
+	if e.prov == nil {
+		return
+	}
+	e.prov.Record(prov.Hop{
+		Node:      e.nodeName,
+		Actor:     s.Actor,
+		Root:      s.Root,
+		RootSeq:   s.RootSeq,
+		In:        s.In,
+		Out:       s.Out,
+		Start:     s.Start,
+		QueueWait: s.QueueWait,
+		Cost:      s.Cost,
+		Consumed:  s.Consumed,
+		Produced:  s.Produced,
+	})
+	e.provHops.Inc()
 }
 
 // ClaimObserved is the scheduler hook for one ConcurrentScheduler.Claim
@@ -471,6 +627,49 @@ func (e *Engine) registerCollectors() {
 						emit(a.Name(), float64(s.Passed()))
 					}
 				}
+			}
+		})
+
+	perBridge := func(f func(b metrics.BridgeStats) float64) func(emit func(string, float64)) {
+		return func(emit func(string, float64)) {
+			for _, w := range e.snapshotWatches() {
+				for _, b := range metrics.BridgeStatsOf(w.wf) {
+					emit(b.Actor, f(b))
+				}
+			}
+		}
+	}
+	r.RegisterCollector("confluence_bridge_received_total",
+		"Events accepted into a bridge receiver's ring.", typeCounter, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.Received) }))
+	r.RegisterCollector("confluence_bridge_dropped_total",
+		"Events a bridge discarded because it shut down while they were in flight.", typeCounter, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.Dropped) }))
+	r.RegisterCollector("confluence_bridge_watermark",
+		"Peak receive-ring occupancy per bridge (the bridge's bottleneck signal).", typeGauge, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.Watermark) }))
+	r.RegisterCollector("confluence_bridge_ring_capacity",
+		"Receive-ring capacity per bridge, the denominator for the watermark.", typeGauge, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.RingCapacity) }))
+	r.RegisterCollector("confluence_bridge_decode_errors_total",
+		"Malformed frames dropped off the wire per bridge.", typeCounter, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.DecodeErrors) }))
+	r.RegisterCollector("confluence_bridge_seq_gaps_total",
+		"Frame sequence discontinuities per bridge.", typeCounter, "actor",
+		perBridge(func(b metrics.BridgeStats) float64 { return float64(b.SeqGaps) }))
+
+	r.RegisterCollector("confluence_prov_resident_hops",
+		"Lineage hops currently resident in the provenance store.", typeGauge, "",
+		func(emit func(string, float64)) {
+			if e.prov != nil {
+				emit("", float64(e.prov.Stats().Resident))
+			}
+		})
+	r.RegisterCollector("confluence_prov_evicted_hops_total",
+		"Lineage hops evicted from the provenance store by retention.", typeCounter, "",
+		func(emit func(string, float64)) {
+			if e.prov != nil {
+				emit("", float64(e.prov.Stats().EvictedHops))
 			}
 		})
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,6 +53,9 @@ func (e *Engine) buildMux() *http.ServeMux {
 	mux.HandleFunc("/metrics", e.handleMetrics)
 	mux.HandleFunc("/workflows", e.handleWorkflows)
 	mux.HandleFunc("/trace/", e.handleTrace)
+	mux.HandleFunc("/provenance", e.handleProvenance)
+	mux.HandleFunc("/cluster", e.handleCluster)
+	mux.HandleFunc("/cluster/metrics", e.handleClusterMetrics)
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -63,7 +67,7 @@ func (e *Engine) buildMux() *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /healthz /debug/pprof/\n")
+		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /provenance /cluster /healthz /debug/pprof/\n")
 	})
 	e.mu.Lock()
 	for pattern, h := range e.extra {
@@ -155,6 +159,7 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, map[string]any{
 		"state":                   state,
+		"node":                    e.nodeName,
 		"workflows":               len(watches),
 		"workers":                 workers,
 		"last_scrape_age_seconds": scrapeAge,
@@ -267,7 +272,16 @@ func spanViews(spans []Span) []spanView {
 func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/trace/")
 	if id == "" {
-		refs := e.tracer.Recent(100)
+		limit := 100
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		refs := e.tracer.Recent(limit) // newest-first
 		type waveRefView struct {
 			ID    string `json:"id"`
 			Spans int    `json:"spans"`

@@ -131,7 +131,26 @@ type Tracer struct {
 	mod     uint64
 	seq     atomic.Uint64
 	stripes [traceStripes]traceStripe
+
+	// forced is the cross-bridge trace-propagation table: waves the
+	// upstream node sampled that this node must trace regardless of its own
+	// sampling decision. It is a fixed open-addressed set of wave hashes
+	// probed lock-free on the hot path; forcedN gates the probe so a node
+	// that never receives trace context pays a single atomic load.
+	// Collisions overwrite (best effort): a lost entry only means a wave's
+	// downstream hops go unrecorded, never a wrong lineage.
+	forcedN atomic.Uint64
+	forced  [forcedSlots]atomic.Uint64
 }
+
+// forcedSlots sizes the forced-wave table; a power of two so the home slot
+// is a mask. 2048 in-flight cross-bridge traced waves is far beyond any
+// real sampling rate's working set.
+const forcedSlots = 2048
+
+// forcedProbes is the linear-probe window before Force overwrites the home
+// slot.
+const forcedProbes = 4
 
 // NewTracer builds a tracer holding up to capacity spans in total (0 =
 // DefaultTraceCapacity) sampling approximately the given fraction of waves
@@ -156,8 +175,11 @@ func NewTracer(capacity int, rate float64) *Tracer {
 	return t
 }
 
-// Enabled reports whether the tracer records anything at all.
-func (t *Tracer) Enabled() bool { return t != nil && t.mod != 0 }
+// Enabled reports whether the tracer records anything at all. A tracer
+// with local sampling off still records once a bridge forces waves into it.
+func (t *Tracer) Enabled() bool {
+	return t != nil && (t.mod != 0 || t.forcedN.Load() != 0)
+}
 
 // waveHash mixes a wave identity into a well-distributed 64-bit value
 // (splitmix64 finalizer), shared by sampling and stripe selection.
@@ -171,16 +193,68 @@ func waveHash(root int64, rootSeq uint64) uint64 {
 	return x
 }
 
-// Sampled reports whether the given wave is traced. The decision depends
-// only on the wave identity, so every span of a sampled wave is recorded.
+// Sampled reports whether the given wave is traced: either the local
+// sampling decision (deterministic in the wave identity, so every span of
+// a sampled wave is recorded) or an upstream node's decision propagated
+// over a bridge (Force).
 func (t *Tracer) Sampled(w event.WaveTag) bool {
-	if t == nil || t.mod == 0 {
+	if t == nil {
 		return false
 	}
 	if t.mod == 1 {
 		return true
 	}
-	return waveHash(w.Root, w.RootSeq)%t.mod == 0
+	h := waveHash(w.Root, w.RootSeq)
+	if t.mod != 0 && h%t.mod == 0 {
+		return true
+	}
+	if t.forcedN.Load() == 0 {
+		return false
+	}
+	key := h | 1
+	slot := h & (forcedSlots - 1)
+	for i := uint64(0); i < forcedProbes; i++ {
+		v := t.forced[(slot+i)&(forcedSlots-1)].Load()
+		if v == key {
+			return true
+		}
+		if v == 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// Force marks a wave as traced regardless of the local sampling decision —
+// the receiving half of cross-bridge trace propagation. Best effort: under
+// extreme collision pressure an entry may be overwritten and the wave's
+// local hops go unrecorded; a false positive is impossible.
+func (t *Tracer) Force(root int64, rootSeq uint64) {
+	if t == nil {
+		return
+	}
+	h := waveHash(root, rootSeq)
+	key := h | 1
+	slot := h & (forcedSlots - 1)
+	for i := uint64(0); i < forcedProbes; i++ {
+		s := &t.forced[(slot+i)&(forcedSlots-1)]
+		v := s.Load()
+		if v == key {
+			return // already forced
+		}
+		if v == 0 {
+			if s.CompareAndSwap(0, key) {
+				t.forcedN.Add(1)
+				return
+			}
+			if s.Load() == key {
+				return
+			}
+		}
+	}
+	// Probe window full of other waves: overwrite the home slot.
+	t.forced[slot].Store(key)
+	t.forcedN.Add(1)
 }
 
 // Record stores a span, overwriting the oldest span of its stripe when the

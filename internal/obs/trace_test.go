@@ -231,3 +231,79 @@ func TestFiringObservedSourceRecordsPerWave(t *testing.T) {
 		t.Errorf("span counter = %d, want 3", got)
 	}
 }
+
+// TestForceEnablesWaveTracing pins the bridge-propagation contract: a wave
+// the local sampler would skip becomes sampled once a bridge forces it, and
+// forcing is what flips a rate-0 tracer to Enabled.
+func TestForceEnablesWaveTracing(t *testing.T) {
+	tr := NewTracer(0, 0)
+	if tr.Enabled() {
+		t.Fatal("rate-0 tracer enabled before any force")
+	}
+	tr.Force(7, 3)
+	if !tr.Enabled() {
+		t.Error("forced wave did not enable the tracer")
+	}
+	if !tr.Sampled(event.WaveTag{Root: 7, RootSeq: 3}) {
+		t.Error("forced wave not sampled")
+	}
+	if tr.Sampled(event.WaveTag{Root: 7, RootSeq: 4}) {
+		t.Error("unforced wave sampled on a rate-0 tracer")
+	}
+	// Forcing is idempotent: re-forcing must not consume another slot.
+	tr.Force(7, 3)
+	tr.Force(7, 3)
+	if got := tr.forcedN.Load(); got != 1 {
+		t.Errorf("re-forcing grew the forced count to %d, want 1", got)
+	}
+
+	// Spans of a forced wave land in the ring like any sampled wave's.
+	tr.Record(Span{Actor: "recv", Root: 7, RootSeq: 3})
+	if spans := tr.Wave(7, 3); len(spans) != 1 || spans[0].Actor != "recv" {
+		t.Errorf("forced wave spans = %+v", spans)
+	}
+
+	var nilT *Tracer
+	nilT.Force(1, 2) // must not panic
+}
+
+// TestForceTableOverwriteKeepsNewest floods the forced-wave table far past
+// its capacity: Force stays best-effort (newest wins its home slot, no
+// unbounded growth) and never makes an unforced wave read as sampled.
+func TestForceTableOverwriteKeepsNewest(t *testing.T) {
+	tr := NewTracer(0, 0)
+	const n = forcedSlots * 4
+	for i := 0; i < n; i++ {
+		tr.Force(int64(i), uint64(i))
+	}
+	// The table is fixed-size: the probe windows fill and overwrite.
+	forced := 0
+	for i := 0; i < n; i++ {
+		if tr.Sampled(event.WaveTag{Root: int64(i), RootSeq: uint64(i)}) {
+			forced++
+		}
+	}
+	if forced == 0 || forced > forcedSlots {
+		t.Errorf("%d of %d flooded waves still forced, want (0, %d]", forced, n, forcedSlots)
+	}
+	// False positives stay impossible: waves never forced never sample.
+	for i := n; i < n+1000; i++ {
+		if tr.Sampled(event.WaveTag{Root: int64(i), RootSeq: uint64(i)}) {
+			t.Fatalf("never-forced wave %d reads as sampled", i)
+		}
+	}
+}
+
+// TestForceWithFractionalRate checks forcing composes with a configured
+// sample rate rather than replacing it.
+func TestForceWithFractionalRate(t *testing.T) {
+	tr := NewTracer(0, 0.000001) // samples almost nothing on its own
+	w := event.WaveTag{Root: 1_000_003, RootSeq: 5}
+	if tr.Sampled(w) {
+		t.Skip("wave happens to hash into the sample set")
+	}
+	tr.Force(w.Root, w.RootSeq)
+	if !tr.Sampled(w) {
+		t.Error("forced wave not sampled under a fractional rate")
+	}
+}
