@@ -169,22 +169,24 @@ func vetOneSpec(path string) ([]confluence.ValidationDiagnostic, error) {
 }
 
 // obsFlags is the shared introspection flag set: -obs, -sample, plus the
-// cluster/provenance trio (-node, -prov, -peers).
+// cluster/provenance trio (-node, -prov, -peers) and -latency.
 type obsFlags struct {
-	addr   *string
-	sample *float64
-	node   *string
-	prov   *bool
-	peers  *string
+	addr    *string
+	sample  *float64
+	node    *string
+	prov    *bool
+	peers   *string
+	latency *bool
 }
 
 func addObsFlags(fs *flag.FlagSet) obsFlags {
 	return obsFlags{
-		addr:   fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address"),
-		sample: fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)"),
-		node:   fs.String("node", "", "stable node name for cluster identity (with -obs)"),
-		prov:   fs.Bool("prov", false, "enable the persistent provenance store on /provenance (with -obs)"),
-		peers:  fs.String("peers", "", "comma-separated peer obs addresses for /cluster and cluster-scoped /provenance"),
+		addr:    fs.String("obs", "", "serve introspection (metrics/pprof/trace) on this address"),
+		sample:  fs.Float64("sample", 1.0, "fraction of waves traced (with -obs)"),
+		node:    fs.String("node", "", "stable node name for cluster identity (with -obs)"),
+		prov:    fs.Bool("prov", false, "enable the persistent provenance store on /provenance (with -obs)"),
+		peers:   fs.String("peers", "", "comma-separated peer obs addresses for /cluster and cluster-scoped /provenance"),
+		latency: fs.Bool("latency", false, "enable critical-path latency attribution on /latency (with -obs; implies -prov)"),
 	}
 }
 
@@ -198,6 +200,7 @@ func startObs(f obsFlags) (*confluence.Observer, error) {
 		SampleRate: *f.sample,
 		NodeName:   *f.node,
 		Provenance: *f.prov,
+		Latency:    *f.latency,
 	}
 	if *f.peers != "" {
 		for _, p := range strings.Split(*f.peers, ",") {
@@ -210,7 +213,7 @@ func startObs(f obsFlags) (*confluence.Observer, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /provenance /cluster /healthz /debug/pprof/)\n", o.Addr())
+	fmt.Printf("introspection: http://%s/ (/metrics /workflows /trace/ /provenance /latency /cluster /healthz /debug/pprof/)\n", o.Addr())
 	return o, nil
 }
 

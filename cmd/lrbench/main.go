@@ -61,7 +61,10 @@ func main() {
 	}
 	var observer *obs.Engine
 	if *obsAddr != "" {
-		observer = obs.NewEngine(obs.Options{SampleRate: *sample})
+		// Latency attribution rides along with -obs: each run's report then
+		// names the top actors by critical-path share.
+		observer = obs.NewEngine(obs.Options{SampleRate: *sample, Latency: true})
+		latencyObs = observer
 		addr, err := observer.Serve(*obsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
@@ -210,6 +213,10 @@ func runFigure(setup lr.Setup, fig int, seed int64, rbSources bool) error {
 // jsonOut switches report to machine-readable JSON lines.
 var jsonOut bool
 
+// latencyObs is the observer whose latency attribution report reads (nil
+// when -obs is off). Reset between runs so each report covers one run.
+var latencyObs *obs.Engine
+
 func report(r *lr.Result) {
 	if jsonOut {
 		reportJSON(r)
@@ -226,6 +233,14 @@ func report(r *lr.Result) {
 	for _, s := range r.Shed {
 		fmt.Printf("#   shed %-10s dropped=%d passed=%d maxLag=%v\n",
 			s.Actor, s.Dropped, s.Passed, s.MaxLag)
+	}
+	if latencyObs != nil {
+		v := latencyObs.LatencySummary(3)
+		for _, a := range v.Actors {
+			fmt.Printf("#   critical-path %-14s share=%.1f%% (cost=%.1f%% queue=%.1f%%) waves=%d\n",
+				a.Actor, 100*a.Share, 100*a.CostShare, 100*a.QueueShare, a.Waves)
+		}
+		latencyObs.ResetLatency()
 	}
 }
 
@@ -244,6 +259,7 @@ func reportJSON(r *lr.Result) {
 		Shed            []metrics.ShedStats `json:"shed,omitempty"`
 		ThrashAtSeconds float64             `json:"thrash_at_seconds"`
 		WallSeconds     float64             `json:"wall_seconds"`
+		Latency         any                 `json:"latency,omitempty"`
 	}{
 		Scheduler:       r.Scheduler,
 		Label:           r.Label,
@@ -255,6 +271,10 @@ func reportJSON(r *lr.Result) {
 		Shed:            r.Shed,
 		ThrashAtSeconds: r.ThrashAt,
 		WallSeconds:     r.WallTime.Seconds(),
+	}
+	if latencyObs != nil {
+		out.Latency = latencyObs.LatencySummary(3)
+		latencyObs.ResetLatency()
 	}
 	b, err := json.Marshal(out)
 	if err != nil {

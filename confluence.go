@@ -337,7 +337,9 @@ type (
 	// means observability off.
 	Observer = obs.Engine
 	// ObserveOptions configures tracing (ring capacity, per-wave sampling
-	// rate).
+	// rate), cluster identity, the persistent provenance store, and
+	// critical-path latency attribution (Latency: true serves per-wave
+	// waterfalls and the fleet-wide profile at /latency).
 	ObserveOptions = obs.Options
 )
 

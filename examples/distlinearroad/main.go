@@ -87,13 +87,13 @@ func main() {
 
 	// ---- Per-node introspection: provenance store + node identity ----
 	obsA, err := confluence.Observe("127.0.0.1:0", confluence.ObserveOptions{
-		SampleRate: *sample, NodeName: "lr-ingest", Provenance: true,
+		SampleRate: *sample, NodeName: "lr-ingest", Provenance: true, Latency: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	obsB, err := confluence.Observe("127.0.0.1:0", confluence.ObserveOptions{
-		SampleRate: *sample, NodeName: "lr-analytics", Provenance: true,
+		SampleRate: *sample, NodeName: "lr-analytics", Provenance: true, Latency: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -186,6 +186,67 @@ func main() {
 				fmt.Printf("  [%-12s] %-16s out=%s\n", h.Node, h.Actor, h.Out)
 			}
 		}
+	}
+
+	// ---- The latency question: where did this toll alert's time go? The
+	// same wave's cluster-stitched waterfall from node B: source firing on
+	// node A, skew-corrected bridge transit, analytics hops, per segment.
+	var wfall struct {
+		Wave struct {
+			EndToEndSeconds      float64 `json:"end_to_end_seconds"`
+			SegmentSumSeconds    float64 `json:"segment_sum_seconds"`
+			BridgeTransitSeconds float64 `json:"bridge_transit_seconds"`
+			Segments             []struct {
+				Kind            string  `json:"kind"`
+				Actor           string  `json:"actor"`
+				Edge            string  `json:"edge"`
+				Node            string  `json:"node"`
+				DurationSeconds float64 `json:"duration_seconds"`
+			} `json:"segments"`
+			Skew []struct {
+				Node            string  `json:"node"`
+				OffsetSeconds   float64 `json:"offset_seconds"`
+				ErrBoundSeconds float64 `json:"error_bound_seconds"`
+			} `json:"skew"`
+		} `json:"wave"`
+	}
+	lq := "/latency/wave/" + waveID + "?scope=cluster"
+	if err := getJSON(obsB.Addr(), lq, &wfall); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwaterfall of toll alert wave %s (GET %s):\n", waveID, lq)
+	fmt.Printf("  end-to-end %.3fms (segments sum %.3fms, bridge transit %.3fms)\n",
+		wfall.Wave.EndToEndSeconds*1e3, wfall.Wave.SegmentSumSeconds*1e3, wfall.Wave.BridgeTransitSeconds*1e3)
+	for _, s := range wfall.Wave.Segments {
+		label := s.Actor
+		if s.Edge != "" {
+			label = s.Edge
+		}
+		fmt.Printf("  %-8s %-36s [%-12s] %8.3fms\n", s.Kind, label, s.Node, s.DurationSeconds*1e3)
+	}
+	for _, sk := range wfall.Wave.Skew {
+		fmt.Printf("  skew: %s corrected by %+.3fms (±%.3fms)\n",
+			sk.Node, sk.OffsetSeconds*1e3, sk.ErrBoundSeconds*1e3)
+	}
+
+	// ---- And fleet-wide: which actors own the critical path overall?
+	var prof struct {
+		Profile struct {
+			Waves              int64   `json:"waves"`
+			EndToEndP95Seconds float64 `json:"end_to_end_p95_seconds"`
+			Actors             []struct {
+				Actor string  `json:"actor"`
+				Share float64 `json:"share"`
+			} `json:"actors"`
+		} `json:"profile"`
+	}
+	if err := getJSON(obsB.Addr(), "/latency?top=3", &prof); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlatency profile on lr-analytics (GET /latency?top=3): %d waves, p95 %.3fms\n",
+		prof.Profile.Waves, prof.Profile.EndToEndP95Seconds*1e3)
+	for _, a := range prof.Profile.Actors {
+		fmt.Printf("  %-16s %5.1f%% of critical-path time\n", a.Actor, 100*a.Share)
 	}
 	obsA.Close()
 	obsB.Close()

@@ -32,11 +32,11 @@ func benchEvent() *event.Event {
 // BENCH_dist.json).
 func BenchmarkWireEncodeBinary(b *testing.B) {
 	ev := benchEvent()
-	buf := appendEvent(nil, ev, false, 0)
+	buf := appendEvent(nil, ev, false, 0, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf = appendEvent(buf[:0], ev, false, 0)
+		buf = appendEvent(buf[:0], ev, false, 0, 0)
 	}
 }
 
@@ -55,7 +55,7 @@ func BenchmarkWireEncodeJSON(b *testing.B) {
 
 // BenchmarkWireDecodeBinary measures the receiver-side per-event decode.
 func BenchmarkWireDecodeBinary(b *testing.B) {
-	wire := appendEvent(nil, benchEvent(), false, 0)
+	wire := appendEvent(nil, benchEvent(), false, 0, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

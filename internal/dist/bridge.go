@@ -45,12 +45,24 @@ type Sender struct {
 	sent int64
 	enc  frameEncoder
 
+	// wmu serializes frame writes on the connection: Fire's data frames and
+	// the ack reader's skew-pong control frames interleave at frame
+	// granularity, never mid-frame.
+	wmu     sync.Mutex
+	pongBuf []byte
+
 	// Credit state: how many more events may be sent before the receiver
 	// acknowledges drains. The ack-reader goroutine refills it.
 	cmu     sync.Mutex
 	ccond   *sync.Cond
 	credits int
 	dead    error
+
+	// ackDone is closed when the ack-reader goroutine exits; Wrapup waits
+	// on it after half-closing so the receiver's pings never sit unread in
+	// the kernel buffer when the socket is released (that would turn the
+	// close into a RST discarding in-flight data frames).
+	ackDone chan struct{}
 }
 
 // NewSender builds the sending half, targeting the receiver's address.
@@ -98,33 +110,96 @@ func (s *Sender) Initialize(*model.FireContext) error {
 	s.credits = creditWindow
 	s.dead = nil
 	s.cmu.Unlock()
-	go s.ackReader(conn)
+	done := make(chan struct{})
+	s.mu.Lock()
+	s.ackDone = done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		s.ackReader(conn)
+	}()
 	return nil
 }
 
 // ackReader returns receiver drain acknowledgements to the credit pool. It
-// exits when the connection dies, waking any Fire stalled on credits.
+// exits when the connection dies, waking any Fire stalled on credits. A
+// zero count — never a legitimate credit grant — escapes to a control
+// message (today: the receiver's skew ping, answered inline with a pong
+// control frame on the data channel).
 func (s *Sender) ackReader(conn net.Conn) {
 	br := newFrameReader(conn).r // just the buffered reader
+	fail := func(err error) {
+		s.cmu.Lock()
+		if s.dead == nil {
+			if err == io.EOF {
+				s.dead = fmt.Errorf("dist: sender %s: connection closed by receiver", s.Name())
+			} else {
+				s.dead = fmt.Errorf("dist: sender %s: ack stream: %w", s.Name(), err)
+			}
+		}
+		s.ccond.Broadcast()
+		s.cmu.Unlock()
+	}
 	for {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			s.cmu.Lock()
-			if s.dead == nil {
-				if err == io.EOF {
-					s.dead = fmt.Errorf("dist: sender %s: connection closed by receiver", s.Name())
-				} else {
-					s.dead = fmt.Errorf("dist: sender %s: ack stream: %w", s.Name(), err)
-				}
-			}
-			s.ccond.Broadcast()
-			s.cmu.Unlock()
+			fail(err)
 			return
+		}
+		if n == 0 {
+			if err := s.handleControl(conn, br); err != nil {
+				fail(err)
+				return
+			}
+			continue
 		}
 		s.cmu.Lock()
 		s.credits += int(n)
 		s.ccond.Broadcast()
 		s.cmu.Unlock()
+	}
+}
+
+// handleControl consumes one control message off the ack channel. A ping
+// is answered immediately with a pong control frame carrying the ping's t0,
+// this clock's reply time and this node's identity — the receiver completes
+// the skew sample when it arrives.
+func (s *Sender) handleControl(conn net.Conn, br io.ByteReader) error {
+	kind, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case skewKindPing:
+		t0, err := binary.ReadVarint(br)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		origin := s.enc.origin
+		s.mu.Unlock()
+		s.wmu.Lock()
+		defer s.wmu.Unlock()
+		p := s.pongBuf[:0]
+		p = binary.AppendUvarint(p, 0) // seq: ignored on control frames
+		p = binary.AppendUvarint(p, 0) // count 0: control frame
+		p = binary.AppendUvarint(p, skewKindPong)
+		p = binary.AppendVarint(p, t0)
+		p = binary.AppendVarint(p, time.Now().UnixNano())
+		p = binary.AppendUvarint(p, origin)
+		hdr := binary.AppendUvarint(p[len(p):], uint64(len(p)))
+		// Pongs are best-effort: after Wrapup half-closes the write side a
+		// ping can still arrive, and failing here would end the drain loop
+		// and release the socket while the receiver holds unread frames
+		// (turning the close into an RST). Lost pongs just cost a sample;
+		// a genuinely dead connection fails the next read or Fire instead.
+		if _, err := conn.Write(hdr); err == nil {
+			_, _ = conn.Write(p)
+		}
+		s.pongBuf = p
+		return nil
+	default:
+		return fmt.Errorf("dist: sender %s: unknown control kind %d", s.Name(), kind)
 	}
 }
 
@@ -172,10 +247,13 @@ func (s *Sender) Fire(ctx *model.FireContext) error {
 			return err
 		}
 		hdr, payload := s.enc.encode(evs[:got])
-		if _, err := conn.Write(hdr); err != nil {
-			return fmt.Errorf("dist: sender %s: write: %w", s.Name(), err)
+		s.wmu.Lock()
+		_, err = conn.Write(hdr)
+		if err == nil {
+			_, err = conn.Write(payload)
 		}
-		if _, err := conn.Write(payload); err != nil {
+		s.wmu.Unlock()
+		if err != nil {
 			return fmt.Errorf("dist: sender %s: write: %w", s.Name(), err)
 		}
 		s.mu.Lock()
@@ -186,22 +264,39 @@ func (s *Sender) Fire(ctx *model.FireContext) error {
 	return nil
 }
 
-// Wrapup implements model.Actor: close the stream (end-of-stream for the
-// receiver).
+// Wrapup implements model.Actor: end the stream for the receiver. The
+// shutdown is a half-close handshake, not a hard Close: the receiver keeps
+// pinging for skew samples until it sees our FIN, and closing a socket
+// with an unread ping in the kernel buffer degrades the close into a RST
+// that discards data frames still in flight. So FIN the write side, wait
+// for the receiver to drain and close (the ack reader sees EOF), then
+// release the socket.
 func (s *Sender) Wrapup() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn != nil {
-		err := s.conn.Close()
-		s.conn = nil
-		return err
+	conn := s.conn
+	done := s.ackDone
+	s.conn = nil
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
 	}
-	return nil
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err == nil && done != nil {
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+			}
+		}
+	}
+	return conn.Close()
 }
 
 // senderConn is one accepted sender connection on the receiving side.
 type senderConn struct {
 	c net.Conn
+	// wmu serializes writes on the reverse (ack) channel: Fire's credit
+	// grants and the pinger's skew pings interleave at message granularity.
+	wmu sync.Mutex
 	// nextSeq is the next expected frame sequence number; only the
 	// connection's serve goroutine touches it.
 	nextSeq uint64
@@ -210,6 +305,16 @@ type senderConn struct {
 	pendingAck int
 	// touched marks membership in Fire's touched-connection scratch list.
 	touched bool
+
+	// est is this connection's clock-skew estimator, fed by pong control
+	// frames; origin is the sending node's identity learned from the first
+	// pong (0 until then, or when the sender has no identity).
+	est    skewEstimator
+	origin atomic.Uint64
+	// done stops the pinger when the serve goroutine exits; closed marks
+	// the connection dead for PeerOffsets.
+	done   chan struct{}
+	closed atomic.Bool
 }
 
 // recvEvent is one ring entry: the decoded event plus its source
@@ -239,13 +344,14 @@ type Receiver struct {
 	decodeEr  atomic.Int64
 	seqGaps   atomic.Int64
 
-	cmu        sync.Mutex
-	conns      []*senderConn
-	connsSeen  int
-	connsLive  int
-	acceptDone bool
-	expect     int
-	traceSink  func(root int64, rootSeq uint64, origin uint64)
+	cmu         sync.Mutex
+	conns       []*senderConn
+	connsSeen   int
+	connsLive   int
+	acceptDone  bool
+	expect      int
+	traceSink   func(root int64, rootSeq uint64, origin uint64)
+	transitSink func(root int64, rootSeq uint64, origin uint64, sentNs, recvNs int64, transit time.Duration)
 
 	// Fire-only scratch: connections drained this firing and the ack
 	// encode buffer.
@@ -304,6 +410,68 @@ func (r *Receiver) SetTraceSink(sink func(root int64, rootSeq uint64, origin uin
 	r.cmu.Unlock()
 }
 
+// SetTransitSink registers the callback invoked once per traced wave per
+// frame with the wave's corrected one-way bridge transit: sentNs is the
+// sender's send stamp mapped onto this node's clock by the connection's
+// skew estimate, recvNs the local arrival time, transit their difference.
+// Called only once a skew estimate exists for the connection. Call before
+// senders connect; the obs engine wires this automatically when a watched
+// workflow contains a Receiver.
+func (r *Receiver) SetTransitSink(sink func(root int64, rootSeq uint64, origin uint64, sentNs, recvNs int64, transit time.Duration)) {
+	r.cmu.Lock()
+	r.transitSink = sink
+	r.cmu.Unlock()
+}
+
+// PeerOffsets reports the current clock-skew estimate per upstream node,
+// preferring live connections and, within a liveness class, the estimate
+// with the freshest sample — so a reconnect's new estimate supersedes the
+// old connection's immediately.
+func (r *Receiver) PeerOffsets() []PeerOffset {
+	r.cmu.Lock()
+	conns := append([]*senderConn(nil), r.conns...)
+	r.cmu.Unlock()
+	type cand struct {
+		po   PeerOffset
+		live bool
+	}
+	best := map[NodeID]cand{}
+	for _, sc := range conns {
+		origin := NodeID(sc.origin.Load())
+		if origin == 0 {
+			continue
+		}
+		offNs, rttNs, atNs, n, ok := sc.est.estimate()
+		if !ok {
+			continue
+		}
+		c := cand{
+			po: PeerOffset{
+				Origin:  origin,
+				Offset:  time.Duration(offNs),
+				RTT:     time.Duration(rttNs),
+				Samples: n,
+				at:      atNs,
+			},
+			live: !sc.closed.Load(),
+		}
+		if prev, seen := best[origin]; seen {
+			if prev.live && !c.live {
+				continue
+			}
+			if prev.live == c.live && prev.po.at >= c.po.at {
+				continue
+			}
+		}
+		best[origin] = c
+	}
+	out := make([]PeerOffset, 0, len(best))
+	for _, c := range best {
+		out = append(out, c.po)
+	}
+	return out
+}
+
 // DecodeErrors counts malformed frames dropped off the wire.
 func (r *Receiver) DecodeErrors() int64 { return r.decodeEr.Load() }
 
@@ -338,13 +506,14 @@ func (r *Receiver) acceptLoop() {
 			r.cmu.Unlock()
 			return
 		}
-		sc := &senderConn{c: conn}
+		sc := &senderConn{c: conn, done: make(chan struct{})}
 		r.cmu.Lock()
 		r.conns = append(r.conns, sc)
 		r.connsSeen++
 		r.connsLive++
 		r.cmu.Unlock()
 		go r.serveConn(sc)
+		go r.pinger(sc)
 	}
 }
 
@@ -353,6 +522,8 @@ func (r *Receiver) acceptLoop() {
 // so there is no resynchronization point after corrupt bytes.
 func (r *Receiver) serveConn(sc *senderConn) {
 	defer func() {
+		sc.closed.Store(true)
+		close(sc.done)
 		sc.c.Close()
 		r.cmu.Lock()
 		r.connsLive--
@@ -360,10 +531,11 @@ func (r *Receiver) serveConn(sc *senderConn) {
 	}()
 	r.cmu.Lock()
 	sink := r.traceSink
+	transitSink := r.transitSink
 	r.cmu.Unlock()
 	fr := newFrameReader(sc.c)
 	// lastRoot/lastSeq dedupe consecutive traced events of one wave so the
-	// sink fires once per wave per run, not once per event.
+	// sinks fire once per wave per frame run, not once per event.
 	var lastRoot int64
 	var lastSeq uint64
 	var haveLast bool
@@ -375,10 +547,21 @@ func (r *Receiver) serveConn(sc *senderConn) {
 			}
 			return
 		}
+		if count == 0 {
+			// Control frame (today: the skew pong); consumes no data seq.
+			if !r.handleControl(sc, body) {
+				r.decodeEr.Add(1)
+				return
+			}
+			continue
+		}
 		if seq != sc.nextSeq {
 			r.seqGaps.Add(1)
 		}
 		sc.nextSeq = seq + 1
+		// recvNs is this frame's arrival time, read lazily on the first
+		// timed event so untimed traffic never touches the clock.
+		var recvNs int64
 		for i := 0; i < count; i++ {
 			ev, meta, n, err := decodeWireEvent(body)
 			if err != nil {
@@ -386,17 +569,98 @@ func (r *Receiver) serveConn(sc *senderConn) {
 				return
 			}
 			body = body[n:]
-			if meta.traced && sink != nil {
+			if meta.traced {
 				if !haveLast || lastRoot != ev.Wave.Root || lastSeq != ev.Wave.RootSeq {
-					// Force before push: the trace context must land in the
-					// local tracer before the event can fire downstream.
-					sink(ev.Wave.Root, ev.Wave.RootSeq, meta.origin)
 					lastRoot, lastSeq, haveLast = ev.Wave.Root, ev.Wave.RootSeq, true
+					if sink != nil {
+						// Force before push: the trace context must land in
+						// the local tracer before the event can fire
+						// downstream.
+						sink(ev.Wave.Root, ev.Wave.RootSeq, meta.origin)
+					}
+					if transitSink != nil && meta.sendNs != 0 {
+						if offNs, _, _, _, ok := sc.est.estimate(); ok {
+							if recvNs == 0 {
+								recvNs = time.Now().UnixNano()
+							}
+							sentNs := meta.sendNs + offNs // sender clock → local clock
+							transit := time.Duration(recvNs - sentNs)
+							if transit < 0 {
+								transit = 0 // inside the skew error bound
+							}
+							transitSink(ev.Wave.Root, ev.Wave.RootSeq, meta.origin, sentNs, recvNs, transit)
+						}
+					}
 				}
 			}
 			if !r.push(recvEvent{ev: ev, src: sc}) {
 				return
 			}
+		}
+	}
+}
+
+// handleControl processes one count==0 control frame. body starts after the
+// seq|count prefix. It reports false on a malformed frame.
+func (r *Receiver) handleControl(sc *senderConn, body []byte) bool {
+	kind, n := binary.Uvarint(body)
+	if n <= 0 {
+		return false
+	}
+	body = body[n:]
+	switch kind {
+	case skewKindPong:
+		t0, n := binary.Varint(body)
+		if n <= 0 {
+			return false
+		}
+		body = body[n:]
+		ts, n := binary.Varint(body)
+		if n <= 0 {
+			return false
+		}
+		body = body[n:]
+		origin, n := binary.Uvarint(body)
+		if n <= 0 {
+			return false
+		}
+		sc.est.addSample(t0, ts, time.Now().UnixNano())
+		if origin != 0 {
+			sc.origin.Store(origin)
+		}
+		return true
+	default:
+		// Unknown control kinds are skipped, not fatal: a newer sender may
+		// speak messages this receiver predates.
+		return true
+	}
+}
+
+// pinger drives the connection's skew exchanges: a short burst at accept so
+// an estimate exists before the first traced events arrive, then a slow
+// steady cadence that tracks drift. It exits when the serve goroutine
+// closes the connection or a write fails.
+func (r *Receiver) pinger(sc *senderConn) {
+	for i := 0; ; i++ {
+		t0 := time.Now().UnixNano()
+		buf := make([]byte, 0, 16)
+		buf = binary.AppendUvarint(buf, 0) // credit 0: control escape
+		buf = binary.AppendUvarint(buf, skewKindPing)
+		buf = binary.AppendVarint(buf, t0)
+		sc.wmu.Lock()
+		_, err := sc.c.Write(buf)
+		sc.wmu.Unlock()
+		if err != nil {
+			return
+		}
+		wait := skewPingInterval
+		if i < skewBurst {
+			wait = skewBurstInterval
+		}
+		select {
+		case <-sc.done:
+			return
+		case <-time.After(wait):
 		}
 	}
 }
@@ -460,11 +724,14 @@ func (r *Receiver) Fire(ctx *model.FireContext) error {
 
 // flushAck writes one credit grant back to the sender. Write errors are
 // ignored: a dead connection means the sender is gone and needs no
-// credits.
+// credits. The grant is never zero (callers check pendingAck > 0), so the
+// zero count stays free as the control-message escape.
 func (r *Receiver) flushAck(sc *senderConn) {
 	r.ackBuf = binary.AppendUvarint(r.ackBuf[:0], uint64(sc.pendingAck))
 	sc.pendingAck = 0
+	sc.wmu.Lock()
 	_, _ = sc.c.Write(r.ackBuf)
+	sc.wmu.Unlock()
 }
 
 // Exhausted implements model.SourceActor: every expected sender has

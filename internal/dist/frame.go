@@ -24,8 +24,9 @@ import (
 //	           varint wave.Root (zigzag)
 //	           uvarint wave.RootSeq
 //	           uvarint len(wave.Path) | len × varint path element
-//	           flags byte (bit0 = last-of-wave, bit1 = traced)
+//	           flags byte (bit0 = last-of-wave, bit1 = traced, bit2 = timed)
 //	           [uvarint origin-node-ID, iff flags bit1]
+//	           [varint send-time (sender clock UnixNano), iff flags bit2]
 //	           binary token (value.AppendBinary)
 //
 // seq is the sender's frame sequence number, starting at 0 and incremented
@@ -41,6 +42,13 @@ import (
 // Untraced events encode byte-identically to the pre-trace format, so
 // mixed-version bridges interoperate as long as tracing stays off on the
 // newer side.
+//
+// The timed flag stamps traced events with the sender's send time (its own
+// clock), one reading per encoded frame. Combined with the receiver-side
+// clock-skew estimate (skew.go) this yields the corrected one-way bridge
+// transit the latency waterfall attributes to the wire. A count==0 frame is
+// a control frame (today: the skew pong, see skew.go); data frames always
+// carry at least one event.
 //
 // Backpressure is credit-based: the receiver owns a bounded ring, and the
 // sender may have at most creditWindow unacknowledged events in flight.
@@ -92,15 +100,16 @@ type frameEncoder struct {
 const (
 	wireFlagLast   = 1 << 0
 	wireFlagTraced = 1 << 1
+	wireFlagTimed  = 1 << 2
 )
 
 // appendEvent appends one event's wire encoding to buf. traced marks the
-// event's wave as sampled upstream; origin is the sending node's identity,
-// emitted only for traced events so untraced traffic keeps the legacy
-// byte layout.
+// event's wave as sampled upstream; origin is the sending node's identity
+// and sendNs the send-time stamp (0 = unstamped), both emitted only for
+// traced events so untraced traffic keeps the legacy byte layout.
 //
 //confvet:noalloc
-func appendEvent(buf []byte, ev *event.Event, traced bool, origin uint64) []byte {
+func appendEvent(buf []byte, ev *event.Event, traced bool, origin uint64, sendNs int64) []byte {
 	buf = binary.AppendVarint(buf, ev.Time.UnixNano())
 	buf = binary.AppendVarint(buf, ev.Wave.Root)
 	buf = binary.AppendUvarint(buf, ev.Wave.RootSeq)
@@ -114,10 +123,16 @@ func appendEvent(buf []byte, ev *event.Event, traced bool, origin uint64) []byte
 	}
 	if traced {
 		flags |= wireFlagTraced
+		if sendNs != 0 {
+			flags |= wireFlagTimed
+		}
 	}
 	buf = append(buf, flags) //confvet:ignore append into the caller's reused buffer, amortized to zero growth
 	if traced {
 		buf = binary.AppendUvarint(buf, origin)
+		if sendNs != 0 {
+			buf = binary.AppendVarint(buf, sendNs)
+		}
 	}
 	return value.AppendBinary(buf, ev.Token)
 }
@@ -125,13 +140,20 @@ func appendEvent(buf []byte, ev *event.Event, traced bool, origin uint64) []byte
 // encode builds the frame for a batch of events into the encoder's reused
 // buffers and returns the two spans to write: the header (length prefix)
 // and the payload. The returned slices are valid until the next encode.
+// Traced events are stamped with one send-time reading taken per frame —
+// the stamp's intra-frame error is the frame's own encode time, far under
+// the skew estimator's ±rtt/2 bound.
 func (e *frameEncoder) encode(events []*event.Event) (hdr, payload []byte) {
+	var sendNs int64
+	if e.sampler != nil {
+		sendNs = time.Now().UnixNano()
+	}
 	p := e.payload[:0]
 	p = binary.AppendUvarint(p, e.seq)
 	p = binary.AppendUvarint(p, uint64(len(events)))
 	for _, ev := range events {
 		traced := e.sampler != nil && e.sampler(ev.Wave.Root, ev.Wave.RootSeq)
-		p = appendEvent(p, ev, traced, e.origin)
+		p = appendEvent(p, ev, traced, e.origin, sendNs)
 	}
 	e.payload = p
 	e.seq++
@@ -190,10 +212,12 @@ func (fr *frameReader) next() (seq uint64, count int, body []byte, err error) {
 }
 
 // wireMeta is the trace context decoded alongside an event: whether the
-// sending node sampled the event's wave, and which node sent it.
+// sending node sampled the event's wave, which node sent it, and the
+// sender-clock send time (0 when the sender did not stamp one).
 type wireMeta struct {
 	traced bool
 	origin uint64
+	sendNs int64
 }
 
 // decodeWireEvent decodes one event from the front of b, returning the
@@ -248,6 +272,14 @@ func decodeWireEvent(b []byte) (*event.Event, wireMeta, int, error) {
 		used += n
 		meta.traced = true
 		meta.origin = origin
+		if flags&wireFlagTimed != 0 {
+			sendNs, n := binary.Varint(b[used:])
+			if n <= 0 {
+				return nil, meta, 0, fmt.Errorf("dist: bad send time")
+			}
+			used += n
+			meta.sendNs = sendNs
+		}
 	}
 	tok, n, err := value.DecodeBinary(b[used:])
 	if err != nil {

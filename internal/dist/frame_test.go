@@ -157,8 +157,8 @@ func TestFrameCorruption(t *testing.T) {
 // layouts.
 func FuzzDecodeWireEvent(f *testing.F) {
 	for _, ev := range sampleEvents() {
-		f.Add(appendEvent(nil, ev, false, 0))
-		f.Add(appendEvent(nil, ev, true, uint64(NodeIDOf("node-a"))))
+		f.Add(appendEvent(nil, ev, false, 0, 0))
+		f.Add(appendEvent(nil, ev, true, uint64(NodeIDOf("node-a")), 1700000000000000000))
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x80}, 20)) // varint continuation bombs
@@ -170,7 +170,7 @@ func FuzzDecodeWireEvent(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
-		back, backMeta, _, err := decodeWireEvent(appendEvent(nil, ev, meta.traced, meta.origin))
+		back, backMeta, _, err := decodeWireEvent(appendEvent(nil, ev, meta.traced, meta.origin, meta.sendNs))
 		if err != nil {
 			t.Fatalf("re-decode of re-encode failed: %v", err)
 		}
@@ -209,7 +209,7 @@ func legacyAppendEvent(buf []byte, ev *event.Event) []byte {
 func TestFrameVersionSkew(t *testing.T) {
 	for i, ev := range sampleEvents() {
 		legacy := legacyAppendEvent(nil, ev)
-		current := appendEvent(nil, ev, false, uint64(NodeIDOf("ignored")))
+		current := appendEvent(nil, ev, false, uint64(NodeIDOf("ignored")), 1700000000000000000)
 		if !bytes.Equal(legacy, current) {
 			t.Errorf("event %d: untraced encoding diverged from legacy format:\n legacy  %x\n current %x", i, legacy, current)
 		}
@@ -226,7 +226,7 @@ func TestFrameVersionSkew(t *testing.T) {
 		}
 
 		origin := uint64(NodeIDOf("node-a"))
-		traced := appendEvent(nil, ev, true, origin)
+		traced := appendEvent(nil, ev, true, origin, 0)
 		got, meta, n, err = decodeWireEvent(traced)
 		if err != nil {
 			t.Fatalf("event %d: decoding traced bytes: %v", i, err)

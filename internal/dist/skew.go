@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock-skew estimation over the bridge's existing connections.
+//
+// A wave's bridge transit cannot be read off the wire directly: the
+// sender's send-time stamp (frame.go, wireFlagTimed) is on the sender's
+// clock, the arrival time on the receiver's, and the two clocks disagree
+// by an unknown offset that commonly dwarfs the transit itself. The
+// receiver therefore runs an NTP-style ping/pong exchange over the bridge's
+// two existing channels:
+//
+//	receiver → sender  (credit-ack channel): uvarint 0 escape, then
+//	                   uvarint kind=ping | varint t0 (receiver clock)
+//	sender → receiver  (data channel): a count==0 control frame, payload
+//	                   uvarint seq(0) | uvarint count(0) | uvarint kind=pong
+//	                   | varint t0 | varint ts (sender clock) | uvarint origin
+//
+// The uvarint-0 escape is unambiguous because credit grants are never zero
+// (flushAck only fires with pendingAck > 0), and count==0 frames are
+// unambiguous because data frames always carry at least one event.
+//
+// On receiving the pong at receiver time t2, the classic NTP sample is
+//
+//	rtt    = t2 − t0            (the sender's turnaround is immediate)
+//	offset = (t0 + t2)/2 − ts   (add to sender timestamps → receiver clock)
+//
+// The offset error is the path asymmetry (d_back − d_fwd)/2, bounded by
+// ±rtt/2; the estimator keeps the last skewWindow samples and answers with
+// the minimum-RTT one, whose bound is tightest. Reconnects start a fresh
+// estimator on the new connection, so offset drift across sender restarts
+// never blends into stale samples.
+
+const (
+	// skewKindPing / skewKindPong tag the control messages multiplexed onto
+	// the bridge channels.
+	skewKindPing = 1
+	skewKindPong = 2
+
+	// skewWindow is how many recent samples the estimator retains; the
+	// estimate is the minimum-RTT sample among them, so one quiet exchange
+	// beats any number of congested ones.
+	skewWindow = 8
+
+	// skewBurst pings go out back-to-back when a connection opens so an
+	// estimate exists before the first traced events arrive; after the
+	// burst the pinger settles to skewPingInterval.
+	skewBurst         = 4
+	skewBurstInterval = 5 * time.Millisecond
+	skewPingInterval  = 2 * time.Second
+)
+
+// skewSample is one completed ping/pong exchange.
+type skewSample struct {
+	offsetNs int64 // add to sender-clock nanos to land on the receiver clock
+	rttNs    int64
+	atNs     int64 // receiver time the sample completed
+}
+
+// skewEstimator holds one connection's recent samples. All methods are
+// safe for concurrent use (the serve goroutine adds, scrape paths read).
+type skewEstimator struct {
+	mu      sync.Mutex
+	samples [skewWindow]skewSample
+	n       int // total samples ever added
+}
+
+// addSample folds one exchange (t0: receiver send time, ts: sender reply
+// time, t2: receiver receive time, all unix nanos on their own clocks)
+// into the window.
+func (e *skewEstimator) addSample(t0, ts, t2 int64) {
+	if t2 < t0 {
+		return // non-monotonic wall clock: discard
+	}
+	s := skewSample{
+		offsetNs: (t0+t2)/2 - ts,
+		rttNs:    t2 - t0,
+		atNs:     t2,
+	}
+	e.mu.Lock()
+	e.samples[e.n%skewWindow] = s
+	e.n++
+	e.mu.Unlock()
+}
+
+// estimate returns the minimum-RTT sample in the window: the offset to add
+// to sender timestamps, its RTT (error bound ±rtt/2), the newest sample
+// time, and how many samples ever completed. ok is false before the first
+// sample.
+func (e *skewEstimator) estimate() (offsetNs, rttNs, atNs int64, n int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return 0, 0, 0, 0, false
+	}
+	k := e.n
+	if k > skewWindow {
+		k = skewWindow
+	}
+	best := e.samples[0]
+	for _, s := range e.samples[1:k] {
+		if s.rttNs < best.rttNs {
+			best = s
+		}
+		if s.atNs > atNs {
+			atNs = s.atNs
+		}
+	}
+	if best.atNs > atNs {
+		atNs = best.atNs
+	}
+	return best.offsetNs, best.rttNs, atNs, e.n, true
+}
+
+// PeerOffset is one upstream node's estimated clock relation, as seen by a
+// bridge receiver: add Offset to that node's timestamps to land on this
+// node's clock, with error bounded by ±RTT/2.
+type PeerOffset struct {
+	// Origin identifies the upstream node (see NodeIDOf).
+	Origin NodeID
+	// Offset maps the origin's clock onto this node's.
+	Offset time.Duration
+	// RTT is the round-trip of the minimum-RTT sample backing the
+	// estimate; the offset error is bounded by ±RTT/2.
+	RTT time.Duration
+	// Samples counts completed exchanges on the backing connection.
+	Samples int
+	// at orders estimates by recency when one origin has several
+	// connections (reconnects).
+	at int64
+}

@@ -1,0 +1,114 @@
+package dist_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// TestBridgeSkewAndTransit runs a real two-node pipeline with tracing on
+// and checks the skew machinery end to end: the receiver's pinger completes
+// exchanges over the credit-ack channel, PeerOffsets reports the sender's
+// clock relation, and traced events' send-time stamps surface as
+// skew-corrected transit measurements.
+func TestBridgeSkewAndTransit(t *testing.T) {
+	const n = 200
+	recv, err := dist.Listen("in", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type transit struct {
+		root           int64
+		origin         uint64
+		sentNs, recvNs int64
+		d              time.Duration
+	}
+	var mu sync.Mutex
+	var transits []transit
+	recv.SetTraceSink(func(root int64, rootSeq uint64, origin uint64) {})
+	recv.SetTransitSink(func(root int64, rootSeq uint64, origin uint64,
+		sentNs, recvNs int64, d time.Duration) {
+		mu.Lock()
+		transits = append(transits, transit{root, origin, sentNs, recvNs, d})
+		mu.Unlock()
+	})
+
+	wfB := model.NewWorkflow("nodeB")
+	sink := actors.NewCollect("sink")
+	wfB.MustAdd(recv, sink)
+	wfB.MustConnect(recv.Out(), sink.In())
+
+	wfA := model.NewWorkflow("nodeA")
+	// Pace the feed in real time (start = now, 1ms spacing): a run that
+	// finishes faster than one ping round trip can legally Wrapup before
+	// any skew exchange completes, and then PeerOffsets is empty. ~200ms
+	// of paced traffic spans the accept burst many times over.
+	src := actors.NewGenerator("src", time.Now(), time.Millisecond, n,
+		func(i int) value.Value { return value.Int(int64(i)) })
+	send := dist.NewSender("out", recv.Addr())
+	const originID = 7777
+	send.SetTraceSampler(func(root int64, rootSeq uint64) bool { return true }, originID)
+	wfA.MustAdd(src, send)
+	wfA.MustConnect(src.Out(), send.In())
+
+	cluster := dist.NewCluster()
+	cluster.AddNode("A", wfA, realDirector())
+	cluster.AddNode("B", wfB, realDirector())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cluster.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sink.Tokens) != n {
+		t.Fatalf("received %d tokens, want %d", len(sink.Tokens), n)
+	}
+	offs := recv.PeerOffsets()
+	if len(offs) != 1 {
+		t.Fatalf("PeerOffsets = %d entries, want 1", len(offs))
+	}
+	po := offs[0]
+	if uint64(po.Origin) != originID {
+		t.Errorf("origin = %d, want %d", po.Origin, originID)
+	}
+	if po.Samples < 1 {
+		t.Errorf("samples = %d, want >= 1", po.Samples)
+	}
+	if po.RTT <= 0 || po.RTT > time.Second {
+		t.Errorf("rtt = %v, not a plausible loopback round trip", po.RTT)
+	}
+	// Same machine, same clock: the measured offset is pure path noise,
+	// bounded by the estimator's own ±RTT/2.
+	if off := po.Offset; off < -po.RTT/2-time.Millisecond || off > po.RTT/2+time.Millisecond {
+		t.Errorf("loopback offset %v exceeds ±RTT/2 (%v)", off, po.RTT/2)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// The earliest waves can legally beat the first pong; after the accept
+	// burst (~20ms) an estimate exists, so sampled waves must measure.
+	if len(transits) == 0 {
+		t.Fatal("no transit measurements for traced waves")
+	}
+	for _, tr := range transits {
+		if tr.origin != originID {
+			t.Errorf("transit origin = %d, want %d", tr.origin, originID)
+		}
+		if tr.d < 0 || tr.d > time.Second {
+			t.Errorf("transit %v not plausible for loopback", tr.d)
+		}
+		// When the true transit is smaller than the skew error, the
+		// corrected send may land past the receive time (transit clamps to
+		// 0) — but never by more than the estimator's error bound plus
+		// scheduling noise.
+		if lag := time.Duration(tr.sentNs - tr.recvNs); lag > 10*time.Millisecond {
+			t.Errorf("corrected send leads receive by %v, beyond any plausible skew error", lag)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/value"
+)
+
+// mkSample computes the receiver-side timestamps of one ping/pong exchange
+// against a sender whose clock lags the receiver's by trueOffset (add
+// trueOffset to sender timestamps to land on the receiver clock), with the
+// given one-way path delays.
+func mkSample(t0, trueOffset, fwd, back int64) (ts, t2 int64) {
+	ts = t0 + fwd - trueOffset // sender's clock reading at turnaround
+	t2 = t0 + fwd + back
+	return ts, t2
+}
+
+// TestSkewEstimatorSymmetricRTT pins the NTP identity: with equal forward
+// and return delays the estimator recovers the true offset exactly,
+// whatever its sign or magnitude.
+func TestSkewEstimatorSymmetricRTT(t *testing.T) {
+	for _, trueOffset := range []int64{0, 5_000_000, -3_000_000_000, 123} {
+		var e skewEstimator
+		t0 := int64(1_000_000_000)
+		ts, t2 := mkSample(t0, trueOffset, 400_000, 400_000)
+		e.addSample(t0, ts, t2)
+		off, rtt, _, n, ok := e.estimate()
+		if !ok || n != 1 {
+			t.Fatalf("offset %d: estimate not available (n=%d)", trueOffset, n)
+		}
+		if off != trueOffset {
+			t.Errorf("true offset %d: estimated %d", trueOffset, off)
+		}
+		if rtt != 800_000 {
+			t.Errorf("rtt = %d, want 800000", rtt)
+		}
+	}
+}
+
+// TestSkewEstimatorAsymmetricRTT pins the documented error bound: with
+// unequal path delays the offset error is (back-fwd)/2, always within
+// ±rtt/2.
+func TestSkewEstimatorAsymmetricRTT(t *testing.T) {
+	const trueOffset = 7_000_000
+	cases := []struct{ fwd, back int64 }{
+		{100_000, 900_000}, // slow return path
+		{900_000, 100_000}, // slow forward path
+		{0, 1_000_000},     // fully asymmetric
+	}
+	for _, c := range cases {
+		var e skewEstimator
+		t0 := int64(2_000_000_000)
+		ts, t2 := mkSample(t0, trueOffset, c.fwd, c.back)
+		e.addSample(t0, ts, t2)
+		off, rtt, _, _, ok := e.estimate()
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		wantErr := (c.back - c.fwd) / 2
+		if got := off - trueOffset; got != wantErr {
+			t.Errorf("fwd=%d back=%d: error = %d, want %d", c.fwd, c.back, got, wantErr)
+		}
+		if errAbs := abs64(off - trueOffset); errAbs > rtt/2 {
+			t.Errorf("fwd=%d back=%d: |error| %d exceeds rtt/2 = %d", c.fwd, c.back, errAbs, rtt/2)
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestSkewEstimatorMinRTTSelection: among noisy high-RTT samples and one
+// quiet exchange, the estimate is the quiet one — congestion cannot drag
+// the offset around.
+func TestSkewEstimatorMinRTTSelection(t *testing.T) {
+	const trueOffset = 1_000_000
+	var e skewEstimator
+	t0 := int64(3_000_000_000)
+	for i := 0; i < 5; i++ {
+		// Congested: asymmetric 2ms/8ms exchanges, each off by +3ms.
+		ts, t2 := mkSample(t0, trueOffset, 2_000_000, 8_000_000)
+		e.addSample(t0, ts, t2)
+		t0 += 10_000_000
+	}
+	ts, t2 := mkSample(t0, trueOffset, 50_000, 50_000) // one quiet exchange
+	e.addSample(t0, ts, t2)
+	off, rtt, _, n, ok := e.estimate()
+	if !ok || n != 6 {
+		t.Fatalf("estimate unavailable (n=%d)", n)
+	}
+	if off != trueOffset {
+		t.Errorf("offset = %d, want %d (min-RTT sample)", off, trueOffset)
+	}
+	if rtt != 100_000 {
+		t.Errorf("rtt = %d, want 100000", rtt)
+	}
+}
+
+// TestSkewEstimatorWindowDrift: the estimator's window forgets old samples,
+// so a drifting clock converges to the new offset once the window turns
+// over — even when the stale samples had lower RTT.
+func TestSkewEstimatorWindowDrift(t *testing.T) {
+	var e skewEstimator
+	t0 := int64(5_000_000_000)
+	// Old regime: offset 1ms at a very low RTT.
+	ts, t2 := mkSample(t0, 1_000_000, 10_000, 10_000)
+	e.addSample(t0, ts, t2)
+	// Clock steps to offset 9ms; skewWindow exchanges at a modest RTT must
+	// evict the stale minimum.
+	for i := 0; i < skewWindow; i++ {
+		t0 += 10_000_000
+		ts, t2 = mkSample(t0, 9_000_000, 300_000, 300_000)
+		e.addSample(t0, ts, t2)
+	}
+	off, _, _, _, ok := e.estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if off != 9_000_000 {
+		t.Errorf("offset = %d, want 9000000 (stale pre-drift sample not evicted)", off)
+	}
+}
+
+// TestSkewEstimatorDiscardsNonMonotonic: a wall-clock step backward between
+// send and receive (t2 < t0) must not produce a sample.
+func TestSkewEstimatorDiscardsNonMonotonic(t *testing.T) {
+	var e skewEstimator
+	e.addSample(1_000_000, 999_000, 500_000)
+	if _, _, _, _, ok := e.estimate(); ok {
+		t.Error("non-monotonic sample accepted")
+	}
+}
+
+// TestPeerOffsetsPrefersLiveConnection pins the reconnect rule: when an
+// origin has a dead connection with old samples and a live one with fresh
+// samples, PeerOffsets reports the live estimate — offset drift across a
+// sender restart supersedes immediately instead of blending.
+func TestPeerOffsetsPrefersLiveConnection(t *testing.T) {
+	r := &Receiver{}
+	old := &senderConn{}
+	old.origin.Store(42)
+	old.closed.Store(true)
+	ts, t2 := mkSample(1_000, 1_000_000, 10_000, 10_000) // old offset, low RTT
+	old.est.addSample(1_000, ts, t2)
+
+	fresh := &senderConn{}
+	fresh.origin.Store(42)
+	ts, t2 = mkSample(2_000_000, 5_000_000, 400_000, 400_000) // new offset, higher RTT
+	fresh.est.addSample(2_000_000, ts, t2)
+
+	r.conns = []*senderConn{old, fresh}
+	offs := r.PeerOffsets()
+	if len(offs) != 1 {
+		t.Fatalf("PeerOffsets = %d entries, want 1", len(offs))
+	}
+	if offs[0].Origin != 42 {
+		t.Errorf("origin = %d, want 42", offs[0].Origin)
+	}
+	if offs[0].Offset != 5*time.Millisecond {
+		t.Errorf("offset = %v, want 5ms (live connection's estimate)", offs[0].Offset)
+	}
+
+	// With the fresh connection also dead, recency decides within the class.
+	fresh.closed.Store(true)
+	offs = r.PeerOffsets()
+	if len(offs) != 1 || offs[0].Offset != 5*time.Millisecond {
+		t.Errorf("after close: %+v, want the newest estimate (5ms)", offs)
+	}
+}
+
+// TestFrameTimedFlag pins the wire encoding of send-time stamps: traced
+// events from a sampling encoder carry sendNs, and the decoder restores it;
+// untraced events never do.
+func TestFrameTimedFlag(t *testing.T) {
+	ev := &event.Event{
+		Token: value.Int(7),
+		Time:  time.Unix(100, 0),
+		Wave:  event.WaveTag{Root: 11, RootSeq: 3},
+	}
+	const sendNs = 1_700_000_000_123_456_789
+	buf := appendEvent(nil, ev, true, 99, sendNs)
+	got, meta, n, err := decodeWireEvent(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !meta.traced || meta.origin != 99 || meta.sendNs != sendNs {
+		t.Errorf("meta = %+v, want traced origin=99 sendNs=%d", meta, int64(sendNs))
+	}
+	if got.Wave.Root != 11 || got.Wave.RootSeq != 3 {
+		t.Errorf("wave = %+v", got.Wave)
+	}
+
+	// Traced but unstamped (sendNs 0): the timed flag must stay clear.
+	buf = appendEvent(nil, ev, true, 99, 0)
+	_, meta, _, err = decodeWireEvent(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.sendNs != 0 {
+		t.Errorf("unstamped event decoded sendNs = %d", meta.sendNs)
+	}
+
+	// Untraced: byte-identical to the legacy encoding regardless of sendNs.
+	plain := appendEvent(nil, ev, false, 0, 0)
+	alsoPlain := appendEvent(nil, ev, false, 0, sendNs)
+	if string(plain) != string(alsoPlain) {
+		t.Error("sendNs leaked into untraced encoding")
+	}
+}

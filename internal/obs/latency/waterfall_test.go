@@ -1,0 +1,259 @@
+package latency
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/obs/prov"
+)
+
+// at builds a timestamp ms milliseconds past a fixed epoch.
+func at(ms int64) time.Time {
+	return time.Unix(1_700_000_000, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+// chainHops builds the canonical three-hop local lineage used across tests:
+// source (0–2ms), filter (queued 3–5ms, fires 5–6ms), sink (fires 8–9ms).
+func chainHops() []prov.Hop {
+	root := int64(11)
+	return []prov.Hop{
+		{
+			Node: "n1", Actor: "src", Root: root, RootSeq: 1,
+			Out:   event.WaveTag{Root: root, RootSeq: 1},
+			Start: at(0), Cost: 2 * time.Millisecond, Produced: 1,
+		},
+		{
+			Node: "n1", Actor: "filter", Root: root, RootSeq: 1,
+			In:    event.WaveTag{Root: root, RootSeq: 1},
+			Out:   event.WaveTag{Root: root, RootSeq: 1, Path: []int{1}},
+			Start: at(5), QueueWait: 2 * time.Millisecond, Cost: time.Millisecond,
+			Consumed: 1, Produced: 1,
+		},
+		{
+			Node: "n1", Actor: "sink", Root: root, RootSeq: 1,
+			In:    event.WaveTag{Root: root, RootSeq: 1, Path: []int{1}},
+			Start: at(8), QueueWait: time.Millisecond, Cost: time.Millisecond,
+			Consumed: 1, Produced: 0,
+		},
+	}
+}
+
+func TestAnalyzeLinearChain(t *testing.T) {
+	w := Analyze(chainHops(), nil)
+	if w == nil {
+		t.Fatal("nil waterfall")
+	}
+	if len(w.Path) != 3 {
+		t.Fatalf("path = %d hops, want 3", len(w.Path))
+	}
+	for i, want := range []string{"src", "filter", "sink"} {
+		if w.Path[i].Actor != want {
+			t.Errorf("path[%d] = %s, want %s", i, w.Path[i].Actor, want)
+		}
+	}
+	if w.EndToEnd != 9*time.Millisecond {
+		t.Errorf("end-to-end = %v, want 9ms", w.EndToEnd)
+	}
+	// Segment tiling: src cost 2ms | gap 1ms | queue 2ms | filter cost 1ms |
+	// gap 1ms | queue 1ms | sink cost 1ms.
+	type seg struct {
+		kind SegmentKind
+		d    time.Duration
+	}
+	want := []seg{
+		{SegmentCost, 2 * time.Millisecond},
+		{SegmentGap, time.Millisecond},
+		{SegmentQueue, 2 * time.Millisecond},
+		{SegmentCost, time.Millisecond},
+		{SegmentGap, time.Millisecond},
+		{SegmentQueue, time.Millisecond},
+		{SegmentCost, time.Millisecond},
+	}
+	if len(w.Segments) != len(want) {
+		t.Fatalf("segments = %d, want %d: %+v", len(w.Segments), len(want), w.Segments)
+	}
+	for i, s := range w.Segments {
+		if s.Kind != want[i].kind || s.Duration != want[i].d {
+			t.Errorf("segment %d = %s %v, want %s %v", i, s.Kind, s.Duration, want[i].kind, want[i].d)
+		}
+	}
+}
+
+// TestAnalyzeSegmentsSumExact is the regression pin for the waterfall's
+// core invariant: segment durations sum EXACTLY to the end-to-end latency
+// (documented bound: ±0 on the sum — individual boundaries, not the total,
+// carry the skew estimator's error). Randomized lineages, including
+// cross-node chains with and without matching transit measurements, must
+// all hold it.
+func TestAnalyzeSegmentsSumExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		nHops := 1 + rng.Intn(8)
+		hops := make([]prov.Hop, 0, nHops)
+		root := int64(100 + trial)
+		cursor := int64(0) // ms
+		node := "a"
+		var transits []prov.Transit
+		for i := 0; i < nHops; i++ {
+			if i > 0 && rng.Intn(4) == 0 {
+				// Cross nodes; sometimes with a transit measurement inside
+				// the inter-hop span.
+				prevEnd := cursor
+				wire := int64(rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					transits = append(transits, prov.Transit{
+						Origin: 1,
+						SentAt: at(prevEnd + int64(rng.Intn(2))),
+						RecvAt: at(prevEnd + int64(rng.Intn(2)) + wire),
+					})
+				}
+				node = node + "x"
+				cursor += wire
+			}
+			gap := int64(rng.Intn(5))
+			queue := int64(rng.Intn(5))
+			cost := int64(1 + rng.Intn(5))
+			start := cursor + gap + queue
+			h := prov.Hop{
+				Node: node, Actor: string(rune('A' + i)), Root: root, RootSeq: 1,
+				Start: at(start), QueueWait: time.Duration(queue) * time.Millisecond,
+				Cost: time.Duration(cost) * time.Millisecond, Consumed: 1, Produced: 1,
+				In:  event.WaveTag{Root: root, RootSeq: 1, Path: pathOf(i)},
+				Out: event.WaveTag{Root: root, RootSeq: 1, Path: pathOf(i + 1)},
+			}
+			if i == 0 {
+				h.In = event.WaveTag{}
+			}
+			if i == nHops-1 {
+				h.Out = event.WaveTag{}
+				h.Produced = 0
+			}
+			hops = append(hops, h)
+			cursor = start + cost
+		}
+		// Shuffle: Analyze must not depend on input order.
+		rng.Shuffle(len(hops), func(i, j int) { hops[i], hops[j] = hops[j], hops[i] })
+
+		w := Analyze(hops, transits)
+		if w == nil {
+			t.Fatalf("trial %d: nil waterfall", trial)
+		}
+		var sum time.Duration
+		for _, s := range w.Segments {
+			if s.Duration < 0 {
+				t.Fatalf("trial %d: negative segment %+v", trial, s)
+			}
+			sum += s.Duration
+		}
+		if sum != w.EndToEnd {
+			t.Fatalf("trial %d: segments sum %v != end-to-end %v", trial, sum, w.EndToEnd)
+		}
+		if w.EndToEnd != time.Duration(w.EndNs-w.StartNs) {
+			t.Fatalf("trial %d: EndToEnd inconsistent with bounds", trial)
+		}
+	}
+}
+
+func pathOf(depth int) []int {
+	p := make([]int, depth)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+// TestAnalyzeBridgeTransit pins the cross-node stitch: a sender hop with a
+// zero Out tag, a receiver hop with a zero In tag, and a transit
+// measurement inside the span produce gap|transit|gap segmentation with
+// the wire time reported as BridgeTransit.
+func TestAnalyzeBridgeTransit(t *testing.T) {
+	root := int64(77)
+	hops := []prov.Hop{
+		{ // source on node A
+			Node: "A", Actor: "src", Root: root, RootSeq: 2,
+			Out:   event.WaveTag{Root: root, RootSeq: 2},
+			Start: at(0), Cost: time.Millisecond, Produced: 1,
+		},
+		{ // bridge sender: consumed the wave, emitted nothing locally
+			Node: "A", Actor: "bridge", Root: root, RootSeq: 2,
+			In:    event.WaveTag{Root: root, RootSeq: 2},
+			Start: at(2), Cost: time.Millisecond, Consumed: 1, Produced: 0,
+		},
+		{ // bridge receiver on node B: re-emits with In unset
+			Node: "B", Actor: "bridge", Root: root, RootSeq: 2,
+			Out:   event.WaveTag{Root: root, RootSeq: 2},
+			Start: at(8), Cost: time.Millisecond, Produced: 1,
+		},
+		{ // sink on node B
+			Node: "B", Actor: "sink", Root: root, RootSeq: 2,
+			In:    event.WaveTag{Root: root, RootSeq: 2},
+			Start: at(10), QueueWait: time.Millisecond, Cost: time.Millisecond,
+			Consumed: 1, Produced: 0,
+		},
+	}
+	transits := []prov.Transit{{
+		Origin: 9, SentAt: at(3), RecvAt: at(7), Duration: 4 * time.Millisecond,
+	}}
+	w := Analyze(hops, transits)
+	if w == nil {
+		t.Fatal("nil waterfall")
+	}
+	if len(w.Path) != 4 {
+		t.Fatalf("path = %d hops, want 4 (cross-node stitch failed): %+v", len(w.Path), w.Path)
+	}
+	if w.BridgeTransit != 4*time.Millisecond {
+		t.Errorf("bridge transit = %v, want 4ms", w.BridgeTransit)
+	}
+	var foundTransit bool
+	var sum time.Duration
+	for _, s := range w.Segments {
+		sum += s.Duration
+		if s.Kind == SegmentTransit {
+			foundTransit = true
+			if s.Duration != 4*time.Millisecond {
+				t.Errorf("transit segment = %v, want 4ms", s.Duration)
+			}
+			if s.Node != "B" {
+				t.Errorf("transit observed on node %q, want B (receiver clock)", s.Node)
+			}
+		}
+	}
+	if !foundTransit {
+		t.Error("no transit segment emitted")
+	}
+	if sum != w.EndToEnd {
+		t.Errorf("segments sum %v != end-to-end %v", sum, w.EndToEnd)
+	}
+}
+
+// TestAnalyzeFanInPicksCompletingArrival: an aggregate whose window spans
+// several upstream firings charges the wait to the arrival that completed
+// the window — the latest-ending parent.
+func TestAnalyzeFanInPicksCompletingArrival(t *testing.T) {
+	root := int64(5)
+	out := event.WaveTag{Root: root, RootSeq: 1}
+	hops := []prov.Hop{
+		{Node: "n", Actor: "srcEarly", Root: root, RootSeq: 1, Out: out,
+			Start: at(0), Cost: time.Millisecond, Produced: 1},
+		{Node: "n", Actor: "srcLate", Root: root, RootSeq: 1, Out: out,
+			Start: at(4), Cost: time.Millisecond, Produced: 1},
+		{Node: "n", Actor: "agg", Root: root, RootSeq: 1,
+			In:    out,
+			Start: at(6), Cost: time.Millisecond, Consumed: 2, Produced: 0},
+	}
+	w := Analyze(hops, nil)
+	if len(w.Path) < 2 {
+		t.Fatalf("path too short: %+v", w.Path)
+	}
+	if got := w.Path[len(w.Path)-2].Actor; got != "srcLate" {
+		t.Errorf("critical parent = %s, want srcLate (completing arrival)", got)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if w := Analyze(nil, nil); w != nil {
+		t.Errorf("Analyze(nil) = %+v, want nil", w)
+	}
+}

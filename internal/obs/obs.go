@@ -11,6 +11,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs/latency"
 	"repro/internal/obs/prov"
 	"repro/internal/stats"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	// ("host:port" or "http://host:port") for the /cluster rollup and
 	// cluster-scoped /provenance queries.
 	Peers []string
+
+	// Latency enables critical-path latency attribution (/latency): sampled
+	// waves' lineages are folded into per-wave waterfalls and a fleet-wide
+	// per-actor/per-edge profile. Implies Provenance — the waterfall
+	// analyzer reads the lineage store.
+	Latency bool
 }
 
 // shedReporter is what a load-shedding actor exposes for scraping;
@@ -150,6 +157,10 @@ type Engine struct {
 	nodeName string
 	nodeID   uint64
 
+	// latency is the critical-path attribution profile (nil when
+	// Options.Latency is off).
+	latency *latency.Profile
+
 	// hot-path instruments, updated by the director hooks.
 	firingSeconds *HistogramVec // by actor
 	queueWait     *Histogram
@@ -160,6 +171,7 @@ type Engine struct {
 	spans         *Counter
 	provHops      *Counter
 	forcedWaves   *Counter
+	bridgeTransit *HistogramVec // by receiving bridge actor
 
 	// qos is the registered continuous QoS subscriber (nil = none); one
 	// atomic load per hook when unset.
@@ -192,12 +204,15 @@ func NewEngine(opts Options) *Engine {
 		nodeID:   uint64(dist.NodeIDOf(opts.NodeName)),
 		peers:    append([]string(nil), opts.Peers...),
 	}
-	if opts.Provenance {
+	if opts.Provenance || opts.Latency {
 		e.prov = prov.NewStore(prov.Options{
 			SegmentHops: opts.ProvSegmentHops,
 			MaxSegments: opts.ProvMaxSegments,
 			MaxAge:      opts.ProvMaxAge,
 		})
+	}
+	if opts.Latency {
+		e.latency = latency.NewProfile(e.resolveWave)
 	}
 	r := e.reg
 	e.firingSeconds = r.NewHistogramVec("confluence_firing_seconds",
@@ -218,6 +233,8 @@ func NewEngine(opts Options) *Engine {
 		"Lineage hops recorded into the provenance store.")
 	e.forcedWaves = r.NewCounter("confluence_trace_forced_waves_total",
 		"Waves forced into the local tracer by upstream bridge trace context.")
+	e.bridgeTransit = r.NewHistogramVec("confluence_bridge_transit_seconds",
+		"Skew-corrected one-way bridge transit of traced waves, by receiving bridge actor.", "actor")
 	e.registerCollectors()
 	return e
 }
@@ -359,6 +376,16 @@ func (e *Engine) Watch(name string, wf *model.Workflow, st *stats.Registry, dir 
 			if r, ok := a.(traceSinkTarget); ok {
 				r.SetTraceSink(e.traceForced)
 			}
+			// Bridge transit timing rides the same structural wiring: the
+			// receiver reports each traced wave's skew-corrected wire time,
+			// attributed to the receiving bridge actor.
+			if t, ok := a.(transitSinkTarget); ok && e.prov != nil {
+				bridge := a.Name()
+				t.SetTransitSink(func(root int64, rootSeq uint64, origin uint64,
+					sentNs, recvNs int64, transit time.Duration) {
+					e.transitObserved(bridge, root, rootSeq, origin, sentNs, recvNs, transit)
+				})
+			}
 		}
 	}
 	e.mu.Lock()
@@ -479,6 +506,11 @@ func (e *Engine) recordHop(s Span) {
 		Produced:  s.Produced,
 	})
 	e.provHops.Inc()
+	// A hop that emitted nothing ended its wave here (a sink, or a
+	// filter dropping the last event): queue it for waterfall analysis.
+	if e.latency != nil && s.Produced == 0 {
+		e.latency.NoteEndpoint(s.Root, s.RootSeq)
+	}
 }
 
 // ClaimObserved is the scheduler hook for one ConcurrentScheduler.Claim
@@ -670,6 +702,35 @@ func (e *Engine) registerCollectors() {
 		func(emit func(string, float64)) {
 			if e.prov != nil {
 				emit("", float64(e.prov.Stats().EvictedHops))
+			}
+		})
+	r.RegisterCollector("confluence_prov_recorded_total",
+		"Lineage hops ever recorded into the provenance store.", typeCounter, "",
+		func(emit func(string, float64)) {
+			if e.prov != nil {
+				emit("", float64(e.prov.Stats().Recorded))
+			}
+		})
+	r.RegisterCollector("confluence_prov_segments",
+		"Segments currently resident in the provenance store.", typeGauge, "",
+		func(emit func(string, float64)) {
+			if e.prov != nil {
+				emit("", float64(e.prov.Stats().Segments))
+			}
+		})
+
+	r.RegisterCollector("confluence_latency_endpoints_total",
+		"Wave endpoints queued for critical-path analysis.", typeCounter, "",
+		func(emit func(string, float64)) {
+			if e.latency != nil {
+				emit("", float64(e.latency.Noted()))
+			}
+		})
+	r.RegisterCollector("confluence_latency_dropped_total",
+		"Wave endpoints dropped because the analysis queue was full.", typeCounter, "",
+		func(emit func(string, float64)) {
+			if e.latency != nil {
+				emit("", float64(e.latency.Dropped()))
 			}
 		})
 

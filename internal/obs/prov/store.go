@@ -144,6 +144,30 @@ type waveKey struct {
 	seq  uint64
 }
 
+// originNote is one wave's bridge context: the upstream node its events
+// arrived from, and — when the bridge measured one — the skew-corrected
+// transit of its first traced frame.
+type originNote struct {
+	origin uint64
+	// sentNs/recvNs bound the bridge hop on the receiving node's clock
+	// (sentNs already skew-corrected); transitNs is their difference.
+	// hasTransit distinguishes a measured zero from "no measurement".
+	sentNs, recvNs, transitNs int64
+	hasTransit                bool
+}
+
+// Transit is one wave's measured bridge hop, as returned by
+// (*Store).Transit.
+type Transit struct {
+	// Origin is the upstream node the wave arrived from.
+	Origin uint64
+	// SentAt and RecvAt bound the hop on the receiving node's clock
+	// (SentAt skew-corrected from the sender's send stamp).
+	SentAt, RecvAt time.Time
+	// Duration is the corrected one-way transit.
+	Duration time.Duration
+}
+
 // Store is the bounded lineage store. A nil *Store is valid everywhere and
 // records nothing.
 type Store struct {
@@ -158,10 +182,11 @@ type Store struct {
 
 	stripes [provStripes]stripe
 
-	// origins maps waves to the upstream node ID their events arrived
-	// from over a bridge (bounded FIFO; control path only).
+	// origins maps waves to their bridge context — upstream node ID and,
+	// when measured, the corrected bridge transit (bounded FIFO; control
+	// path only).
 	omu     sync.Mutex
-	origins map[waveKey]uint64
+	origins map[waveKey]originNote
 	originQ []waveKey
 }
 
@@ -183,7 +208,7 @@ func NewStore(opts Options) *Store {
 		segmentHops:  segHops,
 		maxPerStripe: per,
 		maxAge:       opts.MaxAge,
-		origins:      make(map[waveKey]uint64),
+		origins:      make(map[waveKey]originNote),
 	}
 }
 
@@ -295,15 +320,9 @@ func (s *Store) expire(now time.Time) {
 	}
 }
 
-// NoteOrigin records that the given wave's events arrived over a bridge
-// from the node with the given identity (see dist.NodeIDOf). The table is
-// bounded; beyond originTableCap the oldest note is dropped.
-func (s *Store) NoteOrigin(root int64, rootSeq uint64, origin uint64) {
-	if s == nil {
-		return
-	}
-	k := waveKey{root, rootSeq}
-	s.omu.Lock()
+// noteLocked inserts or updates one wave's note under s.omu, enforcing the
+// FIFO bound on new keys.
+func (s *Store) noteLocked(k waveKey, update func(*originNote)) {
 	if _, ok := s.origins[k]; !ok {
 		if len(s.originQ) >= originTableCap {
 			delete(s.origins, s.originQ[0])
@@ -311,7 +330,42 @@ func (s *Store) NoteOrigin(root int64, rootSeq uint64, origin uint64) {
 		}
 		s.originQ = append(s.originQ, k)
 	}
-	s.origins[k] = origin
+	note := s.origins[k]
+	update(&note)
+	s.origins[k] = note
+}
+
+// NoteOrigin records that the given wave's events arrived over a bridge
+// from the node with the given identity (see dist.NodeIDOf). The table is
+// bounded; beyond originTableCap the oldest note is dropped.
+func (s *Store) NoteOrigin(root int64, rootSeq uint64, origin uint64) {
+	if s == nil {
+		return
+	}
+	s.omu.Lock()
+	s.noteLocked(waveKey{root, rootSeq}, func(n *originNote) { n.origin = origin })
+	s.omu.Unlock()
+}
+
+// NoteTransit records one wave's measured bridge hop: the skew-corrected
+// send time, local arrival time and their difference, all on the receiving
+// node's clock. The first measurement per wave wins — later frames of the
+// same wave re-cross the bridge only on retries, whose timing is not the
+// wave's first hop.
+func (s *Store) NoteTransit(root int64, rootSeq uint64, origin uint64, sentNs, recvNs int64, transit time.Duration) {
+	if s == nil {
+		return
+	}
+	s.omu.Lock()
+	s.noteLocked(waveKey{root, rootSeq}, func(n *originNote) {
+		if n.origin == 0 {
+			n.origin = origin
+		}
+		if !n.hasTransit {
+			n.sentNs, n.recvNs, n.transitNs = sentNs, recvNs, int64(transit)
+			n.hasTransit = true
+		}
+	})
 	s.omu.Unlock()
 }
 
@@ -322,9 +376,32 @@ func (s *Store) Origin(root int64, rootSeq uint64) (uint64, bool) {
 		return 0, false
 	}
 	s.omu.Lock()
-	o, ok := s.origins[waveKey{root, rootSeq}]
+	n, ok := s.origins[waveKey{root, rootSeq}]
 	s.omu.Unlock()
-	return o, ok
+	if !ok || n.origin == 0 {
+		return 0, false
+	}
+	return n.origin, true
+}
+
+// TransitOf returns the wave's measured bridge hop, if the receiving
+// bridge recorded one.
+func (s *Store) TransitOf(root int64, rootSeq uint64) (Transit, bool) {
+	if s == nil {
+		return Transit{}, false
+	}
+	s.omu.Lock()
+	n, ok := s.origins[waveKey{root, rootSeq}]
+	s.omu.Unlock()
+	if !ok || !n.hasTransit {
+		return Transit{}, false
+	}
+	return Transit{
+		Origin:   n.origin,
+		SentAt:   time.Unix(0, n.sentNs),
+		RecvAt:   time.Unix(0, n.recvNs),
+		Duration: time.Duration(n.transitNs),
+	}, true
 }
 
 // forEachStripeHop yields every resident hop of one stripe under its lock.

@@ -41,6 +41,11 @@ type hopView struct {
 	Consumed         int     `json:"consumed"`
 	Produced         int     `json:"produced"`
 	Seq              uint64  `json:"seq"`
+	// SkewOffsetNs is the clock correction applied to StartUnixNs when this
+	// hop was merged from a peer whose skew a local bridge receiver has
+	// estimated (cluster scope only). Start keeps the peer's own wall
+	// clock; StartUnixNs is on the querying node's clock after correction.
+	SkewOffsetNs int64 `json:"skew_offset_ns,omitempty"`
 }
 
 // provWaveView is one wave's lineage in /provenance JSON.
@@ -227,6 +232,7 @@ func (e *Engine) handleProvenanceWave(w http.ResponseWriter, r *http.Request, wa
 		// per-store sequence.
 		peerQ := r.URL.Query()
 		peerQ.Del("scope")
+		offsets := e.peerOffsets()
 		for _, peer := range e.clusterPeers() {
 			var pw struct {
 				Wave provWaveView `json:"wave"`
@@ -234,7 +240,17 @@ func (e *Engine) handleProvenanceWave(w http.ResponseWriter, r *http.Request, wa
 			if err := fetchPeerJSON(peer, "/provenance?"+peerQ.Encode(), &pw); err != nil {
 				continue // unreachable peer: report what we have
 			}
-			wave.Hops = append(wave.Hops, pw.Wave.Hops...)
+			for _, hv := range pw.Wave.Hops {
+				// Map peer timestamps onto this node's clock when a local
+				// bridge receiver has a skew estimate for that node, so the
+				// wall-clock sort below orders cross-node hops correctly
+				// even under clock skew.
+				if po, ok := e.offsetForNode(offsets, hv.Node); ok {
+					hv.SkewOffsetNs = po.Offset.Nanoseconds()
+					hv.StartUnixNs += hv.SkewOffsetNs
+				}
+				wave.Hops = append(wave.Hops, hv)
+			}
 			if wave.Origin == "" {
 				wave.Origin = pw.Wave.Origin
 			}

@@ -54,6 +54,8 @@ func (e *Engine) buildMux() *http.ServeMux {
 	mux.HandleFunc("/workflows", e.handleWorkflows)
 	mux.HandleFunc("/trace/", e.handleTrace)
 	mux.HandleFunc("/provenance", e.handleProvenance)
+	mux.HandleFunc("/latency", e.handleLatency)
+	mux.HandleFunc("/latency/wave/", e.handleLatencyWave)
 	mux.HandleFunc("/cluster", e.handleCluster)
 	mux.HandleFunc("/cluster/metrics", e.handleClusterMetrics)
 	mux.HandleFunc("/healthz", e.handleHealthz)
@@ -67,7 +69,7 @@ func (e *Engine) buildMux() *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /provenance /cluster /healthz /debug/pprof/\n")
+		fmt.Fprint(w, "confluence introspection: /metrics /workflows /trace/ /provenance /latency /cluster /healthz /debug/pprof/\n")
 	})
 	e.mu.Lock()
 	for pattern, h := range e.extra {
@@ -201,6 +203,13 @@ func (e *Engine) handleWorkflows(w http.ResponseWriter, _ *http.Request) {
 	}
 	e.mu.Unlock()
 
+	// The latency attribution headline: the top actors by critical-path
+	// share, so /workflows answers "where does the time go" at a glance.
+	var attribution any
+	if e.latencyEnabled() {
+		attribution = e.LatencySummary(3)
+	}
+
 	views := make([]workflowView, 0, len(watches))
 	for _, wa := range watches {
 		v := workflowView{Name: wa.name, Actors: []actorView{}}
@@ -229,7 +238,11 @@ func (e *Engine) handleWorkflows(w http.ResponseWriter, _ *http.Request) {
 		}
 		views = append(views, v)
 	}
-	writeJSON(w, map[string]any{"workflows": views, "responses": responses})
+	out := map[string]any{"workflows": views, "responses": responses}
+	if attribution != nil {
+		out["latency"] = attribution
+	}
+	writeJSON(w, out)
 }
 
 // spanView is the /trace/{wavetag} JSON shape: one hop of a wave's lineage.

@@ -1,4 +1,4 @@
-package qos
+package sketch
 
 import (
 	"math"
@@ -23,12 +23,12 @@ func TestBucketOf(t *testing.T) {
 		{time.Millisecond, 10},
 		{time.Second, 20},
 		{(1 << 27) * time.Microsecond, 27},
-		{(1<<27 + 1) * time.Microsecond, sketchBuckets},
-		{10 * time.Minute, sketchBuckets},
+		{(1<<27 + 1) * time.Microsecond, Buckets},
+		{10 * time.Minute, Buckets},
 	}
 	for _, tc := range cases {
-		if got := bucketOf(tc.d); got != tc.want {
-			t.Errorf("bucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		if got := BucketOf(tc.d); got != tc.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", tc.d, got, tc.want)
 		}
 	}
 }
@@ -56,7 +56,7 @@ func TestQuantileWithinFactorTwoOfExact(t *testing.T) {
 	}
 	for name, gen := range dists {
 		t.Run(name, func(t *testing.T) {
-			var sk sketch
+			var sk Sketch
 			const n = 20_000
 			exact := make([]time.Duration, n)
 			for i := range exact {
@@ -66,7 +66,7 @@ func TestQuantileWithinFactorTwoOfExact(t *testing.T) {
 			}
 			sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
 			var snap Snapshot
-			sk.load(&snap)
+			sk.Load(&snap)
 			if snap.Total != n {
 				t.Fatalf("snapshot total = %d, want %d", snap.Total, n)
 			}
@@ -93,7 +93,7 @@ func TestSnapshotMergeMatchesCombinedSketch(t *testing.T) {
 		3 * time.Microsecond, time.Millisecond, time.Millisecond,
 		40 * time.Millisecond, time.Second, 3 * time.Minute,
 	}
-	var a, b, combined sketch
+	var a, b, combined Sketch
 	for i, d := range samples {
 		if i%2 == 0 {
 			a.Observe(d)
@@ -103,9 +103,9 @@ func TestSnapshotMergeMatchesCombinedSketch(t *testing.T) {
 		combined.Observe(d)
 	}
 	var sa, sb, sc Snapshot
-	a.load(&sa)
-	b.load(&sb)
-	combined.load(&sc)
+	a.Load(&sa)
+	b.Load(&sb)
+	combined.Load(&sc)
 	sa.Merge(sb)
 	if sa != sc {
 		t.Fatalf("merged snapshot %+v != combined sketch %+v", sa, sc)
@@ -120,7 +120,7 @@ func TestSnapshotMergeMatchesCombinedSketch(t *testing.T) {
 // epoch drops its old counts, and samples older than their slot's current
 // epoch are discarded rather than polluting the newer window.
 func TestWindowedSketchRotation(t *testing.T) {
-	w := newWindowedSketch(time.Second, 4)
+	w := NewWindowed(time.Second, 4)
 	if w.Span() != 4*time.Second {
 		t.Fatalf("span = %v, want 4s", w.Span())
 	}
