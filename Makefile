@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race vet lint bench bench-gate bench-parallel bench-dist bench-obs race-obs bench-qos qos-gate bench-prov prov-gate bench-latency latency-gate build test
+.PHONY: tier1 race vet lint bench-lint bench bench-gate bench-parallel bench-dist bench-obs race-obs bench-qos qos-gate bench-prov prov-gate bench-latency latency-gate build test
 
 # tier1 is the acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -19,10 +19,20 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the standard toolchain vet plus confvet, the repo's own
-# engine-invariant analyzers (see DESIGN.md, section "Static analysis").
-# Both must be clean for the tree to be mergeable.
+# engine-invariant analyzers (see DESIGN.md, sections "Static analysis"
+# and "Dataflow analysis"): the five syntactic checks plus the poolsafe /
+# ringsafe / waitersafe dataflow tier. The ./... pattern covers the whole
+# module — internal/, cmd/ and examples/ alike. Both legs must be clean
+# for the tree to be mergeable.
 lint: vet
 	$(GO) run ./cmd/confvet ./...
+
+# bench-lint times one full confvet pass (load + type-check + every
+# analyzer) over the tree, plus the isolated dataflow tier. The CI lint
+# job logs the numbers so analyzer wall-time regressions are visible
+# before they make `make lint` painful.
+bench-lint:
+	$(GO) test ./internal/analysis/ -run '^$$' -bench BenchmarkConfvet -benchtime 1x -count 1
 
 # bench reruns the hot-path microbenchmarks whose numbers are recorded in
 # BENCH_hotpath.json (see DESIGN.md, section "Hot path"), plus the

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// TestExitCodeClean pins the success leg of the exit-code contract: a
+// package with no findings exits 0 and prints nothing.
+func TestExitCodeClean(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"../../internal/clock"}); code != 0 {
+			t.Errorf("clean package: exit %d, want 0", code)
+		}
+	})
+	if out != "" {
+		t.Errorf("clean package printed output: %q", out)
+	}
+}
+
+// TestExitCodeFindings pins the findings leg: the seeded poolsafe fixture
+// must exit 1 and print vet-style lines naming the analyzer.
+func TestExitCodeFindings(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"-run", "poolsafe", "../../internal/analysis/testdata/src/poolsafe"}); code != 1 {
+			t.Errorf("fixture with findings: exit %d, want 1", code)
+		}
+	})
+	if !strings.Contains(out, "poolsafe:") {
+		t.Errorf("output does not name the analyzer:\n%s", out)
+	}
+}
+
+// TestExitCodeErrors pins the failure leg: unknown analyzers and unloadable
+// patterns both exit 2.
+func TestExitCodeErrors(t *testing.T) {
+	if code := run([]string{"-run", "nosuch", "."}); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code := run([]string{"../../no/such/package"}); code != 2 {
+		t.Errorf("unloadable pattern: exit %d, want 2", code)
+	}
+}
+
+// TestJSONFields pins the machine-readable contract: every diagnostic
+// carries the analyzer name, and path-bearing diagnostics carry the line
+// list of the offending control-flow path.
+func TestJSONFields(t *testing.T) {
+	var code int
+	out := capture(t, func() {
+		code = run([]string{"-json", "-run", "poolsafe", "../../internal/analysis/testdata/src/poolsafe"})
+	})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Path     []int  `json:"path"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("no diagnostics decoded")
+	}
+	withPath := 0
+	for _, d := range diags {
+		if d.Analyzer != "poolsafe" {
+			t.Errorf("diagnostic missing analyzer name: %+v", d)
+		}
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+		if len(d.Path) > 0 {
+			withPath++
+			last := d.Path[len(d.Path)-1]
+			if last != d.Line {
+				t.Errorf("path %v does not end at the diagnostic line %d", d.Path, d.Line)
+			}
+		}
+	}
+	if withPath == 0 {
+		t.Errorf("no diagnostic carried a path; dataflow findings must explain their control-flow path")
+	}
+}
+
+// TestJSONEmptyArray pins that -json on a clean tree prints [] rather than
+// null, so downstream tooling can always range over the result.
+func TestJSONEmptyArray(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"-json", "../../internal/clock"}); code != 0 {
+			t.Errorf("clean package: exit %d, want 0", code)
+		}
+	})
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+// TestListIncludesDataflowTier pins that the catalogue names all three
+// dataflow analyzers.
+func TestListIncludesDataflowTier(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Errorf("-list: exit %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"poolsafe", "ringsafe", "waitersafe"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -18,6 +18,19 @@
 //   - lifecycle: an actor's Fire must not call Initialize/Wrapup and must
 //     not mutate fields declared postfire-owned via //confvet:postfire.
 //
+// The dataflow tier (cfg.go, dataflow.go) adds three flow-sensitive
+// analyzers on a per-function CFG and annotation-driven call summaries:
+//
+//   - poolsafe: pooled events (Pool.Get / ring pop) must be released
+//     exactly once or pinned before any retaining store — use-after-
+//     release, double-release, unpinned escapes and leaks on early
+//     returns are reported with the offending control-flow path.
+//   - ringsafe: SPSC rings must have a statically single producer unless
+//     the construction is //confvet:single-writer guarded, and TryPush
+//     results may not be discarded.
+//   - waitersafe: every ring.Waiter park follows the proven
+//     register→recheck→park shape from the lost-wakeup proof.
+//
 // # Annotation grammar
 //
 // Directives are ordinary line comments beginning with "confvet:":
@@ -26,9 +39,18 @@
 //	//confvet:noalloc            (func doc)  function must not allocate
 //	//confvet:postfire           (field doc) field is mutated only in Postfire
 //	//confvet:ignore             (same line) suppress diagnostics on this line
+//	//confvet:returns-poolable   (func doc)  first result is a pooled value
+//	                             the caller now owns
+//	//confvet:recycles [param]   (func doc)  callee consumes the parameter
+//	                             (releases it or takes over responsibility)
+//	//confvet:pins [param]       (func doc)  callee pins the parameter,
+//	                             making it safe to retain
+//	//confvet:single-writer      (func doc)  function routes an SPSC ring
+//	                             under a proven single-producer regime
 //
 // The ignore form documents an intentional exception at the offending line;
-// the other two declare invariants the analyzers then enforce.
+// the others declare invariants the analyzers then enforce (the summary
+// grammar is specified in dataflow.go and DESIGN.md).
 package analysis
 
 import (
@@ -83,11 +105,23 @@ type Diagnostic struct {
 	Column   int            `json:"column"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	// Path is the offending control-flow path as an ordered list of line
+	// numbers (dataflow analyzers only; nil for syntactic findings).
+	Path []int `json:"path,omitempty"`
 }
 
-// String renders the go-vet-style "file:line:col: analyzer: message" form.
+// String renders the go-vet-style "file:line:col: analyzer: message" form,
+// with the control-flow path appended when present.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+	if len(d.Path) > 0 {
+		parts := make([]string, len(d.Path))
+		for i, l := range d.Path {
+			parts[i] = fmt.Sprint(l)
+		}
+		s += " [path " + strings.Join(parts, " ") + "]"
+	}
+	return s
 }
 
 // Reportf records a diagnostic at pos.
@@ -103,9 +137,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPathf records a diagnostic at pos carrying the offending
+// control-flow path (ordered line numbers).
+func (p *Pass) ReportPathf(pos token.Pos, path []int, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
+	})
+}
+
 // Analyzers returns the full confvet analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AtomicAnalyzer, LockOrderAnalyzer, HotPathAnalyzer, NoAllocAnalyzer, LifecycleAnalyzer}
+	return []*Analyzer{
+		AtomicAnalyzer, LockOrderAnalyzer, HotPathAnalyzer, NoAllocAnalyzer, LifecycleAnalyzer,
+		PoolSafeAnalyzer, RingSafeAnalyzer, WaiterSafeAnalyzer,
+	}
 }
 
 // Run executes the given analyzers over the loaded packages and returns the
@@ -150,7 +202,10 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		if diags[i].Column != diags[j].Column {
 			return diags[i].Column < diags[j].Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

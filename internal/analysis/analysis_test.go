@@ -113,4 +113,19 @@ func TestDiagnosticJSON(t *testing.T) {
 	if string(data) != want {
 		t.Errorf("got %s want %s", data, want)
 	}
+
+	// Path-bearing dataflow diagnostics render the line list; path-less
+	// ones omit the key entirely (pinned above).
+	d = Diagnostic{File: "f.go", Line: 9, Column: 2, Analyzer: "poolsafe", Message: "m", Path: []int{3, 7, 9}}
+	data, err = json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"file":"f.go","line":9,"column":2,"analyzer":"poolsafe","message":"m","path":[3,7,9]}`
+	if string(data) != want {
+		t.Errorf("got %s want %s", data, want)
+	}
+	if s := d.String(); s != "f.go:9:2: poolsafe: m [path 3 7 9]" {
+		t.Errorf("String() = %q", s)
+	}
 }

@@ -1,0 +1,411 @@
+package analysis
+
+// Control-flow graph construction for the dataflow tier (see DESIGN.md,
+// section "Dataflow analysis"). The builder lowers one function body into
+// basic blocks of flat ast.Nodes: composite statements (if/for/range/
+// switch/select) are decomposed so that a block never contains a nested
+// body, only the head expressions that execute before the branch. This
+// keeps transfer functions simple — they walk each node in a block with
+// ast.Inspect and never see a statement that belongs to another block.
+//
+// The graph is intentionally lighter than x/tools/go/cfg: no SSA, no
+// exceptional edges (a panic terminates its block with no successor), and
+// defer calls are collected on the side rather than expanded at every
+// return — analyzers apply deferred effects when a block reaches Exit.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a straight-line sequence of flat AST nodes
+// followed by zero or more successor edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (Entry is 0).
+	Index int
+	// Nodes are the statements and decomposed head expressions of the
+	// block in execution order. Nodes never contain nested bodies.
+	Nodes []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Cond, when non-nil, is the branch condition evaluated last in this
+	// block; TrueSucc and FalseSucc are the successors taken when it
+	// holds or fails. Walkers use the triple for edge assumptions (the
+	// "ev, ok := pop(); if !ok { … }" ownership pattern).
+	Cond                ast.Expr
+	TrueSucc, FalseSucc *Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the synthetic sink: every return and the fall-off end of
+	// the body flow here. Exit has no nodes and no successors.
+	Exit *Block
+	// Blocks lists every block, Entry first. Unreachable blocks (code
+	// after return/goto) are present but have no predecessors.
+	Blocks []*Block
+	// Defers are the call expressions of every defer statement in the
+	// body, in lexical order. The walker applies their summary effects
+	// at Exit (a sound approximation: defers run on every exit path).
+	Defers []*ast.CallExpr
+}
+
+// buildCFG lowers body into a CFG. body may be nil (external or
+// interface-declared functions), in which case buildCFG returns nil.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	if body == nil {
+		return nil
+	}
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelTargets{},
+	}
+	b.cfg.Exit = &Block{}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cur = entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if lt, ok := b.labels[g.label]; ok {
+			b.edge(g.from, lt.entry)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+// labelTargets records the blocks a label can transfer control to.
+type labelTargets struct {
+	entry *Block // goto target: first block of the labeled statement
+	brk   *Block // labeled break target (loops/switch/select)
+	cont  *Block // labeled continue target (loops)
+}
+
+type pendingGoto struct {
+	label string
+	from  *Block
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	brk  *Block
+	cont *Block // nil for switch/select (not continuable)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	labels map[string]*labelTargets
+	gotos  []pendingGoto
+	loops  []loopFrame
+	fts    []*Block // fallthrough targets (innermost last)
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startUnreachable parks the builder on a fresh predecessor-less block
+// after a terminating statement (return, goto, break, panic).
+func (b *cfgBuilder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt ("" otherwise).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a new block so goto has a target.
+		blk := b.newBlock()
+		b.edge(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = &labelTargets{entry: blk}
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		cond.Cond, cond.TrueSucc = s.Cond, then
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			cond.FalseSucc = els
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+			cond.FalseSucc = after
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+			head.Cond, head.TrueSucc, head.FalseSucc = s.Cond, body, after
+		}
+		if label != "" {
+			b.labels[label].brk, b.labels[label].cont = after, cont
+		}
+		b.loops = append(b.loops, loopFrame{brk: after, cont: cont})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// Only the ranged expression is evaluated in the predecessor;
+		// the per-iteration key/value bindings live in the head block as
+		// the RangeStmt node itself (transfers may inspect Key/Value/X
+		// but must not descend into Body — it is decomposed below).
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(rangeHead{s})
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		if label != "" {
+			b.labels[label].brk, b.labels[label].cont = after, head
+		}
+		b.loops = append(b.loops, loopFrame{brk: after, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		b.selectBody(s.Body, label)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startUnreachable()
+
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the call itself runs at
+		// function exit and is recorded in CFG.Defers.
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.startUnreachable()
+		}
+
+	case nil:
+
+	default:
+		// Flat statements: assignments, declarations, go, send, inc/dec,
+		// empty. GoStmt stays flat — the spawned closure body is scanned
+		// separately by analyzers that care about captures.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the clause list shared by switch and type-switch.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, _ *Block) {
+	head := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.labels[label].brk = after
+	}
+	b.loops = append(b.loops, loopFrame{brk: after})
+
+	// Pre-create one block per clause so fallthrough targets exist.
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	blocks := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blocks = append(blocks, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		blk := blocks[i]
+		b.edge(head, blk)
+		b.cur = blk
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var ft *Block
+		if i+1 < len(blocks) {
+			ft = blocks[i+1]
+		}
+		b.fts = append(b.fts, ft)
+		b.stmts(cc.Body)
+		b.fts = b.fts[:len(b.fts)-1]
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// selectBody lowers a select statement.
+func (b *cfgBuilder) selectBody(body *ast.BlockStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.labels[label].brk = after
+	}
+	b.loops = append(b.loops, loopFrame{brk: after})
+	for _, c := range body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lt, ok := b.labels[s.Label.Name]; ok && lt.brk != nil {
+				b.edge(b.cur, lt.brk)
+			}
+		} else if n := len(b.loops); n > 0 {
+			b.edge(b.cur, b.loops[n-1].brk)
+		}
+		b.startUnreachable()
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lt, ok := b.labels[s.Label.Name]; ok && lt.cont != nil {
+				b.edge(b.cur, lt.cont)
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].cont != nil {
+					b.edge(b.cur, b.loops[i].cont)
+					break
+				}
+			}
+		}
+		b.startUnreachable()
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{label: s.Label.Name, from: b.cur})
+		b.startUnreachable()
+	case token.FALLTHROUGH:
+		if n := len(b.fts); n > 0 && b.fts[n-1] != nil {
+			b.edge(b.cur, b.fts[n-1])
+		}
+		b.startUnreachable()
+	}
+}
+
+// rangeHead wraps a RangeStmt as a block node exposing only its head
+// (Key, Value, X) — the body was decomposed into separate blocks, so
+// transfers inspecting this node must not descend into Stmt.Body.
+type rangeHead struct {
+	Stmt *ast.RangeStmt
+}
+
+func (r rangeHead) Pos() token.Pos { return r.Stmt.Pos() }
+func (r rangeHead) End() token.Pos { return r.Stmt.TokPos }
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function and returns its
+// block statement.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable walks successor edges from Entry and returns the visited set.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// hasStmtText reports whether any node in b renders (loosely) as a call to
+// name — identified by scanning idents.
+func blockCalls(b *Block, name string) bool {
+	for _, n := range b.Nodes {
+		if _, isRange := n.(rangeHead); isRange {
+			continue
+		}
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// findBlock returns the unique reachable block mentioning name.
+func findBlock(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	var hit *Block
+	for b := range reachable(g) {
+		if blockCalls(b, name) {
+			if hit != nil {
+				t.Fatalf("ident %s appears in more than one block", name)
+			}
+			hit = b
+		}
+	}
+	if hit == nil {
+		t.Fatalf("ident %s not found in any reachable block", name)
+	}
+	return hit
+}
+
+// pathExists reports whether to is reachable from from via successor edges.
+func pathExists(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+	a()
+	goto done
+	b()
+done:
+	c()
+`))
+	aBlk := findBlock(t, g, "a")
+	cBlk := findBlock(t, g, "c")
+	if !pathExists(aBlk, cBlk) {
+		t.Fatalf("goto edge missing: no path from a() to the labeled c() block")
+	}
+	// b() is dead code behind the goto: it must exist but be unreachable.
+	seen := reachable(g)
+	for b := range seen {
+		if blockCalls(b, "b") {
+			t.Fatalf("statement after goto is reachable; want unreachable")
+		}
+	}
+	found := false
+	for _, b := range g.Blocks {
+		if blockCalls(b, "b") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead block dropped entirely; want present but unreachable")
+	}
+}
+
+func TestCFGBackwardGoto(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+top:
+	a()
+	if cond() {
+		goto top
+	}
+	b()
+`))
+	aBlk := findBlock(t, g, "a")
+	bBlk := findBlock(t, g, "b")
+	if !pathExists(bBlk, g.Exit) {
+		t.Fatalf("no path from b() to exit")
+	}
+	// The backward goto forms a loop: a() must be reachable from itself.
+	looped := false
+	for _, s := range aBlk.Succs {
+		if pathExists(s, aBlk) {
+			looped = true
+		}
+	}
+	if !looped {
+		t.Fatalf("backward goto did not close a loop over a()")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+outer:
+	for {
+		for {
+			if cond() {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+`))
+	afterBlk := findBlock(t, g, "after")
+	innerBlk := findBlock(t, g, "inner")
+	if !pathExists(g.Entry, afterBlk) {
+		t.Fatalf("labeled break did not produce an edge escaping both loops")
+	}
+	// The break must skip the inner loop's normal continuation: from the
+	// conditional block, after() is reachable without passing inner() —
+	// check there is a path to after() from the break's block directly.
+	breakBlk := innerBlk // the block holding inner() follows the if; find the branch block instead
+	for _, b := range g.Blocks {
+		if b.Cond != nil && pathExists(b, breakBlk) {
+			if b.TrueSucc == nil || b.FalseSucc == nil {
+				t.Fatalf("if block missing True/FalseSucc")
+			}
+			if !pathExists(b.TrueSucc, afterBlk) {
+				t.Fatalf("break-outer edge missing from the if's true successor")
+			}
+		}
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+outer:
+	for step() {
+		for {
+			if cond() {
+				continue outer
+			}
+			inner()
+		}
+	}
+	after()
+`))
+	stepBlk := findBlock(t, g, "step")
+	innerBlk := findBlock(t, g, "inner")
+	// continue outer jumps back to the outer head: from inner loop's branch
+	// block, the outer head must be reachable without finishing the inner
+	// loop, i.e. the step() block has an in-edge from inside the inner loop.
+	if !pathExists(innerBlk, stepBlk) {
+		t.Fatalf("continue outer edge missing: inner body cannot reach outer head")
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+	defer cleanup()
+	if cond() {
+		return
+	}
+	work()
+	defer second()
+`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	names := []string{}
+	for _, c := range g.Defers {
+		if id, ok := c.Fun.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+	}
+	if names[0] != "cleanup" || names[1] != "second" {
+		t.Fatalf("defers out of lexical order: %v", names)
+	}
+	// Both the early return and the fall-off end flow to Exit.
+	workBlk := findBlock(t, g, "work")
+	if !pathExists(workBlk, g.Exit) {
+		t.Fatalf("fall-off path does not reach Exit")
+	}
+	var condBlk *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			condBlk = b
+		}
+	}
+	if condBlk == nil {
+		t.Fatalf("no branch block for the if")
+	}
+	if !pathExists(condBlk.TrueSucc, g.Exit) {
+		t.Fatalf("early-return path does not reach Exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+	switch tag() {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	after()
+`))
+	aBlk := findBlock(t, g, "a")
+	bBlk := findBlock(t, g, "b")
+	afterBlk := findBlock(t, g, "after")
+	if !pathExists(aBlk, bBlk) {
+		t.Fatalf("fallthrough edge from case 1 to case 2 missing")
+	}
+	for _, blk := range []*Block{aBlk, bBlk, findBlock(t, g, "c")} {
+		if !pathExists(blk, afterBlk) {
+			t.Fatalf("a switch clause does not reach the statement after the switch")
+		}
+	}
+}
+
+func TestCFGRangeHead(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+	for range items() {
+		body()
+	}
+	after()
+`))
+	bodyBlk := findBlock(t, g, "body")
+	afterBlk := findBlock(t, g, "after")
+	// The loop head wraps the range statement in rangeHead (not the raw
+	// *ast.RangeStmt, whose Body would leak nested statements into the
+	// flat node list).
+	foundHead := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(rangeHead); ok {
+				foundHead = true
+			}
+			if _, ok := n.(*ast.RangeStmt); ok {
+				t.Fatalf("raw *ast.RangeStmt in node list; want rangeHead wrapper")
+			}
+		}
+	}
+	if !foundHead {
+		t.Fatalf("no rangeHead node for the range loop")
+	}
+	if !pathExists(bodyBlk, bodyBlk.Succs[0]) || !pathExists(bodyBlk, afterBlk) {
+		t.Fatalf("range body does not flow back through the head to after()")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+	if cond() {
+		panic("boom")
+	}
+	after()
+`))
+	afterBlk := findBlock(t, g, "after")
+	if !pathExists(g.Entry, afterBlk) {
+		t.Fatalf("false branch lost")
+	}
+	// The panic block must not flow to after() or Exit.
+	for _, b := range g.Blocks {
+		if !blockCalls(b, "panic") {
+			continue
+		}
+		if pathExists(b, afterBlk) && b.Cond == nil {
+			t.Fatalf("panic block flows past the panic")
+		}
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	if g := buildCFG(nil); g != nil {
+		t.Fatalf("buildCFG(nil) = %v, want nil", g)
+	}
+}

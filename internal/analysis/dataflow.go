@@ -1,0 +1,362 @@
+package analysis
+
+// Forward abstract-state walker and annotation-driven function summaries
+// for the dataflow tier (see DESIGN.md, section "Dataflow analysis").
+// Ownership facts cross call boundaries through three directives placed in
+// function (or interface-method) doc comments:
+//
+//	//confvet:returns-poolable        first result is a pooled value the
+//	                                  caller now owns
+//	//confvet:recycles [param]        the callee consumes (releases, or
+//	                                  takes over responsibility for) the
+//	                                  named parameter; the caller must not
+//	                                  use it afterwards. Default: first
+//	                                  parameter, or the receiver when the
+//	                                  method has none.
+//	//confvet:pins [param]            the callee pins the named parameter
+//	                                  (or receiver), making it safe to
+//	                                  retain. Same defaulting as recycles.
+//	//confvet:single-writer           the function constructs or re-homes
+//	                                  an SPSC ring under a proven
+//	                                  single-producer regime (ringsafe).
+//
+// Summaries are collected from every package the loader saw — including
+// module-internal dependencies of the analyzed patterns — so poolsafe run
+// on ./internal/director still knows that event.Pool.Get returns a pooled
+// value.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// flowFuncs supplies the lattice operations and transfer function for
+// forward. States handed to Transfer are always private clones, so
+// Transfer may mutate its argument freely; Join may mutate dst.
+type flowFuncs[S any] struct {
+	// Entry builds the state at function entry.
+	Entry func() S
+	// Clone deep-copies a state.
+	Clone func(S) S
+	// Join merges src into dst, reporting whether dst changed.
+	Join func(dst, src S) (S, bool)
+	// Transfer applies one block node to the state.
+	Transfer func(n ast.Node, s S) S
+	// Assume, when non-nil, refines the state flowing along a branch
+	// edge: cond held (val true) or failed (val false). The state is a
+	// private clone.
+	Assume func(cond ast.Expr, val bool, s S) S
+}
+
+// forward runs a worklist fixpoint over g and returns the in-state of
+// every block, indexed by Block.Index. Unreachable blocks keep the zero
+// state and reached[i] false.
+func forward[S any](g *CFG, f flowFuncs[S]) (in []S, reached []bool) {
+	n := len(g.Blocks)
+	in = make([]S, n)
+	reached = make([]bool, n)
+	in[g.Entry.Index] = f.Entry()
+	reached[g.Entry.Index] = true
+	work := []*Block{g.Entry}
+	queued := make([]bool, n)
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := f.Clone(in[blk.Index])
+		for _, nd := range blk.Nodes {
+			out = f.Transfer(nd, out)
+		}
+		for _, succ := range blk.Succs {
+			eo := out
+			if f.Assume != nil && blk.Cond != nil && (succ == blk.TrueSucc || succ == blk.FalseSucc) {
+				eo = f.Assume(blk.Cond, succ == blk.TrueSucc, f.Clone(out))
+			}
+			changed := false
+			if !reached[succ.Index] {
+				in[succ.Index] = f.Clone(eo)
+				reached[succ.Index] = true
+				changed = true
+			} else {
+				in[succ.Index], changed = f.Join(in[succ.Index], eo)
+			}
+			if changed && !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in, reached
+}
+
+// recvParam is the pseudo-index naming a method receiver in a summary.
+const recvParam = -1
+
+// funcSummary is the ownership effect of one function, parsed from its
+// confvet directives.
+type funcSummary struct {
+	// recycles and pins map parameter index (recvParam for the receiver)
+	// to true.
+	recycles map[int]bool
+	pins     map[int]bool
+	// returnsPoolable marks the first result as an owned pooled value.
+	returnsPoolable bool
+	// singleWriter marks the function as an authorized SPSC constructor
+	// or re-homing site (ringsafe).
+	singleWriter bool
+}
+
+func (s *funcSummary) empty() bool {
+	return s == nil || (len(s.recycles) == 0 && len(s.pins) == 0 && !s.returnsPoolable && !s.singleWriter)
+}
+
+// Dataflow directive names.
+const (
+	directiveRecycles        = "confvet:recycles"
+	directivePins            = "confvet:pins"
+	directiveReturnsPoolable = "confvet:returns-poolable"
+	directiveSingleWriter    = "confvet:single-writer"
+)
+
+// directiveArg returns the argument of "confvet:<name> arg" in doc, with
+// found reporting whether the directive is present at all (argument or
+// not).
+func directiveArg(doc *ast.CommentGroup, directive string) (arg string, found bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// summaries maps each annotated function (generic origin) to its parsed
+// summary. Functions without directives are absent.
+type summaries map[*types.Func]*funcSummary
+
+// collectSummaries parses the ownership directives of every function and
+// interface method in pkgs (the full loaded set, dependencies included).
+func collectSummaries(pkgs []*Package) summaries {
+	out := summaries{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					sum := parseSummary(d.Doc, d.Recv, d.Type)
+					if sum.empty() {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						out[fn] = sum
+					}
+				case *ast.GenDecl:
+					collectInterfaceSummaries(pkg, d, out)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectInterfaceSummaries parses directives on interface method
+// declarations (ring.Queue.TryPop is annotated this way: the concrete
+// SPSC/MPMC pops carry their own directives, but receivers call through
+// the interface).
+func collectInterfaceSummaries(pkg *Package, d *ast.GenDecl, out summaries) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			continue
+		}
+		for _, m := range it.Methods.List {
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok || len(m.Names) == 0 {
+				continue
+			}
+			doc := m.Doc
+			if doc == nil {
+				doc = m.Comment
+			}
+			sum := parseSummary(doc, nil, ft)
+			if sum.empty() {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[m.Names[0]].(*types.Func); ok {
+				out[fn] = sum
+			}
+		}
+	}
+}
+
+// parseSummary parses the ownership directives of one function signature.
+func parseSummary(doc *ast.CommentGroup, recv *ast.FieldList, ft *ast.FuncType) *funcSummary {
+	sum := &funcSummary{}
+	if _, ok := directiveArg(doc, directiveReturnsPoolable); ok {
+		sum.returnsPoolable = true
+	}
+	if _, ok := directiveArg(doc, directiveSingleWriter); ok {
+		sum.singleWriter = true
+	}
+	if arg, ok := directiveArg(doc, directiveRecycles); ok {
+		sum.recycles = map[int]bool{resolveParam(arg, recv, ft): true}
+	}
+	if arg, ok := directiveArg(doc, directivePins); ok {
+		sum.pins = map[int]bool{resolveParam(arg, recv, ft): true}
+	}
+	return sum
+}
+
+// resolveParam maps a directive argument to a parameter index: a named
+// parameter, the receiver name, or (with no argument) the first parameter
+// when one exists, else the receiver.
+func resolveParam(arg string, recv *ast.FieldList, ft *ast.FuncType) int {
+	if arg == "" {
+		if ft.Params != nil && len(ft.Params.List) > 0 {
+			return 0
+		}
+		return recvParam
+	}
+	if recv != nil && len(recv.List) > 0 {
+		for _, n := range recv.List[0].Names {
+			if n.Name == arg {
+				return recvParam
+			}
+		}
+	}
+	idx := 0
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, n := range field.Names {
+				if n.Name == arg {
+					return idx
+				}
+				idx++
+			}
+		}
+	}
+	return recvParam
+}
+
+// calleeOf resolves a call to the *types.Func it invokes, unwrapping
+// generic instantiations to their origin and — unlike funcFor — keeping
+// interface methods (summaries annotate ring.Queue's methods directly).
+// Dynamic calls through func values return nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f.Origin()
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f.Origin()
+		}
+	}
+	return nil
+}
+
+// callReceiver returns the receiver expression of a method call
+// ("recv.M(…)" → recv), or nil for plain function calls.
+func callReceiver(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if _, ok := info.Selections[sel]; !ok {
+		return nil // qualified identifier pkg.Func
+	}
+	return sel.X
+}
+
+// poolableCache memoizes isPoolableType per analyzer run.
+type poolableCache map[types.Type]bool
+
+// isPoolable reports whether t is a pointer to a named type whose method
+// set carries the pooled-value protocol: Pin() and Recyclable() bool.
+// This shape test (rather than naming *event.Event) keeps the fixtures
+// self-contained and exempts look-alike shells such as *window.Window.
+func (c poolableCache) isPoolable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c[t]; ok {
+		return v
+	}
+	c[t] = false // cycle guard
+	v := poolableType(t)
+	c[t] = v
+	return v
+}
+
+func poolableType(t types.Type) bool {
+	ptr, ok := types.Unalias(t).Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	if _, ok := types.Unalias(ptr.Elem()).(*types.Named); !ok {
+		return false
+	}
+	ms := types.NewMethodSet(ptr)
+	hasPin, hasRecyclable := false, false
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch f.Name() {
+		case "Pin":
+			if sig.Params().Len() == 0 {
+				hasPin = true
+			}
+		case "Recyclable":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+					hasRecyclable = true
+				}
+			}
+		}
+	}
+	return hasPin && hasRecyclable
+}

@@ -27,6 +27,13 @@ type Package struct {
 	// Types and Info are the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// All is the complete package set of the load — the pattern-matched
+	// packages plus every module-internal dependency type-checked along
+	// the way, sorted by import path. Whole-program analyzers use it to
+	// collect annotation summaries from packages outside the analyzed
+	// patterns (poolsafe run on ./internal/director still needs
+	// internal/event's directives). Set on every returned package.
+	All []*Package
 }
 
 // LoadConfig configures a Load.
@@ -98,6 +105,14 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		}
 		seen[pkg.Path] = true
 		out = append(out, pkg)
+	}
+	all := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		all = append(all, pkg)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Path < all[j].Path })
+	for _, pkg := range out {
+		pkg.All = all
 	}
 	return out, nil
 }

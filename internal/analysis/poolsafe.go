@@ -1,0 +1,721 @@
+package analysis
+
+// poolsafe enforces the pooled-event ownership protocol from
+// internal/event/pool.go: a pooled value acquired from a
+// //confvet:returns-poolable source travels exactly one edge and must be
+// released exactly once (a //confvet:recycles call), or pinned
+// (//confvet:pins) before any retaining store. The analyzer runs the
+// forward walker over each function's CFG with a per-cell bitmask domain
+// and reports four diagnostic kinds:
+//
+//	use-after-release   a released, unpinned value is read again
+//	double-release      a value is released twice on some path
+//	escape-unpinned     an owned, unpinned value is stored into a field,
+//	                    map/slice, composite literal, channel, closure or
+//	                    goroutine
+//	leak                an owned value is neither released nor pinned on
+//	                    a path reaching return (or the body's end)
+//
+// Soundness caveats (see DESIGN.md): only values bound to local variables
+// are tracked; aliases are merged flow-insensitively; unknown calls
+// borrow (they neither release nor pin); range key/value bindings are
+// untracked; closure bodies are scanned for captures but not analyzed as
+// code paths.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+var PoolSafeAnalyzer = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "pooled events must be released exactly once or pinned before any retaining store",
+	Mode: WholeProgram,
+	Run:  runPoolSafe,
+}
+
+// Ownership bits of one tracked cell.
+const (
+	bitOwned    uint8 = 1 << iota // holds responsibility to release
+	bitPinned                     // pinned (or escape already flagged)
+	bitReleased                   // released on some path
+	bitDone                       // ownership returned to the caller
+	bitUseFlag                    // use-after-release already reported
+	bitLeakFlag                   // leak already reported on this path
+)
+
+// step is one link of an immutable ownership trace (newest first).
+type step struct {
+	prev *step
+	pos  token.Pos
+}
+
+// fact is the abstract value of one cell.
+type fact struct {
+	bits  uint8
+	trace *step
+}
+
+// poolState maps each alias-class root to its fact. Cells absent from the
+// map are untracked (no ownership information).
+type poolState map[*types.Var]fact
+
+func runPoolSafe(pass *Pass) error {
+	pkgs := allLoaded(pass.Pkgs)
+	sums := collectSummaries(pkgs)
+	pc := poolableCache{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				analyzePoolFunc(pass, pkg, fd, sums, pc)
+			}
+		}
+	}
+	return nil
+}
+
+// allLoaded returns the full package set behind pass.Pkgs — analyzed
+// packages plus their loaded module-internal dependencies — so summaries
+// annotated in internal/event reach an analysis of internal/director.
+func allLoaded(pkgs []*Package) []*Package {
+	seen := map[string]*Package{}
+	for _, p := range pkgs {
+		seen[p.Path] = p
+		for _, dep := range p.All {
+			seen[dep.Path] = dep
+		}
+	}
+	out := make([]*Package, 0, len(seen))
+	for _, p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// poolCtx carries one function's analysis state.
+type poolCtx struct {
+	pass      *Pass
+	info      *types.Info
+	sums      summaries
+	pc        poolableCache
+	cells     *aliases
+	defers    []*ast.CallExpr
+	reporting bool
+	seen      map[string]bool
+	// okFor maps the boolean companion of a two-result source binding
+	// ("ev, ok := q.TryPop()") to ev's cell: on the ok-false edge the
+	// cell owns nothing.
+	okFor map[types.Object]*types.Var
+}
+
+func analyzePoolFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl, sums summaries, pc poolableCache) {
+	info := pkg.Info
+	cells := &aliases{parent: map[*types.Var]*types.Var{}}
+	hasSource := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v := poolableLocal(info, n, pc); v != nil {
+				cells.add(v)
+			}
+		case *ast.AssignStmt:
+			// Flow-insensitive aliasing: "x := ev" / "x = ev" merges the
+			// two variables into one cell for the whole function.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					l, lok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+					r, rok := ast.Unparen(n.Rhs[i]).(*ast.Ident)
+					if !lok || !rok {
+						continue
+					}
+					lv, rv := poolableLocal(info, l, pc), poolableLocal(info, r, pc)
+					if lv != nil && rv != nil {
+						cells.union(lv, rv)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil {
+				if s := sums[fn]; s != nil && s.returnsPoolable {
+					hasSource = true
+				}
+			}
+		}
+		return true
+	})
+	if !hasSource || len(cells.parent) == 0 {
+		return
+	}
+
+	g := buildCFG(fd.Body)
+	ctx := &poolCtx{
+		pass:   pass,
+		info:   info,
+		sums:   sums,
+		pc:     pc,
+		cells:  cells,
+		defers: g.Defers,
+		seen:   map[string]bool{},
+		okFor:  map[types.Object]*types.Var{},
+	}
+	ff := flowFuncs[poolState]{
+		Entry: func() poolState { return poolState{} },
+		Clone: clonePoolState,
+		Join:  joinPoolState,
+		Transfer: func(n ast.Node, s poolState) poolState {
+			ctx.transfer(n, s)
+			return s
+		},
+		Assume: ctx.assume,
+	}
+	in, reached := forward(g, ff)
+
+	// Reporting sweep: re-run the transfers over the fixpoint in-states
+	// with diagnostics enabled.
+	ctx.reporting = true
+	for _, blk := range g.Blocks {
+		if blk == g.Exit || !reached[blk.Index] {
+			continue
+		}
+		s := clonePoolState(in[blk.Index])
+		for _, nd := range blk.Nodes {
+			ctx.transfer(nd, s)
+		}
+		if fallsOffToExit(blk, g) {
+			ctx.applyDefers(s)
+			ctx.leakCheck(fd.Body.Rbrace, s)
+		}
+	}
+}
+
+// fallsOffToExit reports whether blk reaches Exit without a return
+// statement (the body's closing brace).
+func fallsOffToExit(blk *Block, g *CFG) bool {
+	toExit := false
+	for _, s := range blk.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if n := len(blk.Nodes); n > 0 {
+		if _, ok := blk.Nodes[n-1].(*ast.ReturnStmt); ok {
+			return false
+		}
+	}
+	return true
+}
+
+func clonePoolState(s poolState) poolState {
+	out := make(poolState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func joinPoolState(dst, src poolState) (poolState, bool) {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		merged := dv.bits | sv.bits
+		if merged != dv.bits {
+			dv.bits = merged
+			if dv.trace == nil {
+				dv.trace = sv.trace
+			}
+			dst[k] = dv
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// transfer applies one block node to s in place.
+func (c *poolCtx) transfer(n ast.Node, s poolState) {
+	switch nd := n.(type) {
+	case rangeHead:
+		// Only the ranged expression executes here; key/value bindings
+		// are untracked (documented caveat).
+		c.walkNode(nd.Stmt.X, s)
+	case *ast.DeferStmt:
+		// Argument evaluation only; the call's effect applies at exit.
+		for _, a := range nd.Call.Args {
+			c.walkNode(a, s)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range nd.Results {
+			c.walkNode(res, s)
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if v := c.cellOf(id); v != nil {
+					f := s[v]
+					f.bits |= bitDone
+					s[v] = f
+				}
+			}
+		}
+		c.applyDefers(s)
+		c.leakCheck(nd.Return, s)
+	case ast.Stmt, ast.Expr:
+		c.walkNode(nd, s)
+	}
+}
+
+// walkNode scans one flat node for uses, escapes and call effects.
+func (c *poolCtx) walkNode(n ast.Node, s poolState) {
+	// Pass 1: arguments consumed by a recycles summary are exempt from
+	// the plain use-after-release check (a second consume is reported as
+	// double-release instead).
+	consumed := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sum := c.summaryOf(call)
+		if sum == nil {
+			return true
+		}
+		for idx := range sum.recycles {
+			if id, ok := ast.Unparen(c.callArg(call, idx)).(*ast.Ident); ok {
+				consumed[id] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: uses, escaping stores, and summary effects in pre-order.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.Ident:
+			if !consumed[m] {
+				c.useCheck(m, s)
+			}
+		case *ast.FuncLit:
+			c.closureCheck(m, s)
+			return false // the body is not straight-line code here
+		case *ast.AssignStmt:
+			c.assignCheck(m, s)
+		case *ast.SendStmt:
+			c.escapeCheck(m.Value, s, "sent to a channel")
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				c.escapeCheck(el, s, "stored in a composite literal")
+			}
+		case *ast.GoStmt:
+			for _, a := range m.Call.Args {
+				c.escapeCheck(a, s, "handed to a goroutine")
+			}
+		case *ast.CallExpr:
+			c.callCheck(m, s)
+		}
+		return true
+	})
+}
+
+// assignCheck handles source bindings ("ev, ok := pool.Get()") and
+// escaping stores ("m[k] = ev", "x.field = ev").
+func (c *poolCtx) assignCheck(as *ast.AssignStmt, s poolState) {
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if sum := c.summaryOf(call); sum != nil && sum.returnsPoolable {
+				if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+					if v := c.cellOf(id); v != nil {
+						s[v] = fact{bits: bitOwned, trace: &step{pos: call.Pos()}}
+						// "ev, ok := pop()": remember the companion flag
+						// so the ok-false edge drops the ownership.
+						if len(as.Lhs) == 2 {
+							if okID, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok {
+								if obj := objectOf(c.info, okID); obj != nil {
+									c.okFor[obj] = v
+								}
+							}
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		id, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+		if !ok || c.cellOf(id) == nil {
+			continue
+		}
+		switch ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.Ident:
+			// Pure alias: the pre-pass already merged the cells.
+		default:
+			c.escapeCheck(id, s, "stored into "+lvalueKind(as.Lhs[i]))
+		}
+	}
+}
+
+// lvalueKind names the destination of an escaping store.
+func lvalueKind(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.SelectorExpr:
+		return fmt.Sprintf("field %s", e.Sel.Name)
+	case *ast.StarExpr:
+		return "a pointer target"
+	default:
+		return "another destination"
+	}
+}
+
+// closureCheck reports owned-unpinned cells captured by a function
+// literal: the closure may outlive the event's recycle.
+func (c *poolCtx) closureCheck(fl *ast.FuncLit, s poolState) {
+	ast.Inspect(fl.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			c.escapeCheck(id, s, "captured by a closure")
+		}
+		return true
+	})
+}
+
+// callCheck applies summary effects and flags append escapes.
+func (c *poolCtx) callCheck(call *ast.CallExpr, s poolState) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, a := range call.Args[1:] {
+				c.escapeCheck(a, s, "appended to a slice")
+			}
+		}
+	}
+	sum := c.summaryOf(call)
+	if sum == nil {
+		return
+	}
+	for idx := range sum.recycles {
+		c.applyRecycle(call, c.callArg(call, idx), s)
+	}
+	for idx := range sum.pins {
+		id, ok := ast.Unparen(c.callArg(call, idx)).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v := c.cellOf(id); v != nil {
+			f := s[v]
+			f.bits |= bitPinned
+			f.trace = &step{prev: f.trace, pos: call.Pos()}
+			s[v] = f
+		}
+	}
+}
+
+func (c *poolCtx) applyRecycle(at ast.Node, arg ast.Expr, s poolState) {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := c.cellOf(id)
+	if v == nil {
+		return
+	}
+	f, tracked := s[v]
+	if !tracked {
+		return
+	}
+	if f.bits&bitReleased != 0 {
+		c.reportPath(at.Pos(), f.trace, "pooled event %s released twice on a path", id.Name)
+		// Fall through: the release effect still applies, so the paths
+		// that release exactly once stay clean downstream.
+	}
+	f.bits = (f.bits &^ bitOwned) | bitReleased
+	f.trace = &step{prev: f.trace, pos: at.Pos()}
+	s[v] = f
+}
+
+// useCheck reports a read of a released, unpinned cell.
+func (c *poolCtx) useCheck(id *ast.Ident, s poolState) {
+	v := c.cellOf(id)
+	if v == nil {
+		return
+	}
+	f, ok := s[v]
+	if !ok {
+		return
+	}
+	if f.bits&bitReleased != 0 && f.bits&bitPinned == 0 && f.bits&bitUseFlag == 0 {
+		c.reportPath(id.Pos(), f.trace, "pooled event %s used after release", id.Name)
+		f.bits |= bitUseFlag
+		s[v] = f
+	}
+}
+
+// escapeCheck reports an owned, unpinned cell reaching a retaining store.
+func (c *poolCtx) escapeCheck(e ast.Expr, s poolState, what string) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := c.cellOf(id)
+	if v == nil {
+		return
+	}
+	f, ok := s[v]
+	if !ok {
+		return
+	}
+	if f.bits&bitOwned != 0 && f.bits&bitPinned == 0 {
+		c.reportPath(id.Pos(), f.trace, "pooled event %s escapes unpinned: %s (pin before retaining)", id.Name, what)
+		f.bits |= bitPinned // cascade suppression: treat as handled
+		s[v] = f
+	}
+}
+
+// applyDefers applies the summary effects of every deferred call — a
+// sound approximation: defers run on each exit path.
+func (c *poolCtx) applyDefers(s poolState) {
+	for _, call := range c.defers {
+		sum := c.summaryOf(call)
+		if sum == nil {
+			continue
+		}
+		for idx := range sum.recycles {
+			c.applyRecycle(call, c.callArg(call, idx), s)
+		}
+		for idx := range sum.pins {
+			if id, ok := ast.Unparen(c.callArg(call, idx)).(*ast.Ident); ok {
+				if v := c.cellOf(id); v != nil {
+					f := s[v]
+					f.bits |= bitPinned
+					s[v] = f
+				}
+			}
+		}
+	}
+}
+
+// leakCheck reports cells still owned (not released, pinned or returned)
+// when a path exits the function.
+func (c *poolCtx) leakCheck(pos token.Pos, s poolState) {
+	var leaked []*types.Var
+	for v, f := range s {
+		if f.bits&bitOwned != 0 && f.bits&(bitPinned|bitDone|bitLeakFlag) == 0 {
+			leaked = append(leaked, v)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].Pos() < leaked[j].Pos() })
+	for _, v := range leaked {
+		f := s[v]
+		c.reportPath(pos, f.trace, "pooled event %s neither released nor pinned on this path (leak)", v.Name())
+		f.bits |= bitLeakFlag
+		s[v] = f
+	}
+}
+
+// assume refines the state on a branch edge: an ok-flag known false (or
+// a nil comparison known true) means the companion cell owns nothing on
+// that path.
+func (c *poolCtx) assume(cond ast.Expr, val bool, s poolState) poolState {
+	e := ast.Unparen(cond)
+	for {
+		u, ok := e.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			break
+		}
+		e = ast.Unparen(u.X)
+		val = !val
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := objectOf(c.info, e); obj != nil && !val {
+			if v, ok := c.okFor[obj]; ok {
+				c.dropOwnership(v, s)
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.EQL && e.Op != token.NEQ {
+			break
+		}
+		var id *ast.Ident
+		if isNilExpr(c.info, e.Y) {
+			id, _ = ast.Unparen(e.X).(*ast.Ident)
+		} else if isNilExpr(c.info, e.X) {
+			id, _ = ast.Unparen(e.Y).(*ast.Ident)
+		}
+		if id == nil {
+			break
+		}
+		// "ev == nil" holding (or "ev != nil" failing) means ev is nil
+		// on this edge: nothing is owned.
+		if isNil := (e.Op == token.EQL) == val; isNil {
+			if v := c.cellOf(id); v != nil {
+				c.dropOwnership(v, s)
+			}
+		}
+	}
+	return s
+}
+
+func (c *poolCtx) dropOwnership(v *types.Var, s poolState) {
+	if f, ok := s[v]; ok {
+		f.bits &^= bitOwned
+		s[v] = f
+	}
+}
+
+// objectOf resolves an identifier's object from Defs or Uses.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// summaryOf resolves a call's funcSummary, or nil.
+func (c *poolCtx) summaryOf(call *ast.CallExpr) *funcSummary {
+	fn := calleeOf(c.info, call)
+	if fn == nil {
+		return nil
+	}
+	return c.sums[fn]
+}
+
+// callArg returns the expression bound to parameter idx (recvParam for
+// the receiver), or nil.
+func (c *poolCtx) callArg(call *ast.CallExpr, idx int) ast.Expr {
+	if idx == recvParam {
+		return callReceiver(c.info, call)
+	}
+	if idx >= 0 && idx < len(call.Args) {
+		return call.Args[idx]
+	}
+	return nil
+}
+
+// cellOf resolves an identifier to its alias-class root, or nil when the
+// identifier is not a tracked poolable local.
+func (c *poolCtx) cellOf(id *ast.Ident) *types.Var {
+	if id == nil {
+		return nil
+	}
+	v := poolableLocal(c.info, id, c.pc)
+	if v == nil {
+		return nil
+	}
+	return c.cells.find(v)
+}
+
+// reportPath emits one deduplicated diagnostic with its ownership path.
+func (c *poolCtx) reportPath(pos token.Pos, trace *step, format string, args ...any) {
+	if !c.reporting {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.ReportPathf(pos, c.pathLines(trace, pos), "%s", msg)
+}
+
+// pathLines renders a trace (newest first) plus the diagnostic position
+// as an ordered, deduplicated line list.
+func (c *poolCtx) pathLines(trace *step, pos token.Pos) []int {
+	var rev []int
+	for st := trace; st != nil; st = st.prev {
+		rev = append(rev, c.pass.Fset.Position(st.pos).Line)
+	}
+	lines := make([]int, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		if n := len(lines); n == 0 || lines[n-1] != rev[i] {
+			lines = append(lines, rev[i])
+		}
+	}
+	last := c.pass.Fset.Position(pos).Line
+	if n := len(lines); n == 0 || lines[n-1] != last {
+		lines = append(lines, last)
+	}
+	return lines
+}
+
+// poolableLocal resolves id to the local (or parameter) *types.Var of
+// poolable type it denotes, or nil.
+func poolableLocal(info *types.Info, id *ast.Ident, pc poolableCache) *types.Var {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	// Package-level variables are shared state, not flow cells.
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil
+	}
+	if !pc.isPoolable(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// aliases is a union-find over poolable locals: assignments between two
+// tracked variables merge their cells.
+type aliases struct {
+	parent map[*types.Var]*types.Var
+}
+
+func (a *aliases) add(v *types.Var) {
+	if _, ok := a.parent[v]; !ok {
+		a.parent[v] = v
+	}
+}
+
+func (a *aliases) find(v *types.Var) *types.Var {
+	p, ok := a.parent[v]
+	if !ok {
+		a.parent[v] = v
+		return v
+	}
+	if p == v {
+		return v
+	}
+	root := a.find(p)
+	a.parent[v] = root
+	return root
+}
+
+func (a *aliases) union(x, y *types.Var) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		a.parent[rx] = ry
+	}
+}

@@ -12,8 +12,8 @@ type item struct {
 
 var global any
 
-func takeAny(v any)        { global = v }
-func takePtr(p *item)      { global = p }
+func takeAny(v any)   { global = v }
+func takePtr(p *item) { global = p }
 func takeVariadic(v ...any) {
 	for _, x := range v {
 		global = x
@@ -54,11 +54,11 @@ func closure(n int) func() int {
 
 //confvet:noalloc
 func boxes(n int, p *item) any {
-	takeAny(n)       // boxes n
-	takePtr(p)       // pointer-shaped, no box
-	takeVariadic(n)  // boxes into the variadic slot
-	global = n       // boxes at assignment
-	var i any = p    // pointer into interface: no box, but := typed decl not checked
+	takeAny(n)      // boxes n
+	takePtr(p)      // pointer-shaped, no box
+	takeVariadic(n) // boxes into the variadic slot
+	global = n      // boxes at assignment
+	var i any = p   // pointer into interface: no box, but := typed decl not checked
 	_ = i
 	return n // boxes at return
 }

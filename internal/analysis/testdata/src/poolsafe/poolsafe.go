@@ -1,0 +1,190 @@
+// Package poolsafe is the seeded fixture for the poolsafe analyzer. It
+// defines a self-contained pooled type (the analyzer recognizes the
+// Pin()/Recyclable() method-set shape, not event.Event by name) and one
+// function per diagnostic kind, plus clean shapes that must stay silent.
+package poolsafe
+
+// Event is the pooled value under test.
+type Event struct {
+	Token  uint64
+	pinned bool
+}
+
+func (e *Event) Pin()             { e.pinned = true }
+func (e *Event) Recyclable() bool { return !e.pinned }
+
+// Pool hands out owned events.
+type Pool struct{ free []*Event }
+
+// Get returns a pooled event the caller now owns.
+//
+//confvet:returns-poolable
+func (p *Pool) Get() *Event { return &Event{} }
+
+// TryPop is the two-result source shape (ring pop).
+//
+//confvet:returns-poolable
+func (p *Pool) TryPop() (*Event, bool) { return &Event{}, true }
+
+// Release recycles ev; the caller must not touch it afterwards.
+//
+//confvet:recycles ev
+func (p *Pool) Release(ev *Event) { p.free = append(p.free, ev) }
+
+// Forward consumes ev (ownership transfer, not a recycle).
+//
+//confvet:recycles ev
+func Forward(p *Pool, ev *Event) { p.Release(ev) }
+
+// Retain pins ev on behalf of the caller.
+//
+//confvet:pins ev
+func Retain(w *Window, ev *Event) {
+	ev.Pin()
+	w.last = ev
+}
+
+// Window is a retaining destination (not poolable: no Recyclable).
+type Window struct {
+	byToken map[uint64]*Event
+	slots   []*Event
+	last    *Event
+}
+
+func sink(v uint64)     {}
+func consume(ev *Event) {}
+
+// --- seeded violations, one per diagnostic kind ---
+
+// useAfterRelease reads the event after recycling it.
+func useAfterRelease(p *Pool) {
+	ev := p.Get()
+	p.Release(ev)
+	sink(ev.Token) // want: used after release
+}
+
+// doubleRelease releases on one arm, then unconditionally again.
+func doubleRelease(p *Pool, cond bool) {
+	ev := p.Get()
+	if cond {
+		p.Release(ev)
+	}
+	p.Release(ev) // want: released twice on a path
+}
+
+// escapeField stores the owned event into a struct field unpinned.
+func escapeField(p *Pool, w *Window) {
+	ev := p.Get()
+	w.last = ev // want: escapes unpinned (field)
+}
+
+// escapeMap stores the owned event into a map unpinned.
+func escapeMap(p *Pool, w *Window) {
+	ev := p.Get()
+	w.byToken[ev.Token] = ev // want: escapes unpinned (map/slice element)
+}
+
+// escapeAppend grows a slice with the owned event unpinned.
+func escapeAppend(p *Pool, w *Window) {
+	ev := p.Get()
+	w.slots = append(w.slots, ev) // want: escapes unpinned (append)
+}
+
+// escapeClosure captures the owned event in a returned closure.
+func escapeClosure(p *Pool) func() uint64 {
+	ev := p.Get()
+	return func() uint64 { return ev.Token } // want: escapes unpinned (closure)
+}
+
+// escapeGoroutine hands the owned event to a goroutine.
+func escapeGoroutine(p *Pool) {
+	ev := p.Get()
+	go consume(ev) // want: escapes unpinned (goroutine)
+}
+
+// escapeSend pushes the owned event into a channel.
+func escapeSend(p *Pool, ch chan *Event) {
+	ev := p.Get()
+	ch <- ev // want: escapes unpinned (channel)
+}
+
+// leakOnError returns early without releasing or pinning.
+func leakOnError(p *Pool, fail bool) int {
+	ev := p.Get()
+	if fail {
+		return -1 // want: leak on this path
+	}
+	p.Release(ev)
+	return 0
+}
+
+// leakFallOff reaches the end of the body still owning the event.
+func leakFallOff(p *Pool) {
+	ev := p.Get()
+	sink(ev.Token)
+} // want: leak at fall-off
+
+// --- clean shapes: none of these may produce a diagnostic ---
+
+// releaseOnce is the canonical consume.
+func releaseOnce(p *Pool) {
+	ev := p.Get()
+	sink(ev.Token)
+	p.Release(ev)
+}
+
+// deferRelease recycles on every exit path via defer.
+func deferRelease(p *Pool, fail bool) int {
+	ev := p.Get()
+	defer p.Release(ev)
+	if fail {
+		return -1
+	}
+	return int(ev.Token)
+}
+
+// handBack transfers ownership to the caller.
+func handBack(p *Pool) *Event {
+	ev := p.Get()
+	return ev
+}
+
+// transferOwnership hands the event to an annotated consumer.
+func transferOwnership(p *Pool) {
+	ev := p.Get()
+	Forward(p, ev)
+}
+
+// pinThenStore retains through the annotated pin helper.
+func pinThenStore(p *Pool, w *Window) {
+	ev := p.Get()
+	Retain(w, ev)
+}
+
+// drainLoop is the two-result pop loop: the ok-false edge owns nothing.
+func drainLoop(p *Pool) {
+	for {
+		ev, ok := p.TryPop()
+		if !ok {
+			return
+		}
+		p.Release(ev)
+	}
+}
+
+// branchRelease releases on both arms — exactly once per path.
+func branchRelease(p *Pool, cond bool) {
+	ev := p.Get()
+	if cond {
+		p.Release(ev)
+		return
+	}
+	p.Release(ev)
+}
+
+// aliasRelease releases through an alias of the binding.
+func aliasRelease(p *Pool) {
+	ev := p.Get()
+	same := ev
+	p.Release(same)
+}

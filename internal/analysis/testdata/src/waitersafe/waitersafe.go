@@ -1,0 +1,96 @@
+// Package waitersafe is the seeded fixture for the waitersafe analyzer:
+// a self-contained Waiter look-alike (detection is by named type and the
+// Gen/Wait signatures), one function per broken shape, and the two real
+// call-site shapes that must stay silent.
+package waitersafe
+
+// Waiter mimics ring.Waiter's generation-stamped futex.
+type Waiter struct{ gen uint64 }
+
+func (w *Waiter) Gen() uint64                   { return w.gen }
+func (w *Waiter) Wait(seen uint64, bound int64) {}
+func (w *Waiter) Wake()                         { w.gen++ }
+
+func ready() bool { return false }
+func work()       {}
+
+// --- seeded violations, one per diagnostic kind ---
+
+// notRelooped parks outside any loop with trailing work: a single wake
+// services one iteration and the pending work after it is never seen.
+func notRelooped(w *Waiter) {
+	seen := w.Gen()
+	if ready() {
+		return
+	}
+	w.Wait(seen, 0) // want: not re-looped
+	work()
+}
+
+// staleGen parks on a value that never came from Gen().
+func staleGen(w *Waiter) {
+	for {
+		seen := uint64(0)
+		if ready() {
+			return
+		}
+		w.Wait(seen, 0) // want: stale generation
+	}
+}
+
+// wrongWaiter snapshots one waiter and parks on another.
+func wrongWaiter(w, v *Waiter) {
+	for {
+		seen := v.Gen()
+		if ready() {
+			return
+		}
+		w.Wait(seen, 0) // want: stale generation (mismatched waiter)
+	}
+}
+
+// missingRecheck parks immediately after the snapshot: a Wake landing
+// between Gen() and Wait() is slept through.
+func missingRecheck(w *Waiter) {
+	for {
+		seen := w.Gen()
+		w.Wait(seen, 0) // want: missing recheck
+		if ready() {
+			return
+		}
+	}
+}
+
+// inlineGen is the degenerate shape with an empty recheck window.
+func inlineGen(w *Waiter) {
+	for {
+		w.Wait(w.Gen(), 0) // want: missing recheck
+		if ready() {
+			return
+		}
+	}
+}
+
+// --- clean shapes: the two real call-site forms ---
+
+// loopShape is director.GetBatch's form: register, recheck, park, all
+// inside the retry loop.
+func loopShape(w *Waiter) {
+	for {
+		seen := w.Gen()
+		if ready() {
+			continue
+		}
+		w.Wait(seen, 0)
+	}
+}
+
+// finalStmtShape is stafilos.waitForWork's form: the park is the last
+// statement and the caller loops.
+func finalStmtShape(w *Waiter) {
+	seen := w.Gen()
+	if ready() {
+		return
+	}
+	w.Wait(seen, 0)
+}

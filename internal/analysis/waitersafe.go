@@ -1,0 +1,241 @@
+package analysis
+
+// waitersafe enforces the register→recheck→park call-site shape that
+// ring.Waiter's lost-wakeup proof assumes (internal/ring/waiter.go):
+//
+//	seen := w.Gen()        // register: snapshot the generation
+//	if <work available> {  // recheck: a wake between snapshot and park
+//	    continue           //          must be observed, not slept through
+//	}
+//	w.Wait(seen, bound)    // park: sleeps only if gen is still seen
+//
+// Three diagnostic kinds:
+//
+//	not-relooped     Wait is neither inside a loop nor the final
+//	                 statement of a function whose caller loops
+//	stale-gen        Wait's generation argument is not the most recent
+//	                 snapshot taken from the same waiter's Gen()
+//	missing-recheck  no conditional early-exit between the Gen snapshot
+//	                 and the park — a wake in that window would be lost
+//
+// The check is positional (no CFG needed): the proven shape is
+// straight-line by construction, and the two real call sites
+// (director.GetBatch, stafilos.waitForWork) follow it literally.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var WaiterSafeAnalyzer = &Analyzer{
+	Name: "waitersafe",
+	Doc:  "ring.Waiter parks must follow the register→recheck→park shape",
+	Mode: PerPackage,
+	Run:  runWaiterSafe,
+}
+
+func runWaiterSafe(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkWaiterShapes(pass, pkg.Info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// waitSite is one w.Wait(seen, bound) call with its ancestor chain.
+type waitSite struct {
+	call  *ast.CallExpr
+	recv  ast.Expr
+	stack []ast.Node // ancestors, outermost first (excludes the call)
+}
+
+func checkWaiterShapes(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	var sites []waitSite
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := waiterMethodRecv(info, call, "Wait", 2); recv != nil {
+				sites = append(sites, waitSite{call: call, recv: recv, stack: append([]ast.Node(nil), stack...)})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for _, s := range sites {
+		checkOneWait(pass, info, fd, s)
+	}
+}
+
+func checkOneWait(pass *Pass, info *types.Info, fd *ast.FuncDecl, s waitSite) {
+	recvText := types.ExprString(s.recv)
+
+	// Shape 1: the park must re-loop — either inside a for/range, or as
+	// the final statement of the function (the caller loops, as in
+	// waitForWork).
+	inLoop := false
+	for _, a := range s.stack {
+		switch a.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		}
+	}
+	if !inLoop && !isFinalStmt(fd.Body, s.call) {
+		pass.Reportf(s.call.Pos(), "Waiter.Wait on %s is not re-looped: park sites must re-check for work after waking (wrap in a for loop)", recvText)
+	}
+
+	// Shape 2: the generation argument must be the latest snapshot from
+	// the same waiter's Gen().
+	genPos, ok := genSnapshot(pass, info, fd, s, recvText)
+	if !ok {
+		return // already reported
+	}
+
+	// Shape 3: a conditional early-exit must sit between the snapshot
+	// and the park, or a wake in that window is slept through.
+	if !hasRecheckBetween(fd, genPos, s.call.Pos()) {
+		pass.Reportf(s.call.Pos(), "Waiter.Wait on %s parks without re-checking for work after the Gen() snapshot (lost-wakeup hazard)", recvText)
+	}
+}
+
+// genSnapshot locates the latest assignment of Wait's first argument
+// before the park and verifies it snapshots the same waiter's Gen(). It
+// reports the stale-gen diagnostic itself and returns ok=false when the
+// shape is broken.
+func genSnapshot(pass *Pass, info *types.Info, fd *ast.FuncDecl, s waitSite, recvText string) (token.Pos, bool) {
+	arg, isIdent := ast.Unparen(s.call.Args[0]).(*ast.Ident)
+	if !isIdent {
+		// Degenerate inline form w.Wait(w.Gen(), b): the snapshot is
+		// valid but the recheck window is empty — shape 3 reports it.
+		if c, ok := ast.Unparen(s.call.Args[0]).(*ast.CallExpr); ok {
+			if r := waiterMethodRecv(info, c, "Gen", 0); r != nil && types.ExprString(r) == recvText {
+				return c.Pos(), true
+			}
+		}
+		pass.Reportf(s.call.Pos(), "Waiter.Wait generation argument is not a snapshot of %s.Gen() (stale generation defeats the lost-wakeup guard)", recvText)
+		return 0, false
+	}
+	obj := info.Uses[arg]
+	var best *ast.AssignStmt
+	var bestRhs ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= s.call.Pos() {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var lobj types.Object = info.Defs[id]
+			if lobj == nil {
+				lobj = info.Uses[id]
+			}
+			if lobj == nil || lobj != obj {
+				continue
+			}
+			if best == nil || as.Pos() > best.Pos() {
+				best = as
+				bestRhs = nil
+				if len(as.Rhs) == len(as.Lhs) {
+					bestRhs = as.Rhs[i]
+				} else if len(as.Rhs) == 1 {
+					bestRhs = as.Rhs[0]
+				}
+			}
+		}
+		return true
+	})
+	if best != nil && bestRhs != nil {
+		if c, ok := ast.Unparen(bestRhs).(*ast.CallExpr); ok {
+			if r := waiterMethodRecv(info, c, "Gen", 0); r != nil && types.ExprString(r) == recvText {
+				return best.Pos(), true
+			}
+		}
+	}
+	pass.Reportf(s.call.Pos(), "Waiter.Wait generation argument %s is not the latest snapshot of %s.Gen() (stale generation defeats the lost-wakeup guard)", arg.Name, recvText)
+	return 0, false
+}
+
+// isFinalStmt reports whether call is (inside) the last statement of body.
+func isFinalStmt(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	last := body.List[len(body.List)-1]
+	return last.Pos() <= call.Pos() && call.End() <= last.End()
+}
+
+// hasRecheckBetween reports whether an if statement with an early exit
+// (continue/break/return/goto) starts in the (from, to) position window.
+func hasRecheckBetween(fd *ast.FuncDecl, from, to token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() <= from || ifs.Pos() >= to {
+			return true
+		}
+		if branchEscapes(ifs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// branchEscapes reports whether any branch of ifs transfers control away
+// (continue, break, goto or return at any depth).
+func branchEscapes(ifs *ast.IfStmt) bool {
+	escapes := false
+	ast.Inspect(ifs, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BranchStmt, *ast.ReturnStmt:
+			escapes = true
+			return false
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// waiterMethodRecv matches a call "X.<name>(…)" with nargs arguments on a
+// receiver whose (pointer-stripped) named type is Waiter, returning the
+// receiver expression.
+func waiterMethodRecv(info *types.Info, call *ast.CallExpr, name string, nargs int) ast.Expr {
+	if len(call.Args) != nargs {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Waiter" {
+		return nil
+	}
+	return sel.X
+}

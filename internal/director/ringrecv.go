@@ -94,6 +94,13 @@ type RingReceiver struct {
 // multiProducer selects the MPMC ring; pass false only when the graph
 // proves a single upstream writer goroutine. pool enables event recycling
 // (may be nil).
+//
+// single-writer: the SPSC branch is only taken when the planner has proven
+// exactly one upstream actor goroutine for this edge — Put and PutBatch are
+// both producer-side entry points, but a single-writer edge routes every
+// delivery through one goroutine, so the two call sites never race.
+//
+//confvet:single-writer
 func NewRingReceiver(spec window.Spec, clk clock.Clock, pool *event.Pool, multiProducer bool, capacity int) *RingReceiver {
 	if capacity <= 0 {
 		capacity = RingCap
@@ -165,6 +172,7 @@ func (r *RingReceiver) putSlow(ev *event.Event) {
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:returns-poolable
 func (r *RingReceiver) nextEvent() (*event.Event, bool) {
 	if r.pendHead < len(r.pend) {
 		ev := r.pend[r.pendHead]
@@ -187,6 +195,8 @@ func (r *RingReceiver) nextEvent() (*event.Event, bool) {
 // in it is older than any future push) and serves its first event. The
 // previous pend backing array becomes the next overflow, so the two
 // buffers ping-pong without allocation at steady state.
+//
+//confvet:returns-poolable
 func (r *RingReceiver) takeOverflow() (*event.Event, bool) {
 	r.ofMu.Lock()
 	r.pend, r.overflow = r.overflow, r.pend[:0]
@@ -204,10 +214,13 @@ func (r *RingReceiver) takeOverflow() (*event.Event, bool) {
 }
 
 // wrap turns one passthrough event into a single-event window from the
-// free-list.
+// free-list. Ownership of ev moves into the window shell: the consuming
+// director hands the shell back through Recycle, which is the event's
+// actual release point — from the caller's perspective wrap consumes it.
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:recycles ev
 func (r *RingReceiver) wrap(ev *event.Event) *window.Window {
 	var w *window.Window
 	if r.freeN > 0 {

@@ -172,6 +172,7 @@ type Event struct {
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:pins
 func (e *Event) Pin() { atomic.StoreUint32(&e.pinned, 1) }
 
 // Recyclable reports whether the event may be returned to its pool: it was
@@ -237,6 +238,8 @@ func NewTimekeeper() *Timekeeper { return &Timekeeper{} }
 func (tk *Timekeeper) SetPool(p *Pool) { tk.pool = p }
 
 // newEvent allocates one event, recycled when a pool is attached.
+//
+//confvet:returns-poolable
 func (tk *Timekeeper) newEvent() *Event {
 	if tk.pool != nil {
 		return tk.pool.Get()
@@ -281,7 +284,10 @@ func (tk *Timekeeper) Stamp(tok value.Value, fallback time.Time) *Event {
 		ev.Time = fallback
 		ev.Wave = WaveTag{Root: fallback.UnixNano(), RootSeq: nextSeq()}
 	}
-	tk.produced = append(tk.produced, ev)
+	// The staged-firing buffer is not a retaining escape: EndFiring hands
+	// every staged event to exactly one delivery edge, whose consumer
+	// releases or pins it, and produced is reset at the next BeginFiring.
+	tk.produced = append(tk.produced, ev) //confvet:ignore — staging buffer, ownership passes to the delivery edge at EndFiring
 	return ev
 }
 

@@ -129,6 +129,7 @@ func (c *FireContext) BeginFiring(trigger *event.Event) {
 // the backing array is reused across firings to keep the hot path
 // allocation-free, so directors must deliver (or copy) the emissions before
 // starting the next firing.
+//
 //confvet:hotpath
 func (c *FireContext) EndFiring() []Emission {
 	c.tk.FinalizeFiring()
@@ -141,6 +142,7 @@ func (c *FireContext) EndFiring() []Emission {
 // a staged window it returns it; otherwise, under a blocking director, it
 // pulls one (possibly blocking). It returns nil when no window is
 // available, which multi-input actors use to discover which port fired.
+//
 //confvet:hotpath
 func (c *FireContext) Window(p *Port) *window.Window {
 	for i := range c.staged {
@@ -212,6 +214,8 @@ func (c *FireContext) PutAt(p *Port, tok value.Value, ts time.Time) {
 // boundaries. The event bypasses the timekeeper's wave re-tagging. Re-
 // emission gives the event a second life beyond the edge it arrived on, so
 // it is pinned out of the recycling protocol.
+//
+//confvet:pins ev
 func (c *FireContext) PutEvent(p *Port, ev *event.Event) {
 	ev.Pin()
 	c.emissions = append(c.emissions, Emission{Port: p, Ev: ev})

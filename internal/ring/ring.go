@@ -38,6 +38,10 @@ type Queue[T any] interface {
 	// TryPush enqueues v, reporting false when the ring is full.
 	TryPush(v T) bool
 	// TryPop dequeues the oldest element, reporting false when empty.
+	// When T is a pooled event type, the caller takes ownership of the
+	// popped value (poolsafe tracks it from here to its release or pin).
+	//
+	//confvet:returns-poolable
 	TryPop() (T, bool)
 	// Len approximates the number of queued elements.
 	Len() int
@@ -76,8 +80,8 @@ type SPSC[T any] struct {
 	prodTail  uint64
 	headCache uint64
 	_         pad
-	mask uint64
-	buf  []T
+	mask      uint64
+	buf       []T
 }
 
 // NewSPSC returns an SPSC ring holding at least capacity elements (rounded
@@ -109,6 +113,7 @@ func (q *SPSC[T]) TryPush(v T) bool {
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:returns-poolable
 func (q *SPSC[T]) TryPop() (T, bool) {
 	var zero T
 	if q.consHead == q.tailCache {
@@ -200,6 +205,7 @@ func (q *MPMC[T]) TryPush(v T) bool {
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:returns-poolable
 func (q *MPMC[T]) TryPop() (T, bool) {
 	var zero T
 	for {

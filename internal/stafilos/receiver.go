@@ -157,6 +157,8 @@ func (r *TMReceiver) SetPool(p *event.Pool) { r.pool = p }
 // (one thread) and parallel ports fed by exactly one upstream actor (its
 // firing flag serializes producers, and EndFire→TryFire hands the ring
 // cursors over with release/acquire ordering). Call before traffic flows.
+//
+//confvet:single-writer
 func (r *TMReceiver) MarkSingleWriter() {
 	if r.q != nil {
 		r.q = ring.NewSPSC[*event.Event](tmRingCap)
@@ -329,6 +331,7 @@ func (r *TMReceiver) OnTime(now time.Time) int {
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:returns-poolable
 func (r *TMReceiver) nextEvent() (*event.Event, bool) {
 	if r.pendHead < len(r.pend) {
 		ev := r.pend[r.pendHead]
@@ -351,6 +354,8 @@ func (r *TMReceiver) nextEvent() (*event.Event, bool) {
 // in it is older than any future push) and serves its first event. The
 // previous pend backing array becomes the next overflow, so the two
 // buffers ping-pong without allocation at steady state.
+//
+//confvet:returns-poolable
 func (r *TMReceiver) takeOverflow() (*event.Event, bool) {
 	r.ofMu.Lock()
 	r.pend, r.overflow = r.overflow, r.pend[:0]
@@ -385,10 +390,12 @@ func (r *TMReceiver) sendItems(items []ReadyItem) {
 // wrap turns one passthrough event into a single-event window from the
 // shell free-list. The event is not pinned: it travels exactly one edge
 // inside the window and the consuming director recycles both at Recycle
-// once the firing that consumed it has been broadcast.
+// once the firing that consumed it has been broadcast. Ownership of ev
+// moves into the shell, so from the caller's perspective wrap consumes it.
 //
 //confvet:hotpath
 //confvet:noalloc
+//confvet:recycles ev
 func (r *TMReceiver) wrap(ev *event.Event) *window.Window {
 	w, ok := r.shells.TryPop()
 	if !ok {
@@ -429,7 +436,7 @@ func (r *TMReceiver) Recycle(w *window.Window) {
 	if r.pool != nil {
 		r.pool.Release(ev)
 	}
-	r.shells.TryPush(w)
+	r.shells.TryPush(w) //confvet:ignore — shell free-list: a surplus shell is left to the GC by design
 }
 
 // Pending reports whether the receiver may still deliver work to the

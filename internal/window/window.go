@@ -298,7 +298,11 @@ func New(spec Spec) *Operator {
 func (o *Operator) Spec() Spec { return o.spec }
 
 // Put inserts one event at clock time now and returns any windows that
-// became ready, in production order.
+// became ready, in production order. Insertion pins ev: a windowed event
+// outlives its edge (it may appear in several sliding windows), so it
+// leaves the recycling protocol here.
+//
+//confvet:pins ev
 func (o *Operator) Put(ev *event.Event, now time.Time) []*Window {
 	g := o.group(groupKey(o.spec.GroupBy, ev))
 	switch o.spec.Unit {
